@@ -1,0 +1,64 @@
+"""Table 2 — dataset characteristics.
+
+Regenerates the characteristics table for all six datasets and benchmarks
+generator throughput.  Cardinalities are scaled; the printed rows show the
+generated characteristics next to the paper's published ones.
+"""
+
+from __future__ import annotations
+
+from repro.bench import print_table
+from repro.datasets import (
+    anticorrelated,
+    cmoment,
+    consumption,
+    correlated,
+    ctexture,
+    independent,
+    table2_characteristics,
+)
+
+from conftest import scaled
+
+_PAPER_ROWS = {
+    "indp": ("1,000,000", "2 - 14", "(1, 100)"),
+    "corr": ("1,000,000", "2 - 14", "(1, 100)"),
+    "anti": ("1,000,000", "2 - 14", "(1, 100)"),
+    "cmoment": ("68,040", "9", "(-4.15, 4.59)"),
+    "ctexture": ("68,040", "16", "(-5.25, 50.21)"),
+    "consumption": ("2,075,259", "4", "(0, 254)"),
+}
+
+
+def test_table2_characteristics(benchmark):
+    def build():
+        n = scaled(50_000)
+        return [
+            independent(n, 6, rng=0),
+            correlated(n, 6, rng=1),
+            anticorrelated(n, 6, rng=2),
+            cmoment(scaled(20_000), rng=3),
+            ctexture(scaled(20_000), rng=4),
+            consumption(scaled(100_000), rng=5),
+        ]
+
+    datasets = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for generated in table2_characteristics(datasets):
+        paper_n, paper_dim, paper_range = _PAPER_ROWS[generated["dataset"]]
+        rows.append(
+            {
+                "dataset": generated["dataset"],
+                "n (scaled)": generated["n_points"],
+                "paper n": paper_n,
+                "dim": generated["dimension"],
+                "paper dim": paper_dim,
+                "range": generated["attribute_range"],
+                "paper range": paper_range,
+            }
+        )
+    print_table("Table 2: dataset characteristics (generated vs paper)", rows)
+
+
+def test_generator_throughput(benchmark):
+    benchmark(independent, scaled(100_000), 6, rng=0)

@@ -1,0 +1,120 @@
+"""Benchmarks for the extension features beyond the paper's evaluation.
+
+* adaptive octant index: convergence of query time as observed normals are
+  folded into the index set (the Section 8 "update indices from past
+  queries" direction),
+* continuous (windowed) intersection join vs its brute-force oracle,
+* conjunctive constraint queries vs scanning the conjunction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import FunctionIndex, QueryModel, ScalarProductQuery
+from repro.bench import print_table
+from repro.datasets import load
+from repro.extensions import AdaptiveOctantIndex
+from repro.moving import ContinuousLinearJoin, uniform_linear_workload
+
+from conftest import scaled
+
+
+def test_adaptive_convergence(benchmark):
+    """Repeating a workload makes the adaptive index converge to parallel
+    indices: the intermediate interval shrinks round over round."""
+    rng = np.random.default_rng(0)
+    points = rng.normal(0.0, 5.0, size=(scaled(60_000), 5))
+
+    def measure():
+        adaptive = AdaptiveOctantIndex(points, max_indices_per_octant=16, rng=0)
+        base_normal = np.array([1.0, -2.0, 0.5, 1.5, -1.0])
+        rows = []
+        for round_number in range(4):
+            # A tight cluster of recurring queries around the same normal.
+            ii_sizes = []
+            for jitter_seed in range(6):
+                jitter = np.random.default_rng(jitter_seed).uniform(0.9, 1.1, 5)
+                answer = adaptive.query(base_normal * jitter, 2.0)
+                ii_sizes.append(answer.stats.ii_size if answer.stats else len(points))
+            rows.append(
+                {
+                    "round": round_number,
+                    "indices_held": adaptive.n_indices(base_normal),
+                    "mean_ii": float(np.mean(ii_sizes)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("Extension: adaptive index convergence under a recurring workload", rows)
+    assert rows[-1]["mean_ii"] <= rows[0]["mean_ii"]
+
+
+def test_continuous_join(benchmark):
+    first, second = uniform_linear_workload(scaled(300), space=500.0, rng=0)
+    join = ContinuousLinearJoin(first, second, rng=0)
+
+    def measure():
+        start = time.perf_counter()
+        result = join.query(10.0, 15.0, 10.0)
+        planar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        truth = join.brute_force(10.0, 15.0, 10.0)
+        brute_s = time.perf_counter() - start
+        assert np.array_equal(result.pairs, truth)
+        return {
+            "pairs": len(result),
+            "candidates": result.n_candidates,
+            "total_pairs": result.n_total,
+            "planar_ms": planar_s * 1000,
+            "brute_ms": brute_s * 1000,
+        }
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("Extension: continuous within-distance join over [10, 15]", [row])
+    assert row["candidates"] < 0.5 * row["total_pairs"]
+
+
+def test_conjunction_queries(benchmark):
+    points = load("indp", scaled(60_000), 5, rng=0).points
+    model = QueryModel.uniform(dim=5, low=1.0, high=5.0, rq=4)
+    index = FunctionIndex(points, model, n_indices=60, rng=0)
+    rng = np.random.default_rng(1)
+
+    def measure():
+        rows = []
+        for n_constraints in (2, 3):
+            constraints = [
+                ScalarProductQuery(
+                    model.sample_normal(rng), float(rng.uniform(400, 900))
+                )
+                for _ in range(n_constraints)
+            ]
+            start = time.perf_counter()
+            answer = index.query_conjunction(constraints)
+            planar_ms = (time.perf_counter() - start) * 1000
+            mask = np.ones(len(points), dtype=bool)
+            start = time.perf_counter()
+            for constraint in constraints:
+                mask &= constraint.evaluate(points)
+            scan_ms = (time.perf_counter() - start) * 1000
+            assert np.array_equal(answer.ids, np.nonzero(mask)[0])
+            rows.append(
+                {
+                    "constraints": n_constraints,
+                    "matches": len(answer),
+                    "pruned_pct": 100 * answer.pruned_fraction,
+                    "planar_ms": planar_ms,
+                    "scan_ms": scan_ms,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("Extension: conjunctive linear-constraint queries", rows)
+    for row in rows:
+        assert row["pruned_pct"] >= 0.0

@@ -1,0 +1,45 @@
+"""Figure 10 — pruning percentage vs number of Planar indices.
+
+Grid: dimension in {2, 6, 10, 14}, #index in {1, 10, 50, 100}, RQ = 4.
+Paper shape: pruning improves monotonically with the index budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_table, run_query_experiment
+
+from conftest import scaled
+
+N_POINTS = 20_000
+
+
+@pytest.mark.parametrize("dim", [2, 6, 10, 14])
+def test_fig10_pruning_vs_nindex(benchmark, synthetic_cache, dim):
+    def sweep():
+        rows = []
+        for name in ("indp", "corr", "anti"):
+            points = synthetic_cache(name, scaled(N_POINTS), dim)
+            for n_indices in (1, 10, 50, 100):
+                cell = run_query_experiment(
+                    points, rq=4, n_indices=n_indices, n_queries=15, rng=3
+                )
+                rows.append(
+                    {
+                        "dataset": name,
+                        "n_indices": n_indices,
+                        "pruning_pct": cell["pruning_pct"],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"Fig 10 (dimension={dim}): pruning %% vs #index, RQ=4 "
+        "(paper: pruning grows with the budget)",
+        rows,
+    )
+    for name in ("indp", "corr", "anti"):
+        series = [r["pruning_pct"] for r in rows if r["dataset"] == name]
+        assert series[-1] >= series[0] - 1.0, name

@@ -1,0 +1,56 @@
+"""Figure 11 — query selectivity and query time vs the inequality parameter.
+
+Inequality parameter in {0.10, 0.25, 0.50, 0.75, 1.00}, d in {6, 10},
+RQ = 4, 100 indices.  Paper shape: selectivity grows monotonically with
+the parameter; query time is unimodal with its maximum near 0.50-0.75
+(extreme offsets let the intervals accept/reject nearly everything).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, run_selectivity_experiment
+
+from conftest import scaled
+
+PARAMETERS = (0.10, 0.25, 0.50, 0.75, 1.00)
+
+
+@pytest.mark.parametrize("dim", [6, 10])
+def test_fig11_selectivity_sweep(benchmark, synthetic_cache, dim):
+    def sweep():
+        rows = []
+        for name in ("indp", "corr", "anti"):
+            points = synthetic_cache(name, scaled(60_000), dim)
+            for row in run_selectivity_experiment(
+                points, PARAMETERS, n_queries=10, rng=1
+            ):
+                rows.append({"dataset": name, **row})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"Fig 11 (dimension={dim}): selectivity & query time vs inequality "
+        "parameter (paper: selectivity rises; time peaks at 0.5-0.75)",
+        rows,
+    )
+    for name in ("indp", "corr", "anti"):
+        series = [r for r in rows if r["dataset"] == name]
+        selectivities = [r["selectivity_pct"] for r in series]
+        # Monotone selectivity (Fig 11 a/c).
+        assert all(
+            later >= earlier - 1.0
+            for earlier, later in zip(selectivities, selectivities[1:])
+        ), name
+        # The extremes must select almost nothing / almost everything.
+        assert selectivities[0] < 25.0
+        assert selectivities[-1] > 75.0
+        # The mechanism behind the paper's unimodal time curve (Fig 11 b/d):
+        # extreme inequality parameters let the intervals decide nearly
+        # everything, so interval pruning at the extremes dominates pruning
+        # at the middle.  (Asserted on pruning, not wall time, because
+        # single-run timings are too noisy for a shape test.)
+        pruning = [r["pruning_pct"] for r in series]
+        assert max(pruning[0], pruning[-1]) >= max(pruning[1:4]) - 10.0

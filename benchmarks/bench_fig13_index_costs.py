@@ -1,0 +1,88 @@
+"""Figure 13 — index construction time, memory usage, dynamic updates.
+
+(a) build time vs dimensionality and #indices (paper: 2.54-2.92 s per
+    index at 1M points, nearly flat in d),
+(b) memory vs #indices and d (paper: linear in n and #indices, almost
+    independent of d — keys are scalars),
+(c) per-index update time vs the fraction of points updated (paper:
+    170 ms per index for 5 %% of 1M points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    print_table,
+    run_index_cost_experiment,
+    run_memory_experiment,
+    run_update_experiment,
+)
+
+from conftest import scaled
+
+N_POINTS = scaled(100_000)
+
+
+def test_fig13a_build_time(benchmark):
+    rows = benchmark.pedantic(
+        run_index_cost_experiment,
+        args=((2, 6, 10, 14), (1, 10, 50, 100)),
+        kwargs={"n_points": N_POINTS, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 13(a): index build time (paper: ~2.5-2.9 s/index at 1M, flat in d)",
+        rows,
+    )
+    # Build time scales ~linearly with the number of indices at fixed d.
+    for dim in (2, 6, 10, 14):
+        series = [r["build_s"] for r in rows if r["dim"] == dim]
+        assert series[-1] > series[0]
+    # ... and is only weakly dependent on dimensionality at fixed budget.
+    at_100 = [r["build_s"] for r in rows if r["n_indices"] == 100]
+    assert max(at_100) < min(at_100) * 5.0
+
+
+def test_fig13b_memory(benchmark):
+    rows = benchmark.pedantic(
+        run_memory_experiment,
+        args=((2, 6, 10, 14), (1, 10, 50, 100)),
+        kwargs={"n_points": N_POINTS, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 13(b): memory consumption (paper: linear in #index, ~flat in d)",
+        rows,
+    )
+    # Memory grows with the number of indices...
+    for dim in (2, 6, 10, 14):
+        series = [r["memory_mb"] for r in rows if r["dim"] == dim]
+        assert series[-1] > series[0]
+    # ...and the per-index increment is dimension-independent (scalar keys).
+    incr = {}
+    for dim in (2, 14):
+        series = [r["memory_mb"] for r in rows if r["dim"] == dim]
+        incr[dim] = series[-1] - series[0]
+    assert abs(incr[2] - incr[14]) < 0.5 * max(incr[2], incr[14])
+
+
+@pytest.mark.parametrize("dim", [6, 10])
+def test_fig13c_dynamic_updates(benchmark, dim):
+    rows = benchmark.pedantic(
+        run_update_experiment,
+        args=(N_POINTS, dim, (0.01, 0.05, 0.10, 0.25)),
+        kwargs={"rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        f"Fig 13(c) (dimension={dim}): per-index update time vs %% points "
+        "updated (paper: 170 ms/index at 5%% of 1M)",
+        rows,
+    )
+    # Updating more points per batch costs less per point (batching pays).
+    assert rows[-1]["per_point_us"] <= rows[0]["per_point_us"] * 2.0

@@ -1,0 +1,80 @@
+"""Figure 14 — moving-object intersection, three workloads.
+
+(a) linear motion: Planar vs all-pairs baseline vs the MBR/TPR-tree
+    (paper: tree competitive or better — it is the specialist),
+(b) circular motion: Planar vs baseline (paper: 2.5-75x; tree inapplicable),
+(c) accelerating motion in 3-D: Planar vs baseline (paper: 25-50x).
+
+Fleet sizes are scaled (paper: 5K x 5K = 25M pairs); pair counts stay
+quadratic so the relative behaviour is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, run_moving_experiment
+
+from conftest import scaled
+
+TIMES = (10.0, 11.0, 12.0, 13.0, 14.0, 15.0)
+N_PER_SET = scaled(400)
+
+
+def test_fig14a_linear(benchmark):
+    rows = benchmark.pedantic(
+        run_moving_experiment,
+        args=("linear", N_PER_SET, TIMES),
+        kwargs={"distance": 10.0, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 14(a): linear motion (paper: MBR-tree competitive; planar within 4x)",
+        rows,
+    )
+    planar = np.mean([r["planar_ms"] for r in rows])
+    baseline = np.mean([r["baseline_ms"] for r in rows])
+    mbr = np.mean([r["mbr_ms"] for r in rows])
+    assert planar < baseline  # planar beats all-pairs
+    assert planar < mbr * 6.0  # and stays within a small factor of the tree
+
+
+def test_fig14b_circular(benchmark):
+    rows = benchmark.pedantic(
+        run_moving_experiment,
+        args=("circular", N_PER_SET, TIMES),
+        kwargs={"distance": 10.0, "rng": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Fig 14(b): circular motion (paper: planar 2.5-75x over baseline)", rows)
+    planar = np.mean([r["planar_ms"] for r in rows])
+    baseline = np.mean([r["baseline_ms"] for r in rows])
+    assert planar < baseline
+
+
+def test_fig14c_accelerating(benchmark):
+    rows = benchmark.pedantic(
+        run_moving_experiment,
+        args=("accelerating", N_PER_SET, TIMES),
+        kwargs={"distance": 10.0, "rng": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 14(c): accelerating motion (paper: planar 25-50x over baseline)", rows
+    )
+    planar = np.mean([r["planar_ms"] for r in rows])
+    baseline = np.mean([r["baseline_ms"] for r in rows])
+    assert planar < baseline
+
+
+def test_intersection_query_latency(benchmark):
+    """Raw latency of one Planar intersection query (linear workload)."""
+    from repro.moving import LinearIntersectionIndex, uniform_linear_workload
+
+    first, second = uniform_linear_workload(N_PER_SET, rng=0)
+    index = LinearIntersectionIndex(first, second, rng=0)
+    benchmark(index.query, 12.5, 10.0)

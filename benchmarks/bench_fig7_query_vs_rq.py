@@ -1,0 +1,50 @@
+"""Figure 7 — query time vs randomness of query (RQ), synthetic datasets.
+
+Grid: dimension in {2, 6, 10, 14}, RQ in {2, 4, 8, 12}, 100 indices, all
+three synthetic families.  Paper shape: Planar wins big at low d / low RQ
+(up to 4 orders of magnitude) and approaches the baseline as both grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_table, run_query_experiment
+
+from conftest import scaled
+
+N_POINTS = 60_000
+
+
+@pytest.mark.parametrize("dim", [2, 6, 10, 14])
+def test_fig7_query_time_vs_rq(benchmark, synthetic_cache, dim):
+    def sweep():
+        rows = []
+        for name in ("indp", "corr", "anti"):
+            points = synthetic_cache(name, scaled(N_POINTS), dim)
+            for rq in (2, 4, 8, 12):
+                cell = run_query_experiment(
+                    points, rq=rq, n_indices=100, n_queries=12, rng=rq
+                )
+                rows.append(
+                    {
+                        "dataset": name,
+                        "RQ": rq,
+                        "planar_ms": cell["planar_ms"],
+                        "baseline_ms": cell["baseline_ms"],
+                        "speedup": cell["speedup"],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"Fig 7 (dimension={dim}): query time vs RQ, #index=100 "
+        "(paper: speedup shrinks as RQ and d grow)",
+        rows,
+    )
+    if dim <= 6:
+        # Low-dimension, low-RQ cells must beat the scan.
+        for name in ("indp", "corr", "anti"):
+            low_rq = next(r for r in rows if r["dataset"] == name and r["RQ"] == 2)
+            assert low_rq["speedup"] > 1.0, low_rq

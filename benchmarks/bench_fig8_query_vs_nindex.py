@@ -1,0 +1,50 @@
+"""Figure 8 — query time vs number of Planar indices, synthetic datasets.
+
+Grid: dimension in {2, 6, 10, 14}, #index in {1, 10, 50, 100}, RQ = 4.
+Paper shape: more indices help (monotonically better pruning), with
+diminishing returns at high dimensionality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_table, run_query_experiment
+
+from conftest import scaled
+
+N_POINTS = 60_000
+
+
+@pytest.mark.parametrize("dim", [2, 6, 10, 14])
+def test_fig8_query_time_vs_nindex(benchmark, synthetic_cache, dim):
+    def sweep():
+        rows = []
+        for name in ("indp", "corr", "anti"):
+            points = synthetic_cache(name, scaled(N_POINTS), dim)
+            for n_indices in (1, 10, 50, 100):
+                cell = run_query_experiment(
+                    points, rq=4, n_indices=n_indices, n_queries=12, rng=n_indices
+                )
+                rows.append(
+                    {
+                        "dataset": name,
+                        "n_indices": n_indices,
+                        "planar_ms": cell["planar_ms"],
+                        "baseline_ms": cell["baseline_ms"],
+                        "speedup": cell["speedup"],
+                        "pruning_pct": cell["pruning_pct"],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"Fig 8 (dimension={dim}): query time vs #index, RQ=4 "
+        "(paper: more indices => better pruning)",
+        rows,
+    )
+    # Shape: pruning with 100 indices beats pruning with a single index.
+    for name in ("indp", "corr", "anti"):
+        series = [r for r in rows if r["dataset"] == name]
+        assert series[-1]["pruning_pct"] >= series[0]["pruning_pct"] - 1.0, name

@@ -1,0 +1,74 @@
+"""Figure 12 (and Table 1's empirical side) — scalability with cardinality.
+
+Index build time should grow loglinearly in n and query time sublinearly,
+while the sequential baseline grows linearly (d = 6, RQ = 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, run_scalability_experiment
+
+from conftest import scaled
+
+SIZES = tuple(scaled(n) for n in (20_000, 60_000, 100_000, 140_000, 200_000))
+
+
+@pytest.mark.parametrize("dataset_name", ["indp", "corr", "anti"])
+def test_fig12_scalability(benchmark, dataset_name):
+    rows = benchmark.pedantic(
+        run_scalability_experiment,
+        args=(dataset_name, SIZES),
+        kwargs={"n_indices": 50, "n_queries": 10, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        f"Fig 12 ({dataset_name}): scalability, d=6, RQ=4, #index=50 "
+        "(paper: build loglinear, query sublinear, baseline linear)",
+        rows,
+    )
+    first, last = rows[0], rows[-1]
+    size_ratio = last["n_points"] / first["n_points"]
+    # Build time grows at most ~loglinearly.  The slack absorbs the log
+    # factor plus the cache-hierarchy step once key arrays outgrow L2.
+    assert last["build_s"] < first["build_s"] * size_ratio * 4.0
+    # Baseline grows roughly linearly; planar query grows sublinearly
+    # relative to the baseline's growth.
+    baseline_growth = last["baseline_ms"] / max(first["baseline_ms"], 1e-9)
+    planar_growth = last["planar_ms"] / max(first["planar_ms"], 1e-9)
+    assert planar_growth < baseline_growth * 1.5
+
+
+def test_table1_query_complexity_slope(benchmark, synthetic_cache):
+    """Empirical cross-check of the Table 1 query bound O(d log n + t):
+    with a parallel index (II = 0) the query time must grow far slower
+    than n."""
+    import time
+
+    from repro.core import FunctionIndex
+    from repro.datasets import Workload
+
+    def measure():
+        timings = []
+        for n in (scaled(50_000), scaled(200_000)):
+            points = synthetic_cache("indp", n, 6)
+            # Tiny inequality parameter => near-empty result set, so the
+            # O(t) output term does not mask the O(d' log n) search term.
+            workload = Workload.for_points(points, rq=2, inequality_parameter=0.05)
+            index = FunctionIndex(points, workload.model, n_indices=64, rng=0)
+            query = workload.sample_query(rng=1)
+            index.query(query.normal, query.offset)
+            start = time.perf_counter()
+            for _ in range(20):
+                index.query(query.normal, query.offset)
+            timings.append((time.perf_counter() - start) / 20)
+        return timings
+
+    small, large = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nTable 1 empirical: query time at n=50k {small*1e3:.3f} ms, "
+          f"n=200k {large*1e3:.3f} ms (4x data)")
+    # 4x the data must cost far less than 4x the time for a matched query.
+    assert large < small * 3.0

@@ -1,0 +1,48 @@
+"""Table 3 — top-k nearest-neighbor queries on Indp (d=6, RQ=4, 100 idx).
+
+Paper: k in {50, 1000, 10000}; Planar checks 10.97-12.62 %% of the points
+and achieves ~2.5x speedup over the sequential scan (89 ms baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import print_table, run_topk_experiment
+from repro.core import FunctionIndex
+from repro.datasets import Workload
+
+from conftest import scaled
+
+N_POINTS = scaled(100_000)
+
+
+def test_table3_topk(benchmark, synthetic_cache):
+    points = synthetic_cache("indp", N_POINTS, 6)
+    rows = benchmark.pedantic(
+        run_topk_experiment,
+        args=(points, (50, 1000, 10_000)),
+        kwargs={"n_queries": 10, "rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Table 3: top-k NN, Indp d=6 RQ=4 #index=100 "
+        "(paper: ~11-12.6%% checked, ~2.5x speedup)",
+        rows,
+    )
+    for row in rows:
+        # The checked fraction should stay in the paper's low-tens regime.
+        assert row["checked_pct"] < 50.0, row
+    # Checked fraction grows (weakly) with k, as in the paper.
+    assert rows[-1]["checked_pct"] >= rows[0]["checked_pct"] - 1.0
+
+
+def test_topk_single_query_latency(benchmark, synthetic_cache):
+    points = synthetic_cache("indp", N_POINTS, 6)
+    workload = Workload.for_points(points, rq=4)
+    index = FunctionIndex(points, workload.model, n_indices=100, rng=0)
+    query = workload.sample_query(rng=3)
+    result = benchmark(lambda: index.topk(query.normal, query.offset, 50))
+    assert len(result) == 50

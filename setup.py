@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no network access and no `wheel` package, so the
+PEP 517 editable path (which needs `bdist_wheel`) is unavailable; this shim
+lets `pip install -e . --no-use-pep517 --no-build-isolation` work offline.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — a reproduction of "Towards Indexing Functions: Answering Scalar
+Product Queries" (Khan, Yanki, Dimcheva, Kossmann; SIGMOD 2014).
+
+The package implements the paper's Planar index together with every
+substrate its evaluation depends on: synthetic and simulated real-world
+datasets, a mini SQL-function layer, moving-object workloads with a
+time-parameterized R-tree baseline, and a pool-based active learner.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import FunctionIndex, QueryModel
+>>> rng = np.random.default_rng(0)
+>>> points = rng.uniform(1, 100, size=(10_000, 4))
+>>> model = QueryModel.uniform(dim=4, low=1.0, high=5.0, rq=4)
+>>> index = FunctionIndex(points, model, n_indices=20, rng=0)
+>>> normal = model.sample_normal(rng)
+>>> answer = index.query(normal, offset=400.0)
+>>> bool(np.all(points[answer.ids] @ normal <= 400.0))
+True
+"""
+
+from .core import (
+    Comparison,
+    ConjunctiveQuery,
+    ConstraintAnswer,
+    DisjunctiveQuery,
+    FeatureMap,
+    FeatureStore,
+    FunctionIndex,
+    ParameterDomain,
+    PlanarIndex,
+    PlanarIndexCollection,
+    QueryAnswer,
+    QueryModel,
+    QueryResult,
+    QueryStats,
+    ScalarProductQuery,
+    SelectionStrategy,
+    SortedKeyStore,
+    TopKBuffer,
+    TopKQuery,
+    TopKResult,
+    WorkingQuery,
+    answer_conjunction,
+    answer_disjunction,
+    identity_map,
+    load_index,
+    polynomial_map,
+    product_map,
+    save_index,
+)
+from .exceptions import (
+    DimensionMismatchError,
+    ExpressionError,
+    ExpressionSyntaxError,
+    IndexBuildError,
+    InvalidDomainError,
+    InvalidQueryError,
+    NonScalarProductError,
+    ReproError,
+    UnknownColumnError,
+)
+from .scan import SequentialScan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Comparison",
+    "ConjunctiveQuery",
+    "ConstraintAnswer",
+    "DisjunctiveQuery",
+    "DimensionMismatchError",
+    "ExpressionError",
+    "ExpressionSyntaxError",
+    "FeatureMap",
+    "FeatureStore",
+    "FunctionIndex",
+    "IndexBuildError",
+    "InvalidDomainError",
+    "InvalidQueryError",
+    "NonScalarProductError",
+    "ParameterDomain",
+    "PlanarIndex",
+    "PlanarIndexCollection",
+    "QueryAnswer",
+    "QueryModel",
+    "QueryResult",
+    "QueryStats",
+    "ReproError",
+    "ScalarProductQuery",
+    "SelectionStrategy",
+    "SequentialScan",
+    "SortedKeyStore",
+    "TopKBuffer",
+    "TopKQuery",
+    "TopKResult",
+    "UnknownColumnError",
+    "WorkingQuery",
+    "answer_conjunction",
+    "answer_disjunction",
+    "identity_map",
+    "load_index",
+    "polynomial_map",
+    "product_map",
+    "save_index",
+    "__version__",
+]

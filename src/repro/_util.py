@@ -1,0 +1,94 @@
+"""Internal helpers shared across the repro subpackages.
+
+These utilities centralise argument validation and RNG handling so that the
+public modules stay focused on the algorithms from the paper.  Nothing in this
+module is part of the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import DimensionMismatchError
+
+__all__ = [
+    "as_rng",
+    "as_1d_float",
+    "as_2d_float",
+    "require_positive",
+    "require_same_length",
+    "pairwise_sq_distance",
+]
+
+
+def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for nondeterministic entropy.  Library code never touches the
+    legacy global numpy RNG.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def as_1d_float(values: Sequence[float] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D float64 array, validating shape."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DimensionMismatchError(
+            f"{name} must be one-dimensional, got shape {arr.shape}"
+        )
+    return arr
+
+
+def as_2d_float(values: Sequence[Sequence[float]] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 2-D float64 array, validating shape.
+
+    A 1-D input is promoted to a single-row matrix so that callers can pass
+    one point where a batch is expected.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(
+            f"{name} must be two-dimensional, got shape {arr.shape}"
+        )
+    return arr
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def require_same_length(name_a: str, a: Iterable, name_b: str, b: Iterable) -> None:
+    """Raise :class:`DimensionMismatchError` unless ``len(a) == len(b)``."""
+    len_a = len(a)  # type: ignore[arg-type]
+    len_b = len(b)  # type: ignore[arg-type]
+    if len_a != len_b:
+        raise DimensionMismatchError(
+            f"{name_a} has length {len_a} but {name_b} has length {len_b}"
+        )
+
+
+def pairwise_sq_distance(points_a: np.ndarray, points_b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between every row of ``points_a`` and ``points_b``.
+
+    Returns an ``(len(points_a), len(points_b))`` matrix.  Used by the
+    moving-object baseline, where the all-pairs scan is the whole point.
+    """
+    a = as_2d_float(points_a, "points_a")
+    b = as_2d_float(points_b, "points_b")
+    if a.shape[1] != b.shape[1]:
+        raise DimensionMismatchError(
+            f"point dimensionalities differ: {a.shape[1]} vs {b.shape[1]}"
+        )
+    diff = a[:, None, :] - b[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)

@@ -1,0 +1,37 @@
+"""Benchmark harness regenerating every table and figure of Section 7.
+
+:mod:`repro.bench.harness` provides timing and table-printing utilities;
+:mod:`repro.bench.experiments` implements one runner per experiment
+(Figures 6–14, Tables 2–3).  The ``benchmarks/`` directory wraps these
+runners in pytest-benchmark targets; EXPERIMENTS.md records paper-vs-
+measured values.
+"""
+
+from .harness import Timer, format_table, print_table, time_call
+from .experiments import (
+    run_consumption_experiment,
+    run_index_cost_experiment,
+    run_memory_experiment,
+    run_moving_experiment,
+    run_query_experiment,
+    run_scalability_experiment,
+    run_selectivity_experiment,
+    run_topk_experiment,
+    run_update_experiment,
+)
+
+__all__ = [
+    "Timer",
+    "format_table",
+    "print_table",
+    "run_consumption_experiment",
+    "run_index_cost_experiment",
+    "run_memory_experiment",
+    "run_moving_experiment",
+    "run_query_experiment",
+    "run_scalability_experiment",
+    "run_selectivity_experiment",
+    "run_topk_experiment",
+    "run_update_experiment",
+    "time_call",
+]

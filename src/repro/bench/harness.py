@@ -1,0 +1,81 @@
+"""Timing and reporting utilities for the benchmark suite."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["Timer", "time_call", "format_table", "print_table"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+    @property
+    def millis(self) -> float:
+        """Elapsed milliseconds."""
+        return self.seconds * 1000.0
+
+
+def time_call(func: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for calling ``func``."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def format_table(title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as an aligned text table (all rows share the row-0 keys)."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    headers = list(rows[0].keys())
+    cells = [[_format_cell(row.get(key, "")) for key in headers] for row in rows]
+    widths = [
+        max(len(header), *(len(line[pos]) for line in cells))
+        for pos, header in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for line in cells:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(title: str, rows: Iterable[Mapping[str, object]]) -> None:
+    """Print an aligned table for a benchmark report."""
+    print("\n" + format_table(title, list(rows)) + "\n")

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package version and subsystem overview.
+``demo``
+    Run one of the bundled demonstrations without touching the examples
+    directory (quickstart / consumption / moving / learning).
+``bench``
+    Run a single experiment family and print its table (a lighter-weight
+    alternative to the pytest-benchmark suite).
+``datasets``
+    Generate a dataset and print its Table 2 characteristics (optionally
+    exporting to CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Planar index for scalar product queries (SIGMOD 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version and subsystem overview")
+
+    demo = sub.add_parser("demo", help="run a bundled demonstration")
+    demo.add_argument(
+        "name",
+        choices=["quickstart", "consumption", "moving", "learning"],
+        help="which demonstration to run",
+    )
+    demo.add_argument("--n", type=int, default=50_000, help="dataset size")
+    demo.add_argument("--seed", type=int, default=0, help="random seed")
+
+    bench = sub.add_parser("bench", help="run one experiment family")
+    bench.add_argument(
+        "experiment",
+        choices=["query", "topk", "selectivity", "moving", "scalability"],
+        help="experiment family (see DESIGN.md for the figure mapping)",
+    )
+    bench.add_argument("--n", type=int, default=60_000, help="dataset size")
+    bench.add_argument("--dim", type=int, default=6, help="dimensionality")
+    bench.add_argument("--rq", type=int, default=4, help="randomness of query")
+    bench.add_argument("--indices", type=int, default=100, help="index budget")
+    bench.add_argument("--seed", type=int, default=0, help="random seed")
+
+    datasets = sub.add_parser("datasets", help="generate / describe a dataset")
+    datasets.add_argument(
+        "name",
+        choices=["indp", "corr", "anti", "cmoment", "ctexture", "consumption"],
+    )
+    datasets.add_argument("--n", type=int, default=10_000)
+    datasets.add_argument("--dim", type=int, default=6, help="synthetic families only")
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.add_argument("--csv", type=str, default=None, help="export path")
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — Planar index for scalar product queries")
+    print("subsystems: core (Planar index), scan, datasets, sqlfunc, moving,")
+    print("            learning, extensions (adaptive octants, PCA filter), bench")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.name == "quickstart":
+        from repro import FunctionIndex, QueryModel
+        from repro.datasets import independent
+
+        points = independent(args.n, 6, rng=args.seed).points
+        model = QueryModel.uniform(dim=6, low=1.0, high=5.0, rq=4)
+        index = FunctionIndex(points, model, n_indices=100, rng=args.seed)
+        normal = model.sample_normal(args.seed)
+        offset = 0.25 * float(normal @ points.max(axis=0))
+        answer = index.query(normal, offset)
+        print(f"indexed {len(index):,} points with {index.n_indices} Planar indices")
+        print(f"query matched {len(answer):,} points; "
+              f"pruned {answer.stats.pruned_fraction:.1%}")
+        return 0
+    if args.name == "consumption":
+        from repro import ParameterDomain
+        from repro.datasets import consumption
+        from repro.sqlfunc import Table
+
+        dataset = consumption(args.n, rng=args.seed)
+        active, reactive, voltage, current = dataset.points.T
+        table = Table(
+            {"active_power": active, "voltage": voltage, "current": current}
+        )
+        handle = table.create_function_index(
+            "active_power - ? * voltage * current / 1000",
+            [ParameterDomain(low=0.1, high=1.0)],
+            n_indices=50,
+            rng=args.seed,
+        )
+        for threshold in (0.3, 0.6, 0.9):
+            answer = handle.query([threshold])
+            print(f"power factor <= {threshold:.1f}: {len(answer):,} households "
+                  f"({len(answer) / len(table):.1%})")
+        return 0
+    if args.name == "moving":
+        from repro.bench import print_table, run_moving_experiment
+
+        rows = run_moving_experiment(
+            "circular", max(50, args.n // 200), (10.0, 12.5, 15.0), rng=args.seed
+        )
+        print_table("circular moving-object intersection", rows)
+        return 0
+    # learning
+    from repro.learning import ActiveLearner, make_linear_classification
+
+    pool, labels, _, _ = make_linear_classification(args.n, 5, noise=0.03, rng=args.seed)
+    report = ActiveLearner(pool, labels, backend="planar", rng=args.seed).run(10, labels)
+    print(f"active learning: {report.labeled_ids.size} labels -> "
+          f"{report.final_accuracy:.1%} accuracy "
+          f"({report.n_checked_total:,} scalar products)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        print_table,
+        run_moving_experiment,
+        run_query_experiment,
+        run_scalability_experiment,
+        run_selectivity_experiment,
+        run_topk_experiment,
+    )
+    from repro.datasets import load
+
+    if args.experiment == "query":
+        points = load("indp", args.n, args.dim, rng=args.seed).points
+        cell = run_query_experiment(
+            points, rq=args.rq, n_indices=args.indices, rng=args.seed
+        )
+        print_table("query experiment", [cell])
+    elif args.experiment == "topk":
+        points = load("indp", args.n, args.dim, rng=args.seed).points
+        rows = run_topk_experiment(
+            points, (50, 1000), n_indices=args.indices, rng=args.seed
+        )
+        print_table("top-k experiment (Table 3)", rows)
+    elif args.experiment == "selectivity":
+        points = load("indp", args.n, args.dim, rng=args.seed).points
+        rows = run_selectivity_experiment(
+            points, (0.1, 0.25, 0.5, 0.75, 1.0), rq=args.rq,
+            n_indices=args.indices, rng=args.seed,
+        )
+        print_table("selectivity sweep (Fig 11)", rows)
+    elif args.experiment == "moving":
+        rows = run_moving_experiment(
+            "linear", max(50, args.n // 200), (10.0, 12.5, 15.0), rng=args.seed
+        )
+        print_table("moving objects (Fig 14a)", rows)
+    else:  # scalability
+        sizes = (args.n // 4, args.n // 2, args.n)
+        rows = run_scalability_experiment(
+            "indp", sizes, dim=args.dim, rq=args.rq,
+            n_indices=args.indices, rng=args.seed,
+        )
+        print_table("scalability (Fig 12)", rows)
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.bench import print_table
+    from repro.datasets import cmoment, consumption, ctexture, load, table2_characteristics
+
+    if args.name in ("indp", "corr", "anti"):
+        dataset = load(args.name, args.n, args.dim, rng=args.seed)
+    else:
+        factory = {"cmoment": cmoment, "ctexture": ctexture, "consumption": consumption}
+        dataset = factory[args.name](args.n, rng=args.seed)
+    print_table("dataset characteristics", table2_characteristics([dataset]))
+    if args.csv:
+        from repro.datasets.io import save_csv
+
+        path = save_csv(dataset, args.csv)
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_datasets(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

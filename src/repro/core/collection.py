@@ -1,0 +1,332 @@
+"""Multiple Planar indices under one budget (Section 5).
+
+A single Planar index only prunes well when its hyperplanes are nearly
+parallel to the query hyperplane.  Because the exact query normal is
+unknown, the paper maintains ``r`` indices whose normals are sampled
+uniformly from the query-parameter domains (Section 5.2), removes redundant
+(mutually parallel) normals, and picks the best index per query with an
+``O(r d')`` heuristic (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._util import as_rng
+from ..exceptions import IndexBuildError
+from ..geometry.hyperplane import angle_between
+from ..geometry.translation import Translator
+from .domains import QueryModel
+from .feature_store import FeatureStore
+from .planar import PlanarIndex, QueryResult, QueryStats, WorkingQuery
+from .query import ScalarProductQuery
+from .selection import Selector, SelectionStrategy, make_selector
+from .topk import TopKResult
+
+__all__ = ["PlanarIndexCollection", "dedupe_parallel_normals"]
+
+# Two normals closer than this angle (radians) are considered parallel and
+# therefore redundant (Section 5.2).  float64 cannot resolve angles below
+# ~1e-8 near zero (arccos(1 - eps) ~ sqrt(2 eps)), so the tolerance sits
+# safely above that.
+_PARALLEL_TOL = 1e-7
+
+# Verifying one intermediate-interval point costs a few times a
+# sequentially scanned point (scattered gather vs streaming matmul), so
+# once the interval exceeds this fraction of the data a direct scan is the
+# cheaper *exact* plan.  This mirrors a database optimizer preferring a
+# table scan over an unselective index.
+_SCAN_FALLBACK_FRACTION = 0.2
+
+
+def dedupe_parallel_normals(normals: np.ndarray, tol: float = _PARALLEL_TOL) -> np.ndarray:
+    """Drop normals parallel to an earlier one (Section 5.2 redundancy rule).
+
+    Returns the row indices of the kept normals, preserving order.  The
+    check is vectorized: each candidate is compared against all kept unit
+    normals at once (|cos| within float resolution of 1 means parallel).
+    """
+    normals = np.ascontiguousarray(normals, dtype=np.float64)
+    lengths = np.linalg.norm(normals, axis=1, keepdims=True)
+    units = normals / np.where(lengths == 0.0, 1.0, lengths)
+    cos_tol = np.cos(tol)
+    kept: list[int] = []
+    for row in range(normals.shape[0]):
+        if kept:
+            cosines = np.abs(units[kept] @ units[row])
+            if float(cosines.max()) >= cos_tol:
+                continue
+        kept.append(row)
+    return np.asarray(kept, dtype=np.int64)
+
+
+class PlanarIndexCollection:
+    """Budget-``r`` family of Planar indices over one shared feature store.
+
+    Parameters
+    ----------
+    store:
+        Shared feature storage (one copy of ``phi(x)`` for all indices).
+    translator:
+        Octant translator shared by every index; must already have observed
+        the stored features.
+    normals:
+        Index normals, one row per index, in original coordinates.
+        Redundant (parallel) rows are dropped.
+    strategy:
+        Best-index selection strategy (paper default: min-stretch, the
+        volume heuristic used in all its experiments).
+    """
+
+    def __init__(
+        self,
+        store: FeatureStore,
+        translator: Translator,
+        normals: np.ndarray,
+        strategy: SelectionStrategy | str = SelectionStrategy.MIN_STRETCH,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        normals = np.ascontiguousarray(normals, dtype=np.float64)
+        if normals.ndim != 2 or normals.shape[0] == 0:
+            raise IndexBuildError(
+                f"normals must be a non-empty (r, d') matrix, got shape {normals.shape}"
+            )
+        keep = dedupe_parallel_normals(normals)
+        self._store = store
+        self._translator = translator
+        # One matrix product computes every index's keys (Section 4.2's
+        # <c, phi(x)> for all c at once); each index then only sorts.
+        ids, rows = store.get_all()
+        key_matrix = rows @ normals[keep].T
+        self._indices = [
+            PlanarIndex(
+                normals[row],
+                store,
+                translator,
+                precomputed=(ids, key_matrix[:, position]),
+            )
+            for position, row in enumerate(keep)
+        ]
+        self._selector: Selector = make_selector(strategy, rng)
+        self._strategy = SelectionStrategy(strategy)
+        self._refresh_selection_cache()
+
+    def _refresh_selection_cache(self) -> None:
+        """Precompute per-index normal matrices for O(r d') vectorized
+        selection — one numpy expression instead of a Python loop over
+        indices (Section 5.1 requires selection to be dataset-independent
+        and cheap; at Python speeds it must also be loop-free)."""
+        matrix = np.vstack([index.working_normal for index in self._indices])
+        self._working_matrix = matrix
+        self._working_row_min = matrix.min(axis=1)
+        self._working_row_norm = np.linalg.norm(matrix, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_model(
+        cls,
+        store: FeatureStore,
+        translator: Translator,
+        model: QueryModel,
+        budget: int,
+        strategy: SelectionStrategy | str = SelectionStrategy.MIN_STRETCH,
+        rng: np.random.Generator | int | None = None,
+    ) -> "PlanarIndexCollection":
+        """Sample ``budget`` index normals from the query model (Section 5.2)."""
+        if budget <= 0:
+            raise IndexBuildError(f"index budget must be positive, got {budget}")
+        generator = as_rng(rng)
+        normals = model.sample_normals(budget, generator)
+        return cls(store, translator, normals, strategy, generator)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of (non-redundant) indices."""
+        return len(self._indices)
+
+    def __iter__(self) -> Iterator[PlanarIndex]:
+        return iter(self._indices)
+
+    def __getitem__(self, position: int) -> PlanarIndex:
+        return self._indices[position]
+
+    @property
+    def strategy(self) -> SelectionStrategy:
+        """The configured best-index selection strategy."""
+        return self._strategy
+
+    @property
+    def normals(self) -> np.ndarray:
+        """All index normals as an ``(r, d')`` matrix."""
+        return np.vstack([index.normal for index in self._indices])
+
+    def memory_bytes(self) -> int:
+        """Key-structure footprint across all indices (excludes features)."""
+        return sum(index.memory_bytes() for index in self._indices)
+
+    # ------------------------------------------------------------------ #
+    # Query routing
+    # ------------------------------------------------------------------ #
+
+    def working_query(self, query: ScalarProductQuery) -> WorkingQuery:
+        """Transform a query once for use across all indices."""
+        return WorkingQuery.build(query, self._translator)
+
+    def select(self, query: ScalarProductQuery | WorkingQuery) -> PlanarIndex:
+        """The best index for ``query`` under the configured strategy."""
+        wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
+        return self._indices[self._select_position(wq)]
+
+    def _select_position(self, wq: WorkingQuery) -> int:
+        """Vectorized fast paths for the two paper heuristics.
+
+        Equivalent to :func:`~repro.core.selection.select_min_stretch` /
+        ``select_min_angle`` but evaluated as one ``(r, d')`` numpy
+        expression.
+        """
+        if self._strategy is SelectionStrategy.MIN_STRETCH:
+            thresholds = self._working_matrix * (wq.offset_w / wq.normal_w)
+            scores = (
+                thresholds.max(axis=1) - thresholds.min(axis=1)
+            ) / self._working_row_min
+            return int(np.argmin(scores))
+        if self._strategy is SelectionStrategy.MIN_ANGLE:
+            cosines = np.abs(self._working_matrix @ wq.normal_w) / (
+                self._working_row_norm * np.linalg.norm(wq.normal_w)
+            )
+            return int(np.argmax(cosines))
+        return self._selector(self._indices, wq)
+
+    def query(self, query: ScalarProductQuery) -> QueryResult:
+        """Answer an inequality query via the best index (or a scan).
+
+        After best-index selection, a cost-based router checks the size of
+        the intermediate interval: verifying it point-by-point costs a few
+        times a streamed scan per point, so above
+        ``_SCAN_FALLBACK_FRACTION`` of the data the exact answer is
+        computed by one matmul over all live features instead — same
+        answer, better worst case (the paper's "query time gets close to
+        the baseline" regime).  Pruning statistics stay interval-based.
+        """
+        wq = self.working_query(query)
+        best = self._indices[self._select_position(wq)]
+        r_lo, r_hi, n = best.interval_ranks(wq)
+        if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
+            return best.query(wq)
+        ids, values = self._store.scan_values(wq.query.normal)
+        mask = wq.op.evaluate(values, wq.query.offset)
+        result_ids = ids[mask]
+        stats = QueryStats(
+            n_total=n,
+            si_size=r_lo,
+            ii_size=r_hi - r_lo,
+            li_size=n - r_hi,
+            n_verified=n,
+            n_results=int(result_ids.size),
+        )
+        return QueryResult(result_ids, stats)
+
+    def query_batch(self, queries: Sequence[ScalarProductQuery]) -> list[QueryResult]:
+        """Answer many inequality queries, batching the binary searches.
+
+        Queries are grouped by their selected index; each group's interval
+        boundaries come from one vectorized ``searchsorted`` over the
+        group's thresholds, amortizing per-call overhead across the batch.
+        Results are positionally aligned with ``queries`` and identical to
+        per-query :meth:`query` calls (including the cost-based scan
+        routing).
+        """
+        working = [self.working_query(query) for query in queries]
+        groups: dict[int, list[int]] = {}
+        for position, wq in enumerate(working):
+            groups.setdefault(self._select_position(wq), []).append(position)
+
+        results: list[QueryResult | None] = [None] * len(queries)
+        for index_position, members in groups.items():
+            index = self._indices[index_position]
+            lows = np.empty(len(members))
+            highs = np.empty(len(members))
+            for slot, member in enumerate(members):
+                t_lo, t_hi, tol = index._thresholds(working[member])
+                lows[slot] = t_lo - tol
+                highs[slot] = t_hi + tol
+            keys = index._keys.sorted_keys
+            rank_los = np.searchsorted(keys, lows, side="right")
+            rank_his = np.searchsorted(keys, highs, side="right")
+            n = len(index)
+            for slot, member in enumerate(members):
+                wq = working[member]
+                r_lo, r_hi = int(rank_los[slot]), int(rank_his[slot])
+                if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
+                    results[member] = index.finish_query(wq, r_lo, r_hi)
+                    continue
+                ids, values = self._store.scan_values(wq.query.normal)
+                mask = wq.op.evaluate(values, wq.query.offset)
+                result_ids = ids[mask]
+                results[member] = QueryResult(
+                    result_ids,
+                    QueryStats(
+                        n_total=n,
+                        si_size=r_lo,
+                        ii_size=r_hi - r_lo,
+                        li_size=n - r_hi,
+                        n_verified=n,
+                        n_results=int(result_ids.size),
+                    ),
+                )
+        return results  # type: ignore[return-value]
+
+    def topk(self, query: ScalarProductQuery, k: int) -> TopKResult:
+        """Answer a top-k nearest neighbor query via the best index."""
+        wq = self.working_query(query)
+        return self.select(wq).topk(wq, k)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance (Sections 4.2 and 4.4)
+    # ------------------------------------------------------------------ #
+
+    def add_index(self, normal: np.ndarray) -> bool:
+        """Dynamically introduce a new Planar index (skips redundant normals).
+
+        Returns ``True`` when the index was added.  This is the operation
+        the paper recommends for adapting to drifting query domains
+        ("deletion of old indices as well as inclusion of new indices",
+        Section 4.2).
+        """
+        normal = np.ascontiguousarray(normal, dtype=np.float64)
+        for index in self._indices:
+            if angle_between(normal, index.normal) <= _PARALLEL_TOL:
+                return False
+        self._indices.append(PlanarIndex(normal, self._store, self._translator))
+        self._refresh_selection_cache()
+        return True
+
+    def drop_index(self, position: int) -> None:
+        """Remove the index at ``position``; at least one index must remain."""
+        if len(self._indices) <= 1:
+            raise IndexBuildError("cannot drop the last index of a collection")
+        del self._indices[position]
+        self._refresh_selection_cache()
+
+    def rekey(self, ids: np.ndarray, features: np.ndarray) -> None:
+        """Propagate a feature update to every index."""
+        for index in self._indices:
+            index.rekey(ids, features)
+
+    def insert(self, ids: np.ndarray, features: np.ndarray) -> None:
+        """Propagate newly appended points to every index."""
+        for index in self._indices:
+            index.insert(ids, features)
+
+    def delete(self, ids: np.ndarray) -> None:
+        """Propagate deletions to every index."""
+        for index in self._indices:
+            index.delete(ids)

@@ -1,0 +1,252 @@
+"""Conjunctive linear-constraint queries over multiple Planar indices.
+
+The paper's Related Work (Section 2, "Linear constraint queries") notes
+that a search region given by an intersection of half-spaces can be
+answered with multiple Planar indices.  This module implements that idea:
+
+For a conjunction ``AND_j <a_j, phi(x)> OP_j b_j``:
+
+* a point inside *every* constraint's certain-accept interval is accepted
+  without any scalar product,
+* a point inside *any* constraint's certain-reject interval is rejected
+  without any scalar product,
+* the rest are verified — against the cheapest-to-falsify constraint
+  first, so verification short-circuits.
+
+All set algebra happens on sorted-rank intervals and id arrays, never on
+per-point Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+from .collection import PlanarIndexCollection
+from .planar import QueryStats, WorkingQuery
+from .query import ScalarProductQuery
+
+__all__ = [
+    "ConjunctiveQuery",
+    "DisjunctiveQuery",
+    "ConstraintAnswer",
+    "answer_conjunction",
+    "answer_disjunction",
+]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunction (AND) of scalar product constraints."""
+
+    constraints: tuple[ScalarProductQuery, ...]
+
+    def __init__(self, constraints: Sequence[ScalarProductQuery]) -> None:
+        constraints = tuple(constraints)
+        if not constraints:
+            raise InvalidQueryError("a conjunction needs at least one constraint")
+        dims = {c.dim for c in constraints}
+        if len(dims) != 1:
+            raise InvalidQueryError(
+                f"constraints disagree on dimensionality: {sorted(dims)}"
+            )
+        object.__setattr__(self, "constraints", constraints)
+
+    @property
+    def dim(self) -> int:
+        """Feature-space dimensionality shared by all constraints."""
+        return self.constraints[0].dim
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def evaluate(self, features: np.ndarray) -> np.ndarray:
+        """Ground-truth conjunction mask (oracle semantics)."""
+        mask = self.constraints[0].evaluate(features)
+        for constraint in self.constraints[1:]:
+            mask &= constraint.evaluate(features)
+        return mask
+
+
+@dataclass(frozen=True)
+class DisjunctiveQuery:
+    """A disjunction (OR) of scalar product constraints."""
+
+    constraints: tuple[ScalarProductQuery, ...]
+
+    def __init__(self, constraints: Sequence[ScalarProductQuery]) -> None:
+        constraints = tuple(constraints)
+        if not constraints:
+            raise InvalidQueryError("a disjunction needs at least one constraint")
+        dims = {c.dim for c in constraints}
+        if len(dims) != 1:
+            raise InvalidQueryError(
+                f"constraints disagree on dimensionality: {sorted(dims)}"
+            )
+        object.__setattr__(self, "constraints", constraints)
+
+    @property
+    def dim(self) -> int:
+        """Feature-space dimensionality shared by all constraints."""
+        return self.constraints[0].dim
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def evaluate(self, features: np.ndarray) -> np.ndarray:
+        """Ground-truth disjunction mask (oracle semantics)."""
+        mask = self.constraints[0].evaluate(features)
+        for constraint in self.constraints[1:]:
+            mask |= constraint.evaluate(features)
+        return mask
+
+
+@dataclass(frozen=True)
+class ConstraintAnswer:
+    """Result of a conjunctive query with pruning diagnostics."""
+
+    ids: np.ndarray
+    n_verified: int
+    n_total: int
+    per_constraint: tuple[QueryStats, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ids", np.ascontiguousarray(self.ids, dtype=np.int64))
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of points decided purely by interval membership."""
+        if self.n_total == 0:
+            return 1.0
+        return 1.0 - self.n_verified / self.n_total
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+
+def _certain_sets(
+    collection: PlanarIndexCollection, wq: WorkingQuery
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, QueryStats]:
+    """(certain-accept ids, candidate ids, certain-reject ids, stats)."""
+    index = collection.select(wq)
+    r_lo, r_hi, n = index.interval_ranks(wq)
+    keys = index._keys  # sorted-order access shared with the index
+    if wq.op.is_upper_bound:
+        accept = keys.ids_in_rank_range(0, r_lo)
+        reject = keys.ids_in_rank_range(r_hi, n)
+    else:
+        accept = keys.ids_in_rank_range(r_hi, n)
+        reject = keys.ids_in_rank_range(0, r_lo)
+    candidates = keys.ids_in_rank_range(r_lo, r_hi)
+    stats = QueryStats(
+        n_total=n,
+        si_size=r_lo,
+        ii_size=r_hi - r_lo,
+        li_size=n - r_hi,
+        n_verified=0,
+        n_results=0,
+    )
+    return accept, candidates, reject, stats
+
+
+def answer_conjunction(
+    collection: PlanarIndexCollection,
+    query: ConjunctiveQuery,
+    store,
+) -> ConstraintAnswer:
+    """Exact evaluation of a conjunction through one index collection.
+
+    ``store`` is the :class:`~repro.core.FeatureStore` backing the
+    collection (needed to verify undecided points).
+    """
+    working = [collection.working_query(constraint) for constraint in query.constraints]
+    certains = [_certain_sets(collection, wq) for wq in working]
+    n_total = certains[0][3].n_total
+
+    # Certain accept for the conjunction: intersection of per-constraint
+    # accepts.  Certain reject: union of per-constraint rejects.
+    accepted = certains[0][0]
+    for accept, _, _, _ in certains[1:]:
+        accepted = np.intersect1d(accepted, accept, assume_unique=True)
+    rejected = np.unique(np.concatenate([c[2] for c in certains]))
+
+    # Everything neither certainly accepted nor certainly rejected must be
+    # verified; that is the complement of (accepted | rejected).
+    decided = np.union1d(accepted, rejected)
+    all_ids = np.sort(np.asarray(collection[0]._keys.sorted_ids))
+    undecided = np.setdiff1d(all_ids, decided, assume_unique=True)
+
+    n_verified = int(undecided.size)
+    survivors = undecided
+    if survivors.size:
+        feats = store.take_rows(survivors)
+        # Short-circuit: apply the most selective-looking constraint first
+        # (smallest candidate set => likely to kill the most points).
+        order = np.argsort([c[1].size for c in certains])
+        for position in order:
+            constraint = query.constraints[position]
+            mask = constraint.evaluate(feats)
+            survivors = survivors[mask]
+            feats = feats[mask]
+            if survivors.size == 0:
+                break
+
+    ids = np.sort(np.concatenate([accepted, survivors]))
+    return ConstraintAnswer(
+        ids=ids,
+        n_verified=n_verified,
+        n_total=n_total,
+        per_constraint=tuple(c[3] for c in certains),
+    )
+
+
+def answer_disjunction(
+    collection: PlanarIndexCollection,
+    query: DisjunctiveQuery,
+    store,
+) -> ConstraintAnswer:
+    """Exact evaluation of a disjunction (OR) through one index collection.
+
+    De Morgan dual of the conjunction: certain-accept is the *union* of
+    per-constraint accepts, certain-reject the *intersection* of rejects,
+    and undecided points are verified — short-circuiting on the first
+    constraint each point satisfies.
+    """
+    working = [collection.working_query(constraint) for constraint in query.constraints]
+    certains = [_certain_sets(collection, wq) for wq in working]
+    n_total = certains[0][3].n_total
+
+    accepted = np.unique(np.concatenate([c[0] for c in certains]))
+    rejected = certains[0][2]
+    for _, _, reject, _ in certains[1:]:
+        rejected = np.intersect1d(rejected, reject, assume_unique=True)
+
+    decided = np.union1d(accepted, rejected)
+    all_ids = np.sort(np.asarray(collection[0]._keys.sorted_ids))
+    undecided = np.setdiff1d(all_ids, decided, assume_unique=True)
+
+    n_verified = int(undecided.size)
+    satisfied_parts: list[np.ndarray] = []
+    remaining = undecided
+    if remaining.size:
+        feats = store.take_rows(remaining)
+        order = np.argsort([c[1].size for c in certains])
+        for position in order:
+            constraint = query.constraints[position]
+            mask = constraint.evaluate(feats)
+            satisfied_parts.append(remaining[mask])
+            remaining = remaining[~mask]
+            feats = feats[~mask]
+            if remaining.size == 0:
+                break
+
+    ids = np.sort(np.concatenate([accepted, *satisfied_parts]))
+    return ConstraintAnswer(
+        ids=ids,
+        n_verified=n_verified,
+        n_total=n_total,
+        per_constraint=tuple(c[3] for c in certains),
+    )

@@ -1,0 +1,259 @@
+"""Query-parameter domains (Section 4.1) and the randomness-of-query model.
+
+The exact query parameters ``a`` are unknown until query time, but their
+*domains* ``Delta a_i`` are learnable or application-given.  Domains drive
+three things in this library:
+
+* the octant check and translation (Section 4.5),
+* index-normal sampling — each Planar normal component ``c_i`` is drawn
+  uniformly from ``Delta a_i`` (Section 4.2), and
+* the experiments' *randomness of query* knob: ``RQ = |Delta a_i|`` for
+  discrete domains, giving ``RQ^{d'}`` possible query normals (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._util import as_rng
+from ..exceptions import InvalidDomainError
+from ..geometry.octant import octant_from_domains
+
+__all__ = ["ParameterDomain", "QueryModel"]
+
+
+class ParameterDomain:
+    """Domain of a single query parameter ``a_i``.
+
+    Either *discrete* (an explicit value set — the paper's RQ model) or
+    *continuous* (a closed interval).  A domain must not straddle zero so
+    that the query octant is well defined.
+    """
+
+    def __init__(
+        self,
+        low: float | None = None,
+        high: float | None = None,
+        values: Sequence[float] | None = None,
+    ) -> None:
+        if values is not None:
+            if low is not None or high is not None:
+                raise InvalidDomainError("pass either values or (low, high), not both")
+            vals = np.unique(np.asarray(list(values), dtype=np.float64))
+            if vals.size == 0:
+                raise InvalidDomainError("discrete domain must be non-empty")
+            if not np.all(np.isfinite(vals)):
+                raise InvalidDomainError("discrete domain values must be finite")
+            self._values: np.ndarray | None = vals
+            self._low = float(vals[0])
+            self._high = float(vals[-1])
+        else:
+            if low is None or high is None:
+                raise InvalidDomainError("continuous domain needs both low and high")
+            low_f, high_f = float(low), float(high)
+            if not (np.isfinite(low_f) and np.isfinite(high_f)):
+                raise InvalidDomainError("domain bounds must be finite")
+            if low_f > high_f:
+                raise InvalidDomainError(f"empty domain: low {low_f} > high {high_f}")
+            self._values = None
+            self._low = low_f
+            self._high = high_f
+        if self._low < 0.0 < self._high:
+            raise InvalidDomainError(
+                f"domain [{self._low}, {self._high}] straddles zero; split the "
+                "workload by parameter sign (Section 4.5)"
+            )
+        if self._low == 0.0 and self._high == 0.0:
+            raise InvalidDomainError("domain is identically zero (a_i != 0 assumed)")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def discrete_grid(cls, low: float, high: float, count: int) -> "ParameterDomain":
+        """Evenly spaced discrete domain with ``count`` values (the RQ model)."""
+        if count < 1:
+            raise InvalidDomainError(f"count must be >= 1, got {count}")
+        if count == 1:
+            return cls(values=[float(low)])
+        return cls(values=np.linspace(low, high, count))
+
+    @property
+    def low(self) -> float:
+        """Smallest value in the domain."""
+        return self._low
+
+    @property
+    def high(self) -> float:
+        """Largest value in the domain."""
+        return self._high
+
+    @property
+    def is_discrete(self) -> bool:
+        """Whether this domain is an explicit value set."""
+        return self._values is not None
+
+    @property
+    def values(self) -> np.ndarray | None:
+        """The value set for discrete domains (copy), else ``None``."""
+        return None if self._values is None else self._values.copy()
+
+    @property
+    def cardinality(self) -> float:
+        """Number of values for discrete domains; ``inf`` for continuous."""
+        return float(self._values.size) if self._values is not None else float("inf")
+
+    @property
+    def sign(self) -> int:
+        """Common sign of every value in the domain (+1 or -1)."""
+        return 1 if self._high > 0.0 else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._values is not None:
+            return f"ParameterDomain(values={self._values.tolist()})"
+        return f"ParameterDomain(low={self._low}, high={self._high})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParameterDomain):
+            return NotImplemented
+        if self.is_discrete != other.is_discrete:
+            return False
+        if self.is_discrete:
+            return bool(np.array_equal(self._values, other._values))
+        return self._low == other._low and self._high == other._high
+
+    def __hash__(self) -> int:  # dataclass-like identity for caching
+        if self._values is not None:
+            return hash(("discrete", self._values.tobytes()))
+        return hash(("continuous", self._low, self._high))
+
+    # ------------------------------------------------------------------ #
+
+    def contains(self, value: float) -> bool:
+        """Membership test (exact for discrete, interval for continuous)."""
+        if self._values is not None:
+            return bool(np.any(np.isclose(self._values, value, rtol=0.0, atol=1e-12)))
+        return self._low <= value <= self._high
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> float | np.ndarray:
+        """Draw uniformly from the domain."""
+        if self._values is not None:
+            picked = rng.choice(self._values, size=size)
+        else:
+            picked = rng.uniform(self._low, self._high, size=size)
+        if size is None:
+            return float(picked)
+        return np.asarray(picked, dtype=np.float64)
+
+    def widened(self, value: float) -> "ParameterDomain":
+        """A domain that additionally covers ``value`` (for drift adaptation).
+
+        Discrete domains gain the value; continuous domains stretch a bound.
+        The result must still not straddle zero.
+        """
+        if self.contains(value):
+            return self
+        if self._values is not None:
+            return ParameterDomain(values=np.append(self._values, float(value)))
+        return ParameterDomain(low=min(self._low, float(value)), high=max(self._high, float(value)))
+
+
+class QueryModel:
+    """Joint model of a workload's query normals: one domain per axis.
+
+    This is what the application hands the index ahead of time.  It knows
+    how to sample index normals (Section 5.2), how to sample plausible
+    queries (for workload generation and self-tuning), and which octant the
+    workload's hyperplanes cross (Section 4.5).
+    """
+
+    def __init__(self, domains: Sequence[ParameterDomain]) -> None:
+        self._domains = tuple(domains)
+        if not self._domains:
+            raise InvalidDomainError("QueryModel needs at least one parameter domain")
+        for i, dom in enumerate(self._domains):
+            if not isinstance(dom, ParameterDomain):
+                raise InvalidDomainError(f"domain {i} is not a ParameterDomain: {dom!r}")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def uniform(cls, dim: int, low: float, high: float, rq: int | None = None) -> "QueryModel":
+        """Same domain on every axis; discrete with ``rq`` values when given.
+
+        This is exactly the experimental setup of Section 7.1: each ``a_i``
+        uniformly selected from a size-``RQ`` grid over ``(low, high)``.
+        """
+        if rq is None:
+            domain = ParameterDomain(low=low, high=high)
+        else:
+            domain = ParameterDomain.discrete_grid(low, high, rq)
+        return cls([domain] * dim)
+
+    @property
+    def dim(self) -> int:
+        """Feature-space dimensionality ``d'``."""
+        return len(self._domains)
+
+    @property
+    def domains(self) -> tuple[ParameterDomain, ...]:
+        """The per-axis domains."""
+        return self._domains
+
+    @property
+    def randomness(self) -> float:
+        """The RQ value when all domains are discrete with equal cardinality."""
+        cards = {dom.cardinality for dom in self._domains}
+        if len(cards) == 1:
+            return cards.pop()
+        return float("nan")
+
+    @property
+    def normal_space_size(self) -> float:
+        """Number of possible query normals (``prod |Delta a_i|``)."""
+        total = 1.0
+        for dom in self._domains:
+            total *= dom.cardinality
+        return total
+
+    def lows(self) -> np.ndarray:
+        """Per-axis lower bounds."""
+        return np.array([dom.low for dom in self._domains], dtype=np.float64)
+
+    def highs(self) -> np.ndarray:
+        """Per-axis upper bounds."""
+        return np.array([dom.high for dom in self._domains], dtype=np.float64)
+
+    def octant(self) -> np.ndarray:
+        """Octant sign vector crossed by every hyperplane in this workload."""
+        return octant_from_domains(self.lows(), self.highs())
+
+    def sample_normal(self, rng_or_seed: np.random.Generator | int | None = None) -> np.ndarray:
+        """Draw one query/index normal: each axis uniformly from its domain."""
+        rng = as_rng(rng_or_seed)
+        return np.array([dom.sample(rng) for dom in self._domains], dtype=np.float64)
+
+    def sample_normals(self, count: int, rng_or_seed: np.random.Generator | int | None = None) -> np.ndarray:
+        """Draw ``count`` normals as a ``(count, d')`` matrix."""
+        rng = as_rng(rng_or_seed)
+        cols = [dom.sample(rng, size=count) for dom in self._domains]
+        return np.column_stack(cols)
+
+    def contains(self, normal: np.ndarray) -> bool:
+        """Whether every component of ``normal`` lies in its axis domain."""
+        normal = np.asarray(normal, dtype=np.float64)
+        if normal.shape != (self.dim,):
+            return False
+        return all(dom.contains(float(v)) for dom, v in zip(self._domains, normal))
+
+    def widened(self, normal: np.ndarray) -> "QueryModel":
+        """Model whose domains additionally cover ``normal`` (drift update)."""
+        normal = np.asarray(normal, dtype=np.float64)
+        if normal.shape != (self.dim,):
+            raise InvalidDomainError(
+                f"normal has shape {normal.shape}, model has dim {self.dim}"
+            )
+        return QueryModel(
+            [dom.widened(float(v)) for dom, v in zip(self._domains, normal)]
+        )

@@ -1,0 +1,442 @@
+"""User-facing facade: index a function over data points (the paper's title).
+
+:class:`FunctionIndex` owns the whole pipeline of the paper:
+
+* apply the application-specific function ``phi`` to the raw data points,
+* derive the working octant from the query-parameter domains and translate
+  (Section 4.5),
+* maintain a budget of Planar indices sampled from those domains
+  (Section 5.2),
+* route each incoming query through best-index selection (Section 5.1) to
+  Algorithm 1 / Algorithm 2,
+* keep everything consistent under dynamic point updates, inserts, and
+  deletes (Section 4.4).
+
+Queries whose parameters fall outside the indexed octant cannot use the
+interval argument; by default they transparently fall back to a sequential
+scan (and are flagged as such in the answer) instead of failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_2d_float, as_rng
+from ..exceptions import DimensionMismatchError, InvalidQueryError
+from ..geometry.translation import Translator
+from .collection import PlanarIndexCollection
+from .domains import QueryModel
+from .feature_store import FeatureStore
+from .phi import FeatureMap, identity_map
+from .planar import QueryStats
+from .query import Comparison, ScalarProductQuery
+from .selection import SelectionStrategy
+from .topk import TopKResult
+
+__all__ = ["FunctionIndex", "QueryAnswer"]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """Answer to an inequality query through the facade.
+
+    ``stats`` is ``None`` (and ``used_fallback`` True) when the query could
+    not use the Planar machinery and was answered by a sequential scan.
+    """
+
+    ids: np.ndarray
+    stats: QueryStats | None
+    used_fallback: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ids", np.ascontiguousarray(self.ids, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+
+class FunctionIndex:
+    """Planar-indexed evaluation of ``<a, phi(x)> OP b`` queries.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` raw data points.
+    query_model:
+        Per-axis domains of the query parameters ``a`` (Section 4.1); also
+        determines the working octant and the index-normal distribution.
+    feature_map:
+        The indexed function ``phi``; identity by default (half-space
+        search).
+    n_indices:
+        Index budget ``r`` (Section 5.2).  Ignored when ``normals`` is
+        given.
+    normals:
+        Optional explicit ``(r, d')`` index normals instead of sampling
+        from the query model — e.g. the MOVIES-style per-time-slot normals
+        of the moving-object application (Section 7.5.1).
+    strategy:
+        Best-index heuristic (paper default: min-stretch / volume).
+    scan_fallback:
+        Answer octant-incompatible queries by scanning instead of raising.
+    margin:
+        Translation slack forwarded to :class:`Translator`.
+    rng:
+        Seed or generator for index-normal sampling.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        query_model: QueryModel,
+        feature_map: FeatureMap | None = None,
+        n_indices: int = 10,
+        normals: np.ndarray | None = None,
+        strategy: SelectionStrategy | str = SelectionStrategy.MIN_STRETCH,
+        scan_fallback: bool = True,
+        margin: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        pts = as_2d_float(points, "points")
+        if feature_map is None:
+            feature_map = identity_map(pts.shape[1])
+        if feature_map.in_dim != pts.shape[1]:
+            raise DimensionMismatchError(
+                f"points have dimension {pts.shape[1]}, feature map expects "
+                f"{feature_map.in_dim}"
+            )
+        if query_model.dim != feature_map.out_dim:
+            raise DimensionMismatchError(
+                f"query model has dimension {query_model.dim}, feature map "
+                f"produces {feature_map.out_dim}"
+            )
+        self._phi = feature_map
+        self._model = query_model
+        self._scan_fallback = bool(scan_fallback)
+        self._rng = as_rng(rng)
+
+        self._points = FeatureStore(pts)
+        features = feature_map(pts)
+        self._features = FeatureStore(features)
+        self._translator = Translator(query_model.octant(), margin=margin)
+        self._translator.observe(features)
+        if normals is not None:
+            self._collection = PlanarIndexCollection(
+                self._features, self._translator, normals, strategy, self._rng
+            )
+        else:
+            self._collection = PlanarIndexCollection.from_model(
+                self._features,
+                self._translator,
+                query_model,
+                n_indices,
+                strategy,
+                self._rng,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of live indexed points."""
+        return len(self._features)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FunctionIndex(n={len(self)}, d={self._phi.in_dim}, "
+            f"d'={self._phi.out_dim}, r={self.n_indices})"
+        )
+
+    @property
+    def feature_map(self) -> FeatureMap:
+        """The indexed function ``phi``."""
+        return self._phi
+
+    @property
+    def query_model(self) -> QueryModel:
+        """The configured query-parameter domains."""
+        return self._model
+
+    @property
+    def collection(self) -> PlanarIndexCollection:
+        """The underlying Planar index collection."""
+        return self._collection
+
+    @property
+    def translator(self) -> Translator:
+        """The shared octant translator."""
+        return self._translator
+
+    @property
+    def n_indices(self) -> int:
+        """Number of live Planar indices."""
+        return len(self._collection)
+
+    def memory_bytes(self) -> int:
+        """Footprint of features, raw points, and all key structures."""
+        return (
+            self._features.memory_bytes()
+            + self._points.memory_bytes()
+            + self._collection.memory_bytes()
+        )
+
+    def get_points(self, ids: np.ndarray) -> np.ndarray:
+        """Raw data points for the given ids."""
+        return self._points.get(ids)
+
+    def get_features(self, ids: np.ndarray) -> np.ndarray:
+        """Feature vectors ``phi(x)`` for the given ids."""
+        return self._features.get(ids)
+
+    def live_ids(self) -> np.ndarray:
+        """All live point ids."""
+        return self._features.live_ids()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def _scan(self, query: ScalarProductQuery) -> np.ndarray:
+        ids, rows = self._features.get_all()
+        mask = query.evaluate(rows)
+        return np.sort(ids[mask])
+
+    def query(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> QueryAnswer:
+        """Answer the inequality query ``<normal, phi(x)> OP offset`` exactly."""
+        spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
+        if spq.dim != self._phi.out_dim:
+            raise DimensionMismatchError(
+                f"query has dimension {spq.dim}, feature space has {self._phi.out_dim}"
+            )
+        try:
+            result = self._collection.query(spq)
+        except InvalidQueryError:
+            if not self._scan_fallback:
+                raise
+            return QueryAnswer(self._scan(spq), None, True)
+        return QueryAnswer(result.ids, result.stats, False)
+
+    def query_range(
+        self,
+        normal: np.ndarray,
+        low: float,
+        high: float,
+    ) -> QueryAnswer:
+        """Exact BETWEEN query: ``low <= <normal, phi(x)> <= high``.
+
+        Served by a single Planar index pass over both thresholds (see
+        :meth:`PlanarIndex.query_range`); falls back to a scan for
+        octant-incompatible normals.
+        """
+        if not low <= high:
+            raise InvalidQueryError(f"empty range ({low}, {high})")
+        low_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), low, ">=")
+        high_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), high, "<=")
+        if low_q.dim != self._phi.out_dim:
+            raise DimensionMismatchError(
+                f"query has dimension {low_q.dim}, feature space has {self._phi.out_dim}"
+            )
+        try:
+            wq_low = self._collection.working_query(low_q)
+            wq_high = self._collection.working_query(high_q)
+        except InvalidQueryError:
+            if not self._scan_fallback:
+                raise
+            ids, rows = self._features.get_all()
+            values = rows @ low_q.normal
+            mask = (values >= low) & (values <= high)
+            return QueryAnswer(np.sort(ids[mask]), None, True)
+        index = self._collection.select(wq_high)
+        result = index.query_range(wq_low, wq_high)
+        return QueryAnswer(result.ids, result.stats, False)
+
+    def query_batch(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[QueryAnswer]:
+        """Answer a batch of inequality queries sharing one operator.
+
+        ``normals`` is ``(m, d')`` and ``offsets`` has length ``m``.
+        Binary searches are batched per selected index (see
+        :meth:`PlanarIndexCollection.query_batch`); octant-incompatible
+        queries fall back to scans individually.
+        """
+        normals = as_2d_float(normals, "normals")
+        offsets = np.ascontiguousarray(offsets, dtype=np.float64)
+        if offsets.ndim != 1 or offsets.size != normals.shape[0]:
+            raise DimensionMismatchError(
+                f"{offsets.size} offsets for {normals.shape[0]} normals"
+            )
+        queries = [
+            ScalarProductQuery(normals[row], float(offsets[row]), op)
+            for row in range(normals.shape[0])
+        ]
+        plannable: list[int] = []
+        answers: list[QueryAnswer | None] = [None] * len(queries)
+        for position, spq in enumerate(queries):
+            try:
+                self._collection.working_query(spq)
+            except InvalidQueryError:
+                if not self._scan_fallback:
+                    raise
+                answers[position] = QueryAnswer(self._scan(spq), None, True)
+                continue
+            plannable.append(position)
+        if plannable:
+            results = self._collection.query_batch([queries[p] for p in plannable])
+            for position, result in zip(plannable, results):
+                answers[position] = QueryAnswer(result.ids, result.stats, False)
+        return answers  # type: ignore[return-value]
+
+    def topk(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> TopKResult:
+        """Top-k satisfying points nearest the query hyperplane (Problem 2)."""
+        spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
+        if spq.dim != self._phi.out_dim:
+            raise DimensionMismatchError(
+                f"query has dimension {spq.dim}, feature space has {self._phi.out_dim}"
+            )
+        try:
+            return self._collection.topk(spq, k)
+        except InvalidQueryError:
+            if not self._scan_fallback:
+                raise
+            from ..scan.baseline import SequentialScan
+
+            ids, rows = self._features.get_all()
+            return SequentialScan(rows, ids).topk(spq, k)
+
+    def explain(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> dict[str, object]:
+        """EXPLAIN-style plan for a query, without executing it.
+
+        Returns the selected index (position and normal), the interval
+        sizes the plan is based on, and the route the executor would take:
+        ``"intervals"`` (pruned evaluation), ``"scan"`` (cost-based
+        fallback for an unselective index), or ``"octant-fallback"``
+        (parameter signs incompatible with the indexed octant).
+        """
+        from .collection import _SCAN_FALLBACK_FRACTION
+
+        spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
+        try:
+            wq = self._collection.working_query(spq)
+        except InvalidQueryError as exc:
+            return {
+                "route": "octant-fallback",
+                "reason": str(exc),
+                "n_total": len(self),
+            }
+        position = self._collection._select_position(wq)
+        index = self._collection[position]
+        r_lo, r_hi, n = index.interval_ranks(wq)
+        intermediate = r_hi - r_lo
+        route = (
+            "scan" if intermediate > _SCAN_FALLBACK_FRACTION * n else "intervals"
+        )
+        return {
+            "route": route,
+            "strategy": self._collection.strategy.value,
+            "index_position": position,
+            "index_normal": index.normal.copy(),
+            "si_size": r_lo,
+            "ii_size": intermediate,
+            "li_size": n - r_hi,
+            "n_total": n,
+            "expected_verified": n if route == "scan" else intermediate,
+        }
+
+    def query_disjunction(self, constraints) -> "ConstraintAnswer":
+        """Exact disjunction (OR) of scalar product constraints.
+
+        Same input conventions as :meth:`query_conjunction`.
+        """
+        from .constraints import DisjunctiveQuery, answer_disjunction
+
+        built = []
+        for constraint in constraints:
+            if isinstance(constraint, ScalarProductQuery):
+                built.append(constraint)
+            else:
+                built.append(ScalarProductQuery(*constraint))
+        return answer_disjunction(
+            self._collection, DisjunctiveQuery(built), self._features
+        )
+
+    def query_conjunction(self, constraints) -> "ConstraintAnswer":
+        """Exact conjunction (AND) of scalar product constraints.
+
+        ``constraints`` is a sequence of ``(normal, offset)`` or
+        ``(normal, offset, op)`` tuples, or ready
+        :class:`~repro.core.query.ScalarProductQuery` objects.  See
+        :mod:`repro.core.constraints` for the multi-index evaluation.
+        """
+        from .constraints import ConjunctiveQuery, answer_conjunction
+
+        built = []
+        for constraint in constraints:
+            if isinstance(constraint, ScalarProductQuery):
+                built.append(constraint)
+            else:
+                built.append(ScalarProductQuery(*constraint))
+        return answer_conjunction(
+            self._collection, ConjunctiveQuery(built), self._features
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dynamic maintenance (Section 4.4)
+    # ------------------------------------------------------------------ #
+
+    def update_points(self, ids: np.ndarray, new_points: np.ndarray) -> None:
+        """Change the raw values of existing points and re-key every index."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        new_points = as_2d_float(new_points, "new_points")
+        features = self._phi(new_points)
+        # Growing the translator first keeps Claim 1 valid for the new
+        # extremes; stored keys are translation-invariant so no rebuild.
+        self._translator.observe(features)
+        self._points.update(ids, new_points)
+        self._features.update(ids, features)
+        self._collection.rekey(ids, features)
+
+    def insert_points(self, new_points: np.ndarray) -> np.ndarray:
+        """Add new data points; returns their assigned ids."""
+        new_points = as_2d_float(new_points, "new_points")
+        features = self._phi(new_points)
+        self._translator.observe(features)
+        point_ids = self._points.append(new_points)
+        feature_ids = self._features.append(features)
+        if not np.array_equal(point_ids, feature_ids):  # pragma: no cover
+            raise RuntimeError("point/feature stores diverged")
+        self._collection.insert(feature_ids, features)
+        return feature_ids
+
+    def delete_points(self, ids: np.ndarray) -> None:
+        """Remove points from the index."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        self._collection.delete(ids)
+        self._features.delete(ids)
+        self._points.delete(ids)
+
+    def add_index(self, normal: np.ndarray) -> bool:
+        """Dynamically add one more Planar index (Section 4.2 adaptation)."""
+        return self._collection.add_index(normal)

@@ -1,0 +1,131 @@
+"""Saving and loading a :class:`FunctionIndex` to/from disk.
+
+A persisted index is a single ``.npz`` archive holding the raw points, the
+index normals, the translator state, and a JSON-encoded metadata blob
+(query-model domains, strategy, feature-map identifier).  Feature maps are
+code, not data: built-in maps (identity / product / polynomial and the
+compiled SQL forms) round-trip automatically; custom callables must be
+re-supplied at load time.
+
+The archive stores *inputs*, not the derived sorted orders — rebuilding the
+key arrays on load is O(n log n) per index (seconds), dominated by I/O for
+realistic sizes, and keeps the format trivially stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ReproError
+from .domains import ParameterDomain, QueryModel
+from .function_index import FunctionIndex
+from .phi import FeatureMap, identity_map, product_map
+
+__all__ = ["save_index", "load_index", "PersistenceError"]
+
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """The archive is malformed, or a custom feature map was not supplied."""
+
+
+def _domain_to_json(domain: ParameterDomain) -> dict:
+    if domain.is_discrete:
+        return {"values": domain.values.tolist()}
+    return {"low": domain.low, "high": domain.high}
+
+
+def _domain_from_json(blob: dict) -> ParameterDomain:
+    if "values" in blob:
+        return ParameterDomain(values=blob["values"])
+    return ParameterDomain(low=blob["low"], high=blob["high"])
+
+
+def _feature_map_to_json(fmap: FeatureMap) -> dict:
+    kind = getattr(fmap, "_persist_kind", None)
+    if kind is not None:
+        return dict(kind)
+    # Identity maps are recognizable structurally.
+    if fmap.in_dim == fmap.out_dim and all(
+        name == f"x_{i}" for i, name in enumerate(fmap.names)
+    ):
+        return {"type": "identity", "dim": fmap.in_dim}
+    return {"type": "custom", "in_dim": fmap.in_dim, "out_dim": fmap.out_dim}
+
+
+def _feature_map_from_json(blob: dict, supplied: FeatureMap | None) -> FeatureMap:
+    kind = blob.get("type")
+    if kind == "identity":
+        return identity_map(int(blob["dim"]))
+    if kind == "product":
+        return product_map(int(blob["in_dim"]), [tuple(t) for t in blob["terms"]])
+    if supplied is None:
+        raise PersistenceError(
+            "this index was built with a custom feature map; pass feature_map= "
+            "when loading"
+        )
+    if (supplied.in_dim, supplied.out_dim) != (blob["in_dim"], blob["out_dim"]):
+        raise PersistenceError(
+            f"supplied feature map is {supplied.in_dim}->{supplied.out_dim}, "
+            f"archive expects {blob['in_dim']}->{blob['out_dim']}"
+        )
+    return supplied
+
+
+def save_index(index: FunctionIndex, path: str | Path) -> Path:
+    """Persist ``index`` (live points, normals, domains) to ``path``.
+
+    Returns the written path (``.npz`` appended if missing).
+    """
+    path = Path(path)
+    ids = index.live_ids()
+    points = index.get_points(ids)
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "strategy": index.collection.strategy.value,
+        "domains": [_domain_to_json(d) for d in index.query_model.domains],
+        "feature_map": _feature_map_to_json(index.feature_map),
+    }
+    np.savez_compressed(
+        path,
+        points=points,
+        normals=index.collection.normals,
+        octant=index.translator.octant,
+        delta=index.translator.delta,
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_index(path: str | Path, feature_map: FeatureMap | None = None) -> FunctionIndex:
+    """Rebuild a :class:`FunctionIndex` from a :func:`save_index` archive."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            points = archive["points"]
+            normals = archive["normals"]
+            delta = archive["delta"]
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"cannot read index archive {path}: {exc}") from exc
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported archive version {metadata.get('format_version')!r}"
+        )
+    model = QueryModel([_domain_from_json(d) for d in metadata["domains"]])
+    fmap = _feature_map_from_json(metadata["feature_map"], feature_map)
+    index = FunctionIndex(
+        points,
+        model,
+        feature_map=fmap,
+        normals=normals,
+        strategy=metadata["strategy"],
+    )
+    # Restore the translator's accumulated delta so previously observed
+    # extremes stay covered even if those points were since deleted.
+    index.translator.observe(-np.abs(delta)[None, :] * index.translator.octant)
+    return index

@@ -1,0 +1,94 @@
+"""Best-index selection at query time (Section 5.1).
+
+Given ``r`` Planar indices and one query, pick — in ``O(r d')`` time,
+independent of the dataset size — the index expected to minimize the
+intermediate interval:
+
+* :func:`select_min_stretch` — the volume-minimization heuristic
+  (Section 5.1.1, Problem 3): minimize the maximum stretch of the
+  intermediate interval along any axis.  The paper reports this usually
+  wins and uses it for all experiments.
+* :func:`select_min_angle` — the angle-minimization heuristic
+  (Section 5.1.2): maximize ``|cos|`` between the query normal and the
+  index normal.
+* :func:`select_random` — ablation baseline: ignore the query entirely.
+
+Both paper heuristics pick the parallel index whenever one exists
+(Corollary 1): a parallel index has zero stretch and ``|cos| = 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._util import as_rng
+from ..exceptions import IndexBuildError
+from .planar import PlanarIndex, WorkingQuery
+
+__all__ = [
+    "SelectionStrategy",
+    "select_min_stretch",
+    "select_min_angle",
+    "select_random",
+    "make_selector",
+]
+
+Selector = Callable[[Sequence[PlanarIndex], WorkingQuery], int]
+
+
+class SelectionStrategy(enum.Enum):
+    """Named best-index selection strategies."""
+
+    MIN_STRETCH = "min_stretch"
+    MIN_ANGLE = "min_angle"
+    RANDOM = "random"
+
+
+def _require_indices(indices: Sequence[PlanarIndex]) -> None:
+    if not indices:
+        raise IndexBuildError("cannot select from an empty index collection")
+
+
+def select_min_stretch(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
+    """Index position minimizing the maximum intermediate-interval stretch."""
+    _require_indices(indices)
+    scores = [index.max_stretch(wq) for index in indices]
+    return int(np.argmin(scores))
+
+
+def select_min_angle(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
+    """Index position minimizing the angle to the query hyperplane."""
+    _require_indices(indices)
+    scores = [index.angle_cosine(wq) for index in indices]
+    return int(np.argmax(scores))
+
+
+def select_random(
+    indices: Sequence[PlanarIndex],
+    wq: WorkingQuery,
+    rng: np.random.Generator | int | None = None,
+) -> int:
+    """Ablation baseline: uniformly random index, blind to the query."""
+    _require_indices(indices)
+    return int(as_rng(rng).integers(0, len(indices)))
+
+
+def make_selector(
+    strategy: SelectionStrategy | str,
+    rng: np.random.Generator | int | None = None,
+) -> Selector:
+    """Build a selector callable for a strategy name.
+
+    The random strategy captures its own RNG so repeated calls vary while
+    remaining reproducible from a seed.
+    """
+    strategy = SelectionStrategy(strategy)
+    if strategy is SelectionStrategy.MIN_STRETCH:
+        return select_min_stretch
+    if strategy is SelectionStrategy.MIN_ANGLE:
+        return select_min_angle
+    generator = as_rng(rng)
+    return lambda indices, wq: select_random(indices, wq, generator)

@@ -1,0 +1,198 @@
+"""The sorted key list ``L`` at the heart of a Planar index (Section 4.2).
+
+One Planar index keeps, for every data point ``x``, the scalar key
+``<c, phi(x)>`` and maintains all keys in ascending order.  Queries binary
+search this order (Eq. 7); dynamic workloads update, insert, and delete
+entries (Section 4.4).
+
+The store maps *external point ids* (arbitrary nonnegative integers chosen
+by the caller) to keys, so the same ids can be shared across the multiple
+indices of a collection and across the raw-point storage of the facade.
+
+Implementation notes
+--------------------
+Keys live in a contiguous ``float64`` array for O(log n) binary search and
+vectorized slicing, which is what makes pruned query processing fast in
+numpy.  All mutations are vectorized (``numpy.isin`` membership, one merge
+per batch) — O(n + b log b) per batch of ``b`` changes, the array-backed
+sorted-list trade-off (the paper's O(log n) per change assumes a balanced
+tree; the asymptotic *query* complexity is identical).  An id -> key map
+for point lookups is materialized lazily and invalidated by mutations, so
+index construction and batch maintenance never pay for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_1d_float
+from ..exceptions import DimensionMismatchError
+
+__all__ = ["SortedKeyStore"]
+
+
+class SortedKeyStore:
+    """Ascending key order over ``(point id, key)`` pairs with dynamic updates."""
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        ids: np.ndarray | None = None,
+        trusted: bool = False,
+    ) -> None:
+        """``trusted=True`` skips finiteness/uniqueness validation — used by
+        bulk index construction where the same vetted id array backs many
+        sibling indices (validation would otherwise dominate build time)."""
+        keys = as_1d_float(keys, "keys")
+        if not trusted and not np.all(np.isfinite(keys)):
+            raise ValueError("keys must be finite")
+        if ids is None:
+            ids = np.arange(keys.size, dtype=np.int64)
+        else:
+            ids = np.ascontiguousarray(ids, dtype=np.int64)
+            if ids.ndim != 1:
+                raise DimensionMismatchError(f"ids must be 1-D, got shape {ids.shape}")
+            if ids.size != keys.size:
+                raise DimensionMismatchError(f"{ids.size} ids for {keys.size} keys")
+            if not trusted and np.unique(ids).size != ids.size:
+                raise ValueError("ids must be unique")
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._ids = ids[order]
+        # id -> key map, built lazily on first lookup and invalidated by
+        # mutations: queries and maintenance never need it.
+        self._key_map: dict[int, float] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def __contains__(self, point_id: int) -> bool:
+        return int(point_id) in self._lookup()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SortedKeyStore(n={len(self)})"
+
+    def _lookup(self) -> dict[int, float]:
+        if self._key_map is None:
+            self._key_map = {
+                int(i): float(k) for i, k in zip(self._ids, self._keys)
+            }
+        return self._key_map
+
+    @property
+    def sorted_keys(self) -> np.ndarray:
+        """Keys in ascending order (read-only view)."""
+        view = self._keys.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def sorted_ids(self) -> np.ndarray:
+        """Point ids in ascending key order (read-only view)."""
+        view = self._ids.view()
+        view.setflags(write=False)
+        return view
+
+    def key_of(self, point_id: int) -> float:
+        """The key currently stored for ``point_id``."""
+        return self._lookup()[int(point_id)]
+
+    def memory_bytes(self) -> int:
+        """Approximate heap footprint of the key structures (O(n))."""
+        # The lazily built id->key dict roughly triples the array cost in
+        # CPython; count it only once materialized.
+        dict_overhead = 100 * len(self._key_map) if self._key_map is not None else 0
+        return int(self._keys.nbytes + self._ids.nbytes + dict_overhead)
+
+    # ------------------------------------------------------------------ #
+    # Binary search (Eq. 7)
+    # ------------------------------------------------------------------ #
+
+    def rank_le(self, threshold: float) -> int:
+        """Number of entries with key <= threshold — the paper's ``Small(i)+1``."""
+        return int(np.searchsorted(self._keys, threshold, side="right"))
+
+    def rank_lt(self, threshold: float) -> int:
+        """Number of entries with key < threshold."""
+        return int(np.searchsorted(self._keys, threshold, side="left"))
+
+    def ids_in_rank_range(self, start: int, stop: int) -> np.ndarray:
+        """Point ids at sorted positions ``[start, stop)``."""
+        return self._ids[start:stop]
+
+    def keys_in_rank_range(self, start: int, stop: int) -> np.ndarray:
+        """Keys at sorted positions ``[start, stop)``."""
+        return self._keys[start:stop]
+
+    # ------------------------------------------------------------------ #
+    # Dynamic maintenance (Section 4.4) — all vectorized
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _validate_batch(point_ids: np.ndarray, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        point_ids = np.ascontiguousarray(point_ids, dtype=np.int64)
+        keys = as_1d_float(keys, "keys")
+        if point_ids.size != keys.size:
+            raise DimensionMismatchError(f"{point_ids.size} ids for {keys.size} keys")
+        if point_ids.size and not np.all(np.isfinite(keys)):
+            raise ValueError("keys must be finite")
+        if np.unique(point_ids).size != point_ids.size:
+            raise ValueError("batch ids must be unique")
+        return point_ids, keys
+
+    def _merge_in(self, add_ids: np.ndarray, add_keys: np.ndarray) -> None:
+        order = np.argsort(add_keys, kind="stable")
+        add_keys = add_keys[order]
+        add_ids = add_ids[order]
+        positions = np.searchsorted(self._keys, add_keys, side="right")
+        self._keys = np.insert(self._keys, positions, add_keys)
+        self._ids = np.insert(self._ids, positions, add_ids)
+
+    def _remove(self, point_ids: np.ndarray, context: str) -> None:
+        present = np.isin(point_ids, self._ids)
+        if not np.all(present):
+            missing = point_ids[~present][:5].tolist()
+            raise KeyError(f"unknown point ids in {context}: {missing}")
+        keep = ~np.isin(self._ids, point_ids)
+        self._keys = self._keys[keep]
+        self._ids = self._ids[keep]
+
+    def update(self, point_id: int, new_key: float) -> None:
+        """Re-key one point, preserving sorted order (Section 4.4 update)."""
+        self.update_batch(
+            np.array([point_id], dtype=np.int64), np.array([float(new_key)])
+        )
+
+    def update_batch(self, point_ids: np.ndarray, new_keys: np.ndarray) -> None:
+        """Re-key many points with one remove + one merge pass."""
+        point_ids, new_keys = self._validate_batch(point_ids, new_keys)
+        if point_ids.size == 0:
+            return
+        self._remove(point_ids, "update")
+        self._merge_in(point_ids, new_keys)
+        self._key_map = None
+
+    def insert(self, point_ids: np.ndarray, keys: np.ndarray) -> None:
+        """Add new points to the index order."""
+        point_ids, keys = self._validate_batch(point_ids, keys)
+        if point_ids.size == 0:
+            return
+        clashes = point_ids[np.isin(point_ids, self._ids)]
+        if clashes.size:
+            raise ValueError(f"point ids already present: {clashes[:5].tolist()}")
+        self._merge_in(point_ids, keys)
+        self._key_map = None
+
+    def delete(self, point_ids: np.ndarray) -> None:
+        """Remove points from the index order."""
+        point_ids = np.ascontiguousarray(point_ids, dtype=np.int64)
+        if point_ids.size == 0:
+            return
+        if np.unique(point_ids).size != point_ids.size:
+            raise ValueError("delete ids must be unique")
+        self._remove(point_ids, "delete")
+        self._key_map = None

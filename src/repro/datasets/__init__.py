@@ -1,0 +1,35 @@
+"""Datasets and query workloads of the paper's evaluation (Section 7.1).
+
+Three synthetic families follow the skyline-operator generator of
+Börzsönyi et al. (*Indp*, *Corr*, *Anti*); three "real-world" datasets are
+simulated with the published cardinality, dimensionality, value ranges, and
+plausible correlation structure (*CMoment*, *CTexture*, *Consumption*) —
+see DESIGN.md for the substitution rationale.  The workload module builds
+the Eq. 18 scalar product queries with the randomness-of-query (RQ) knob.
+"""
+
+from .realworld import cmoment, consumption, ctexture
+from .synthetic import (
+    Dataset,
+    anticorrelated,
+    correlated,
+    independent,
+    load,
+    table2_characteristics,
+)
+from .workloads import Workload, consumption_workload, eq18_offset
+
+__all__ = [
+    "Dataset",
+    "Workload",
+    "anticorrelated",
+    "cmoment",
+    "consumption",
+    "consumption_workload",
+    "correlated",
+    "ctexture",
+    "eq18_offset",
+    "independent",
+    "load",
+    "table2_characteristics",
+]

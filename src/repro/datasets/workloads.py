@@ -1,0 +1,158 @@
+"""Query workloads of the evaluation (Section 7.1).
+
+Two workload shapes drive all of the paper's experiments:
+
+* the **generalized scalar product query** of Eq. 18 over the synthetic and
+  image datasets::
+
+      sum_i a_i x_i  <=  s * sum_i a_i max(i)
+
+  where each ``a_i`` is drawn from a size-RQ discrete domain, ``max(i)`` is
+  the per-dimension data maximum, and ``s`` is the *inequality parameter*
+  (default 0.25, swept in Figure 11), and
+
+* the **Critical_Consume SQL function** of Example 1 over the consumption
+  data: ``active_power - threshold * voltage * current <= 0`` with 900
+  threshold values in (0.100, 1.000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_2d_float, as_rng
+from ..core.domains import ParameterDomain, QueryModel
+from ..core.phi import FeatureMap
+from ..core.query import Comparison, ScalarProductQuery
+
+__all__ = ["Workload", "eq18_offset", "consumption_workload", "ConsumptionWorkload"]
+
+
+def eq18_offset(normal: np.ndarray, maxima: np.ndarray, inequality_parameter: float) -> float:
+    """Right-hand side of Eq. 18: ``s * sum_i a_i max(i)``."""
+    return float(inequality_parameter * np.dot(normal, maxima))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Eq. 18 query generator bound to one dataset's maxima.
+
+    Parameters
+    ----------
+    model:
+        Per-axis domains of the query parameters — typically
+        ``QueryModel.uniform(dim, 1, 5, rq=RQ)``, giving ``RQ^d`` possible
+        normals as in Section 7.1.
+    maxima:
+        Per-dimension maxima ``max(i)`` of the target dataset.
+    inequality_parameter:
+        The selectivity knob ``s`` (paper default 0.25).
+    op:
+        Comparison direction (paper default ``<=``).
+    """
+
+    model: QueryModel
+    maxima: np.ndarray
+    inequality_parameter: float = 0.25
+    op: Comparison | str = Comparison.LE
+
+    def __post_init__(self) -> None:
+        maxima = np.ascontiguousarray(self.maxima, dtype=np.float64)
+        if maxima.ndim != 1 or maxima.size != self.model.dim:
+            raise ValueError(
+                f"maxima must have shape ({self.model.dim},), got {maxima.shape}"
+            )
+        maxima.setflags(write=False)
+        object.__setattr__(self, "maxima", maxima)
+        object.__setattr__(self, "op", Comparison.parse(self.op))
+        if not 0.0 < float(self.inequality_parameter):
+            raise ValueError(
+                f"inequality parameter must be positive, got {self.inequality_parameter}"
+            )
+
+    @classmethod
+    def for_points(
+        cls,
+        points: np.ndarray,
+        rq: int | None = 4,
+        low: float = 1.0,
+        high: float = 5.0,
+        inequality_parameter: float = 0.25,
+        op: Comparison | str = Comparison.LE,
+    ) -> "Workload":
+        """Build the standard Section 7.1 workload for a point matrix."""
+        pts = as_2d_float(points, "points")
+        model = QueryModel.uniform(dim=pts.shape[1], low=low, high=high, rq=rq)
+        return cls(model, pts.max(axis=0), inequality_parameter, op)
+
+    def sample_query(self, rng: np.random.Generator | int | None = None) -> ScalarProductQuery:
+        """Draw one Eq. 18 query."""
+        generator = as_rng(rng)
+        normal = self.model.sample_normal(generator)
+        offset = eq18_offset(normal, self.maxima, self.inequality_parameter)
+        return ScalarProductQuery(normal, offset, self.op)
+
+    def sample_queries(
+        self, count: int, rng: np.random.Generator | int | None = None
+    ) -> list[ScalarProductQuery]:
+        """Draw ``count`` independent Eq. 18 queries."""
+        generator = as_rng(rng)
+        return [self.sample_query(generator) for _ in range(count)]
+
+    def with_inequality_parameter(self, value: float) -> "Workload":
+        """Copy of this workload with a different selectivity knob (Fig. 11)."""
+        return Workload(self.model, self.maxima.copy(), value, self.op)
+
+
+@dataclass(frozen=True)
+class ConsumptionWorkload:
+    """The Example 1 Critical_Consume workload over the consumption table.
+
+    The SQL function ``active_power - threshold * voltage * current <= 0``
+    becomes the scalar product query ``<(1, -threshold), phi(x)> <= 0`` with
+    ``phi(x) = (active_power, voltage * current / 1000)``.  The ``/ 1000``
+    reconciles units (active power is reported in kW while ``V * I`` is in
+    W), making the thresholded ratio the true power factor in (0, 1) so the
+    paper's 900 thresholds in (0.100, 1.000) sweep realistic selectivities.
+    """
+
+    feature_map: FeatureMap
+    model: QueryModel
+    thresholds: np.ndarray
+
+    @classmethod
+    def build(cls, n_thresholds: int = 900) -> "ConsumptionWorkload":
+        """Standard workload: thresholds evenly spaced over (0.100, 1.000)."""
+        if n_thresholds < 1:
+            raise ValueError(f"n_thresholds must be >= 1, got {n_thresholds}")
+        thresholds = np.linspace(0.100, 1.000, n_thresholds)
+        feature_map = FeatureMap(
+            lambda pts: np.column_stack([pts[:, 0], pts[:, 2] * pts[:, 3] / 1000.0]),
+            in_dim=4,
+            out_dim=2,
+            names=("active_power", "apparent_power_kw"),
+        )
+        model = QueryModel(
+            [
+                ParameterDomain(values=[1.0]),
+                ParameterDomain(values=-thresholds),
+            ]
+        )
+        return cls(feature_map, model, thresholds)
+
+    def query_for_threshold(self, threshold: float) -> ScalarProductQuery:
+        """The Critical_Consume query for one threshold value."""
+        return ScalarProductQuery(np.array([1.0, -float(threshold)]), 0.0, Comparison.LE)
+
+    def sample_query(self, rng: np.random.Generator | int | None = None) -> ScalarProductQuery:
+        """Draw a query with a uniformly chosen threshold."""
+        generator = as_rng(rng)
+        threshold = float(generator.choice(self.thresholds))
+        return self.query_for_threshold(threshold)
+
+
+def consumption_workload(n_thresholds: int = 900) -> ConsumptionWorkload:
+    """Convenience constructor for :class:`ConsumptionWorkload`."""
+    return ConsumptionWorkload.build(n_thresholds)

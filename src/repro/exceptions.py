@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+query problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DimensionMismatchError",
+    "InvalidQueryError",
+    "InvalidDomainError",
+    "IndexBuildError",
+    "ExpressionError",
+    "ExpressionSyntaxError",
+    "NonScalarProductError",
+    "UnknownColumnError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """An array has the wrong dimensionality for the operation requested."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A scalar product query is malformed (bad operator, zero normal, ...)."""
+
+
+class InvalidDomainError(ReproError, ValueError):
+    """A query-parameter domain is empty, unordered, or otherwise unusable."""
+
+
+class IndexBuildError(ReproError, RuntimeError):
+    """A Planar index (or a collection of them) could not be constructed."""
+
+
+class ExpressionError(ReproError):
+    """Base class for errors in the mini SQL-function expression language."""
+
+
+class ExpressionSyntaxError(ExpressionError, SyntaxError):
+    """The expression text could not be tokenized or parsed."""
+
+
+class NonScalarProductError(ExpressionError, ValueError):
+    """The expression is not linear in its parameters.
+
+    Only expressions of the form ``sum_i  param_i * f_i(columns) + f_0``
+    can be compiled into a scalar product query; anything with a nonlinear
+    parameter occurrence (``? * ?``, ``abs(?)``, parameter in a divisor, ...)
+    raises this error.
+    """
+
+
+class UnknownColumnError(ExpressionError, KeyError):
+    """An expression referenced a column that does not exist in the table."""

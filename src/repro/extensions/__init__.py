@@ -1,0 +1,19 @@
+"""Extensions: the paper's two future-work directions (Section 8).
+
+* **Query-adaptive indexing** (:class:`AdaptiveOctantIndex`) — "use machine
+  learning techniques to dynamically update the indices based on past
+  queries": indices are built lazily per query-sign-pattern (octant) and
+  each observed query normal is folded into the index set, so recurring
+  workloads converge to near-parallel indices with near-logarithmic query
+  time.
+* **Dimensionality-reduction preprocessing** (:class:`PCA`,
+  :class:`PCAFilterIndex`) — "apply various dimensionality reduction
+  techniques as a preprocessing method": index in a low-dimensional PCA
+  space where Planar pruning is strong, bound the projection residual, and
+  verify only the uncertainty band in full dimension.  Results stay exact.
+"""
+
+from .adaptive import AdaptiveOctantIndex
+from .pca import PCA, PCAFilterIndex
+
+__all__ = ["AdaptiveOctantIndex", "PCA", "PCAFilterIndex"]

@@ -1,0 +1,202 @@
+"""Query-adaptive, octant-agnostic Planar indexing (future work, Section 8).
+
+A plain :class:`~repro.core.FunctionIndex` is bound to one hyper-octant
+derived from a priori parameter domains.  Workloads like active learning or
+PCA-projected queries have *no* stable sign pattern, so this wrapper:
+
+* maintains one lazily built ``FunctionIndex`` per observed sign pattern
+  (octant) of the query normal,
+* folds each observed query normal into that octant's index set (up to a
+  budget) — the paper's "dynamically update the indices based on past
+  queries" — so repeated similar queries converge to a near-parallel index
+  and near-logarithmic query time, and
+* forwards dynamic point updates/inserts/deletes to every cached index.
+
+Every octant index is constructed over the same row universe, so point ids
+are globally consistent across octants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_1d_float, as_2d_float, as_rng
+from ..core.domains import ParameterDomain, QueryModel
+from ..core.function_index import FunctionIndex, QueryAnswer
+from ..core.query import Comparison
+from ..core.topk import TopKResult
+from ..exceptions import DimensionMismatchError
+
+__all__ = ["AdaptiveOctantIndex"]
+
+_DEFAULT_MAX_INDICES = 10
+_DEFAULT_DOMAIN_SPREAD = 10.0
+# Sign-pattern derivation treats |component| below this as "positive zero".
+_SIGN_EPS = 1e-9
+
+
+class AdaptiveOctantIndex:
+    """Planar indexing for queries with arbitrary, drifting sign patterns.
+
+    Parameters
+    ----------
+    features:
+        Initial ``(n, d')`` feature matrix.
+    max_indices_per_octant:
+        Budget of Planar indices accumulated per octant.
+    domain_spread:
+        Multiplicative width of the synthesized parameter domains around
+        the first normal observed in an octant (domains only guide index
+        sampling; correctness never depends on them).
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        max_indices_per_octant: int = _DEFAULT_MAX_INDICES,
+        domain_spread: float = _DEFAULT_DOMAIN_SPREAD,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rows = as_2d_float(features, "features")
+        if max_indices_per_octant < 1:
+            raise ValueError(
+                f"max_indices_per_octant must be >= 1, got {max_indices_per_octant}"
+            )
+        if domain_spread <= 1.0:
+            raise ValueError(f"domain_spread must exceed 1, got {domain_spread}")
+        self._rows = rows.copy()          # full row history (including deleted)
+        self._dead: set[int] = set()
+        self._max_indices = int(max_indices_per_octant)
+        self._spread = float(domain_spread)
+        self._rng = as_rng(rng)
+        self._octants: dict[tuple[int, ...], FunctionIndex] = {}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality ``d'``."""
+        return int(self._rows.shape[1])
+
+    def __len__(self) -> int:
+        """Number of live points."""
+        return int(self._rows.shape[0]) - len(self._dead)
+
+    @property
+    def n_octants(self) -> int:
+        """Octants with a materialized index."""
+        return len(self._octants)
+
+    def n_indices(self, normal: np.ndarray) -> int:
+        """Planar indices currently held for ``normal``'s octant (0 if none)."""
+        index = self._octants.get(self._signs_of(normal))
+        return index.n_indices if index is not None else 0
+
+    # ------------------------------------------------------------------ #
+
+    def _signs_of(self, normal: np.ndarray) -> tuple[int, ...]:
+        normal = as_1d_float(normal, "normal")
+        if normal.size != self.dim:
+            raise DimensionMismatchError(
+                f"normal has dimension {normal.size}, index has {self.dim}"
+            )
+        return tuple(1 if value >= 0 else -1 for value in normal)
+
+    def _octant_normal(self, normal: np.ndarray, signs: tuple[int, ...]) -> np.ndarray:
+        """``normal`` with (near-)zero components nudged to match the octant."""
+        normal = np.asarray(normal, dtype=np.float64)
+        magnitude = np.where(np.abs(normal) < _SIGN_EPS, _SIGN_EPS, np.abs(normal))
+        return magnitude * np.asarray(signs, dtype=np.float64)
+
+    def _index_for(self, normal: np.ndarray) -> FunctionIndex:
+        signs = self._signs_of(normal)
+        safe = self._octant_normal(normal, signs)
+        index = self._octants.get(signs)
+        if index is None:
+            magnitudes = np.abs(safe)
+            domains = [
+                ParameterDomain(low=mag / self._spread, high=mag * self._spread)
+                if sign > 0
+                else ParameterDomain(low=-mag * self._spread, high=-mag / self._spread)
+                for mag, sign in zip(magnitudes, signs)
+            ]
+            index = FunctionIndex(
+                self._rows,
+                QueryModel(domains),
+                normals=safe.reshape(1, -1),
+                rng=self._rng,
+            )
+            if self._dead:
+                index.delete_points(np.fromiter(self._dead, dtype=np.int64))
+            self._octants[signs] = index
+        elif index.n_indices < self._max_indices:
+            # Fold the observed query into the index set (adaptive update).
+            index.add_index(safe)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> QueryAnswer:
+        """Exact inequality query; builds/updates the octant index as needed."""
+        return self._index_for(normal).query(normal, offset, op)
+
+    def topk(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> TopKResult:
+        """Exact top-k nearest neighbor query (Problem 2)."""
+        return self._index_for(normal).topk(normal, offset, k, op)
+
+    # ------------------------------------------------------------------ #
+    # Dynamic maintenance
+    # ------------------------------------------------------------------ #
+
+    def insert_points(self, features: np.ndarray) -> np.ndarray:
+        """Append points; returns their globally consistent ids."""
+        rows = as_2d_float(features, "features")
+        if rows.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"rows have dimension {rows.shape[1]}, index has {self.dim}"
+            )
+        start = self._rows.shape[0]
+        self._rows = np.vstack([self._rows, rows])
+        ids = np.arange(start, start + rows.shape[0], dtype=np.int64)
+        for index in self._octants.values():
+            assigned = index.insert_points(rows)
+            if not np.array_equal(assigned, ids):  # pragma: no cover - invariant
+                raise RuntimeError("octant indices diverged from the row universe")
+        return ids
+
+    def update_points(self, ids: np.ndarray, features: np.ndarray) -> None:
+        """Re-value existing points in every cached octant index."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        rows = as_2d_float(features, "features")
+        self._check_live(ids)
+        self._rows[ids] = rows
+        for index in self._octants.values():
+            index.update_points(ids, rows)
+
+    def delete_points(self, ids: np.ndarray) -> None:
+        """Remove points from every cached octant index."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        self._check_live(ids)
+        self._dead.update(int(i) for i in ids)
+        for index in self._octants.values():
+            index.delete_points(ids)
+
+    def _check_live(self, ids: np.ndarray) -> None:
+        if ids.size and (ids.min() < 0 or ids.max() >= self._rows.shape[0]):
+            raise KeyError(f"point id out of range [0, {self._rows.shape[0]})")
+        dead = [int(i) for i in ids if int(i) in self._dead]
+        if dead:
+            raise KeyError(f"point ids not live: {dead[:5]}")

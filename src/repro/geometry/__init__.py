@@ -1,0 +1,28 @@
+"""Geometric substrate for the Planar index.
+
+The Planar index reasons entirely about hyperplanes in the feature space
+``R^{d'}``: the query hyperplane ``H(q): <a, Y> = b``, one index hyperplane
+per data point ``H(x): <c, Y> = <c, phi(x)>``, and the Section 4.5
+coordinate translation that moves data and queries into a common working
+hyper-octant.  This subpackage implements those primitives from scratch.
+"""
+
+from .hyperplane import Hyperplane, angle_between, cosine_similarity
+from .octant import (
+    first_octant,
+    octant_of_point,
+    octant_from_domains,
+    sign_vector,
+)
+from .translation import Translator
+
+__all__ = [
+    "Hyperplane",
+    "angle_between",
+    "cosine_similarity",
+    "first_octant",
+    "octant_of_point",
+    "octant_from_domains",
+    "sign_vector",
+    "Translator",
+]

@@ -1,0 +1,149 @@
+"""Hyperplanes in ``R^{d'}`` and the angular / distance primitives of the paper.
+
+A hyperplane is the locus ``<normal, Y> = offset``.  The Planar index uses
+
+* axis *intercepts* ``I(H, i) = offset / normal_i`` (Section 4.3),
+* the *angle* between a query hyperplane and an index family
+  (Section 5.1.2), and
+* the point-to-hyperplane *distance* ``|<normal, p> - offset| / |normal|``
+  that defines the top-k nearest neighbor query (Problem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import as_1d_float, as_2d_float
+from ..exceptions import DimensionMismatchError, InvalidQueryError
+
+__all__ = ["Hyperplane", "angle_between", "cosine_similarity"]
+
+
+def cosine_similarity(u: np.ndarray, v: np.ndarray) -> float:
+    """Cosine of the angle between two vectors.
+
+    Raises :class:`InvalidQueryError` for a zero vector, since a hyperplane
+    normal must be nonzero.
+    """
+    u = as_1d_float(u, "u")
+    v = as_1d_float(v, "v")
+    if u.shape != v.shape:
+        raise DimensionMismatchError(f"vector shapes differ: {u.shape} vs {v.shape}")
+    norm_u = float(np.linalg.norm(u))
+    norm_v = float(np.linalg.norm(v))
+    if norm_u == 0.0 or norm_v == 0.0:
+        raise InvalidQueryError("cannot take an angle with a zero vector")
+    return float(np.dot(u, v) / (norm_u * norm_v))
+
+
+def angle_between(u: np.ndarray, v: np.ndarray) -> float:
+    """Angle in radians between two hyperplane normals, folded into [0, pi/2].
+
+    Hyperplanes are unoriented: normals ``c`` and ``-c`` describe parallel
+    planes, so the angle between hyperplanes is the acute angle between the
+    normal directions.
+    """
+    cos = abs(cosine_similarity(u, v))
+    return float(np.arccos(np.clip(cos, -1.0, 1.0)))
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """The hyperplane ``<normal, Y> = offset`` in ``R^{d'}``.
+
+    Parameters
+    ----------
+    normal:
+        Nonzero normal vector ``(a_1, ..., a_{d'})``.
+    offset:
+        Right-hand side ``b``.
+    """
+
+    normal: np.ndarray
+    offset: float
+    _unit_norm: float = field(init=False, repr=False, compare=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        normal = as_1d_float(self.normal, "normal")
+        if normal.size == 0:
+            raise InvalidQueryError("hyperplane normal must be non-empty")
+        norm = float(np.linalg.norm(normal))
+        if norm == 0.0:
+            raise InvalidQueryError("hyperplane normal must be nonzero")
+        normal.setflags(write=False)
+        object.__setattr__(self, "normal", normal)
+        object.__setattr__(self, "offset", float(self.offset))
+        object.__setattr__(self, "_unit_norm", norm)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d'`` of the ambient space."""
+        return int(self.normal.size)
+
+    def intercept(self, axis: int) -> float:
+        """Intersection coordinate ``I(H, axis)`` with the given axis.
+
+        This is the ``axis``-th coordinate of the point where the hyperplane
+        crosses the ``Y_axis`` axis: ``offset / normal_axis``.  Infinite when
+        the hyperplane is parallel to that axis (``normal_axis == 0``); the
+        paper excludes that case for query normals but translation tests
+        exercise it, so we return ``inf`` rather than raising.
+        """
+        component = self.normal[axis]
+        if component == 0.0:
+            return float(np.inf) if self.offset >= 0 else float(-np.inf)
+        return float(self.offset / component)
+
+    def intercepts(self) -> np.ndarray:
+        """All ``d'`` axis intercepts as an array (``inf`` where parallel)."""
+        with np.errstate(divide="ignore"):
+            return np.where(
+                self.normal != 0.0,
+                self.offset / self.normal,
+                np.copysign(np.inf, self.offset if self.offset != 0 else 1.0),
+            )
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Signed evaluation ``<normal, p> - offset`` for each row of ``points``."""
+        pts = as_2d_float(points, "points")
+        if pts.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"points have dimension {pts.shape[1]}, hyperplane has {self.dim}"
+            )
+        return pts @ self.normal - self.offset
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        """Euclidean distance of each row of ``points`` from the hyperplane.
+
+        This is the ranking criterion of Problem 2:
+        ``|<a, phi(x)> - b| / |a|``.
+        """
+        return np.abs(self.evaluate(points)) / self._unit_norm
+
+    def side(self, points: np.ndarray) -> np.ndarray:
+        """Sign (+1 / 0 / -1) of each point relative to the hyperplane."""
+        return np.sign(self.evaluate(points)).astype(np.int8)
+
+    def angle_to(self, other: "Hyperplane | np.ndarray") -> float:
+        """Acute angle (radians) between this hyperplane and ``other``."""
+        other_normal = other.normal if isinstance(other, Hyperplane) else other
+        return angle_between(self.normal, other_normal)
+
+    def is_parallel_to(self, other: "Hyperplane | np.ndarray", tol: float = 1e-7) -> bool:
+        """Whether this hyperplane is parallel to ``other`` within ``tol`` radians."""
+        return self.angle_to(other) <= tol
+
+    def translate(self, delta: np.ndarray) -> "Hyperplane":
+        """The same hyperplane expressed in coordinates shifted by ``delta``.
+
+        If the coordinate map is ``Y' = Y + delta`` then
+        ``<a, Y> = b`` becomes ``<a, Y'> = b + <a, delta>`` (Eq. 12).
+        """
+        delta = as_1d_float(delta, "delta")
+        if delta.size != self.dim:
+            raise DimensionMismatchError(
+                f"delta has dimension {delta.size}, hyperplane has {self.dim}"
+            )
+        return Hyperplane(self.normal.copy(), self.offset + float(np.dot(self.normal, delta)))

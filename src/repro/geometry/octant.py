@@ -1,0 +1,93 @@
+"""Hyper-octants of ``R^{d'}`` (Section 4.5).
+
+A hyper-octant is identified by a vector of axis signs
+``sign(O, i) in {+1, -1}``.  The paper assumes the inequality parameter
+``b >= 0`` while the query parameters ``a_i`` may have either sign; the
+octant in which a query hyperplane crosses the coordinate axes is then
+determined by the signs of the ``a_i`` (``I(q, i) = b / a_i`` shares the
+sign of ``a_i``).  Because parameter domains are known ahead of time, the
+octant can be derived at index-build time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_1d_float
+from ..exceptions import InvalidDomainError
+
+__all__ = [
+    "sign_vector",
+    "first_octant",
+    "octant_of_point",
+    "octant_from_domains",
+]
+
+
+def sign_vector(values: np.ndarray, name: str = "values") -> np.ndarray:
+    """Map each component to +1 / -1, treating zero as +1.
+
+    Zeros are mapped to +1 because the paper drops zero-valued query
+    parameters from consideration (Section 4.1, first assumption); a zero
+    here only appears for degenerate data coordinates where either sign
+    yields a valid enclosing octant.
+    """
+    arr = as_1d_float(values, name)
+    signs = np.where(arr < 0.0, -1, 1).astype(np.int8)
+    return signs
+
+
+def first_octant(dim: int) -> np.ndarray:
+    """The all-positive octant of ``R^dim``."""
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    return np.ones(dim, dtype=np.int8)
+
+
+def octant_of_point(point: np.ndarray) -> np.ndarray:
+    """The octant containing ``point`` (zeros resolved to +1)."""
+    return sign_vector(point, "point")
+
+
+def octant_from_domains(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Octant in which query hyperplanes will cross the axes (Section 4.5).
+
+    ``lows``/``highs`` bound each query parameter's domain ``Delta a_i``.
+    With ``b >= 0``, the axis crossing ``I(q, i) = b / a_i`` has the sign of
+    ``a_i``; for the octant to be well defined, each domain must not straddle
+    zero (a domain containing both signs would make the crossing octant
+    query-dependent, which the paper excludes).
+
+    Raises
+    ------
+    InvalidDomainError
+        If any domain is empty (low > high), contains only zero, or straddles
+        zero.
+    """
+    lows = as_1d_float(lows, "lows")
+    highs = as_1d_float(highs, "highs")
+    if lows.shape != highs.shape:
+        raise InvalidDomainError(
+            f"domain bound shapes differ: {lows.shape} vs {highs.shape}"
+        )
+    if np.any(lows > highs):
+        bad = int(np.argmax(lows > highs))
+        raise InvalidDomainError(
+            f"domain {bad} is empty: low {lows[bad]} > high {highs[bad]}"
+        )
+    straddles = (lows < 0.0) & (highs > 0.0)
+    if np.any(straddles):
+        bad = int(np.argmax(straddles))
+        raise InvalidDomainError(
+            f"domain {bad} = [{lows[bad]}, {highs[bad]}] straddles zero; "
+            "split the workload by parameter sign before indexing"
+        )
+    only_zero = (lows == 0.0) & (highs == 0.0)
+    if np.any(only_zero):
+        bad = int(np.argmax(only_zero))
+        raise InvalidDomainError(
+            f"domain {bad} is identically zero; drop that axis instead "
+            "(Section 4.1 assumption a_i != 0)"
+        )
+    # A domain [0, h] with h > 0 is positive; [l, 0] with l < 0 is negative.
+    return np.where(highs > 0.0, 1, -1).astype(np.int8)

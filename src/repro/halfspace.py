@@ -1,0 +1,114 @@
+"""Half-space range searching: the identity-function special case.
+
+Remark 3 of the paper: when ``phi`` is the identity, the inequality query
+*is* classical half-space range searching (Agarwal et al., Matousek, Arya
+et al.) and the top-k query is the hyperplane-to-nearest-point problem of
+active learning.  This module packages that case behind a minimal API with
+no query model to configure: it rides on the query-adaptive octant index,
+so hyperplanes of any orientation work out of the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._util import as_2d_float
+from .core.query import Comparison
+from .core.topk import TopKResult
+from .extensions.adaptive import AdaptiveOctantIndex
+from .geometry.hyperplane import Hyperplane
+
+__all__ = ["HalfspaceIndex"]
+
+
+class HalfspaceIndex:
+    """Exact half-space reporting and hyperplane k-NN over a fixed point set.
+
+    >>> import numpy as np
+    >>> points = np.random.default_rng(0).normal(size=(1000, 3))
+    >>> index = HalfspaceIndex(points, rng=0)
+    >>> below = index.below(np.array([1.0, -2.0, 0.5]), 0.3)
+    >>> nearest = index.nearest(np.array([1.0, -2.0, 0.5]), 0.3, k=5)
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        max_indices_per_octant: int = 10,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self._points = as_2d_float(points, "points").copy()
+        self._adaptive = AdaptiveOctantIndex(
+            self._points, max_indices_per_octant=max_indices_per_octant, rng=rng
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dim(self) -> int:
+        """Point dimensionality."""
+        return int(self._points.shape[1])
+
+    def __len__(self) -> int:
+        return len(self._adaptive)
+
+    # ------------------------------------------------------------------ #
+
+    def below(self, normal: np.ndarray, offset: float, strict: bool = False) -> np.ndarray:
+        """Ids of points with ``<normal, x> <= offset`` (``<`` when strict)."""
+        op = Comparison.LT if strict else Comparison.LE
+        return self._adaptive.query(normal, offset, op).ids
+
+    def above(self, normal: np.ndarray, offset: float, strict: bool = False) -> np.ndarray:
+        """Ids of points with ``<normal, x> >= offset`` (``>`` when strict)."""
+        op = Comparison.GT if strict else Comparison.GE
+        return self._adaptive.query(normal, offset, op).ids
+
+    def side(self, hyperplane: Hyperplane, positive: bool = True) -> np.ndarray:
+        """Ids on the chosen side of a :class:`Hyperplane`."""
+        if positive:
+            return self.above(hyperplane.normal, hyperplane.offset)
+        return self.below(hyperplane.normal, hyperplane.offset)
+
+    def nearest(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        k: int,
+        side: str = "below",
+    ) -> TopKResult:
+        """The ``k`` points on one side closest to the hyperplane.
+
+        ``side`` is ``"below"`` (``<=``), ``"above"`` (``>``), or
+        ``"both"`` — the latter merges both sides by distance, the
+        active-learning acquisition of Section 7.5.2.
+        """
+        if side == "below":
+            return self._adaptive.topk(normal, offset, k, Comparison.LE)
+        if side == "above":
+            return self._adaptive.topk(normal, offset, k, Comparison.GT)
+        if side != "both":
+            raise ValueError(f"side must be 'below', 'above', or 'both', got {side!r}")
+        below = self._adaptive.topk(normal, offset, k, Comparison.LE)
+        above = self._adaptive.topk(normal, offset, k, Comparison.GT)
+        ids = np.concatenate([below.ids, above.ids])
+        distances = np.concatenate([below.distances, above.distances])
+        order = np.lexsort((ids, distances))[:k]
+        return TopKResult(
+            ids=ids[order],
+            distances=distances[order],
+            n_checked=below.n_checked + above.n_checked,
+            n_total=below.n_total,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def insert(self, points: np.ndarray) -> np.ndarray:
+        """Add points; returns their ids."""
+        points = as_2d_float(points, "points")
+        self._points = np.vstack([self._points, points])
+        return self._adaptive.insert_points(points)
+
+    def delete(self, ids: np.ndarray) -> None:
+        """Remove points by id."""
+        self._adaptive.delete_points(ids)

@@ -1,0 +1,20 @@
+"""Pool-based active learning on top of Planar top-k queries (Section 7.5.2).
+
+The acquisition step of uncertainty-sampling active learning — "find the
+unlabeled points closest to the current decision hyperplane" — is exactly
+the paper's top-k nearest neighbor query (Problem 2) with the identity
+feature map.  This subpackage provides a from-scratch linear classifier and
+an active learner whose acquisition can run either through a Planar index
+(exact, sublinear) or a sequential scan (the baseline), mirroring the
+paper's comparison with the approximate hashing methods of [14, 18].
+"""
+
+from .active import ActiveLearner, ActiveLearningReport
+from .linear_model import LogisticRegression, make_linear_classification
+
+__all__ = [
+    "ActiveLearner",
+    "ActiveLearningReport",
+    "LogisticRegression",
+    "make_linear_classification",
+]

@@ -1,0 +1,67 @@
+"""Moving-object intersection via scalar product queries (Section 7.5.1).
+
+The paper's flagship application: given two fleets of moving objects and a
+future time instant ``t``, find every cross-fleet pair that will be within
+distance ``S`` of each other at time ``t``.  The squared pairwise distance
+decomposes into a scalar product between *pair features* (known at index
+time) and *time parameters* (known at query time), so a Planar index over
+the pair features answers the query without evaluating all pairs.
+
+Three workloads from the paper are implemented:
+
+* **linear–linear** (uniform velocities; also served by the
+  :mod:`~repro.moving.mbrtree` baseline standing in for Zhang et al. [33]),
+* **circular–linear** (objects on concentric circles — parameters involve
+  ``sin/cos(omega t)``, so indices are bucketed by angular velocity), and
+* **accelerating–linear** in 3-D (quartic distance polynomial).
+"""
+
+from .continuous import ContinuousJoinResult, ContinuousLinearJoin
+from .features import (
+    accelerating_pair_features,
+    circular_circular_pair_features,
+    circular_circular_time_normal,
+    circular_pair_features,
+    circular_time_normal,
+    linear_pair_features,
+    polynomial_time_normal,
+)
+from .intersection import (
+    AcceleratingIntersectionIndex,
+    CircularCircularIntersectionIndex,
+    CircularIntersectionIndex,
+    LinearIntersectionIndex,
+    PairScan,
+)
+from .mbrtree import TPRTree, tpr_intersection_join
+from .motion import AcceleratingFleet, CircularFleet, LinearFleet
+from .simulate import (
+    accelerating_workload,
+    circular_workload,
+    uniform_linear_workload,
+)
+
+__all__ = [
+    "AcceleratingFleet",
+    "AcceleratingIntersectionIndex",
+    "CircularCircularIntersectionIndex",
+    "CircularFleet",
+    "CircularIntersectionIndex",
+    "ContinuousJoinResult",
+    "ContinuousLinearJoin",
+    "LinearFleet",
+    "LinearIntersectionIndex",
+    "PairScan",
+    "TPRTree",
+    "accelerating_pair_features",
+    "accelerating_workload",
+    "circular_circular_pair_features",
+    "circular_circular_time_normal",
+    "circular_pair_features",
+    "circular_time_normal",
+    "circular_workload",
+    "linear_pair_features",
+    "polynomial_time_normal",
+    "tpr_intersection_join",
+    "uniform_linear_workload",
+]

@@ -1,0 +1,233 @@
+"""Pair feature maps: squared distance as a scalar product (Section 7.5.1).
+
+For a pair of moving objects the squared distance at time ``t`` expands
+into ``<params(t), features(pair)>`` where the features depend only on the
+objects' motion state (indexable ahead of time) and the parameters depend
+only on ``t`` (known at query time):
+
+* linear–linear:     ``d^2(t) = X1 + X2 t + X3 t^2``
+* accelerating–linear: quartic polynomial in ``t`` (five features),
+* circular–linear:   trigonometric basis
+  ``(1, t, t^2, cos wt, sin wt, t cos wt, t sin wt)`` — the angular
+  velocity ``w`` enters the *parameters*, so objects must share ``w``
+  within one indexed query (the intersection layer buckets by ``w``).
+
+Pair ``(i, j)`` — object ``i`` of the first fleet against object ``j`` of
+the second — maps to feature row ``i * n2 + j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError
+from .motion import AcceleratingFleet, CircularFleet, LinearFleet
+
+__all__ = [
+    "linear_pair_features",
+    "accelerating_pair_features",
+    "circular_pair_features",
+    "circular_circular_pair_features",
+    "polynomial_time_normal",
+    "circular_time_normal",
+    "circular_circular_time_normal",
+    "pair_rows_to_pairs",
+]
+
+# Below this angular-velocity difference (degrees/min) two circular objects
+# are treated as co-rotating: the relative-phase basis functions degenerate
+# to constants and are folded into the constant feature.
+_OMEGA_EQ_TOL = 1e-9
+
+
+def pair_rows_to_pairs(rows: np.ndarray, n_second: int) -> np.ndarray:
+    """Decode feature-row ids back into ``(i, j)`` object index pairs."""
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    return np.column_stack([rows // n_second, rows % n_second])
+
+
+def _pair_deltas(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """All pairwise differences, flattened to ``(n1 * n2, dims)``."""
+    n1, dims = first.shape
+    n2 = second.shape[0]
+    return (first[:, None, :] - second[None, :, :]).reshape(n1 * n2, dims)
+
+
+def linear_pair_features(first: LinearFleet, second: LinearFleet) -> np.ndarray:
+    """Features ``(X1, X2, X3)`` for linear–linear pairs.
+
+    ``d^2(t) = |dp|^2 + 2 <dp, du> t + |du|^2 t^2`` — the decomposition the
+    paper states for the uniform-velocity workload.
+    """
+    if first.dims != second.dims:
+        raise DimensionMismatchError(
+            f"fleet dimensionalities differ: {first.dims} vs {second.dims}"
+        )
+    dp = _pair_deltas(first.positions, second.positions)
+    du = _pair_deltas(first.velocities, second.velocities)
+    return np.column_stack(
+        [
+            np.einsum("ij,ij->i", dp, dp),
+            2.0 * np.einsum("ij,ij->i", dp, du),
+            np.einsum("ij,ij->i", du, du),
+        ]
+    )
+
+
+def accelerating_pair_features(
+    first: AcceleratingFleet, second: LinearFleet
+) -> np.ndarray:
+    """Features ``(X1..X5)`` for accelerating–linear pairs.
+
+    With relative motion ``dp + du t + (a/2) t^2`` (only the first fleet
+    accelerates), the squared distance is the quartic::
+
+        |dp|^2 + 2<dp,du> t + (|du|^2 + <dp,a>) t^2 + <du,a> t^3 + |a|^2/4 t^4
+    """
+    if first.dims != second.dims:
+        raise DimensionMismatchError(
+            f"fleet dimensionalities differ: {first.dims} vs {second.dims}"
+        )
+    n2 = second.n
+    dp = _pair_deltas(first.positions, second.positions)
+    du = _pair_deltas(first.velocities, second.velocities)
+    accel = np.repeat(first.accelerations, n2, axis=0)
+    return np.column_stack(
+        [
+            np.einsum("ij,ij->i", dp, dp),
+            2.0 * np.einsum("ij,ij->i", dp, du),
+            np.einsum("ij,ij->i", du, du) + np.einsum("ij,ij->i", dp, accel),
+            np.einsum("ij,ij->i", du, accel),
+            0.25 * np.einsum("ij,ij->i", accel, accel),
+        ]
+    )
+
+
+def circular_pair_features(first: CircularFleet, second: LinearFleet) -> np.ndarray:
+    """Features ``(g1..g7)`` for circular–linear pairs (Example 2 family).
+
+    With ``D = center - q`` and linear velocity ``v``::
+
+        d^2(t) = (|D|^2 + r^2) - 2<D,v> t + |v|^2 t^2
+                 + cos(wt) * 2r( Dx cos t0 + Dy sin t0)
+                 + sin(wt) * 2r(-Dx sin t0 + Dy cos t0)
+                 + t cos(wt) * 2r(-vx cos t0 - vy sin t0)
+                 + t sin(wt) * 2r( vx sin t0 - vy cos t0)
+
+    The features are independent of ``w``; ``w`` only appears in the query
+    normal (:func:`circular_time_normal`), which is why queries are issued
+    per angular-velocity bucket.
+    """
+    if second.dims != 2:
+        raise DimensionMismatchError("circular pairs require 2-D linear objects")
+    n2 = second.n
+    big_d = _pair_deltas(first.centers, second.positions)
+    vel = np.tile(second.velocities, (first.n, 1))
+    radius = np.repeat(first.radii, n2)
+    cos0 = np.repeat(np.cos(first.phases), n2)
+    sin0 = np.repeat(np.sin(first.phases), n2)
+    dx, dy = big_d[:, 0], big_d[:, 1]
+    vx, vy = vel[:, 0], vel[:, 1]
+    return np.column_stack(
+        [
+            np.einsum("ij,ij->i", big_d, big_d) + radius**2,
+            -2.0 * np.einsum("ij,ij->i", big_d, vel),
+            np.einsum("ij,ij->i", vel, vel),
+            2.0 * radius * (dx * cos0 + dy * sin0),
+            2.0 * radius * (-dx * sin0 + dy * cos0),
+            2.0 * radius * (-vx * cos0 - vy * sin0),
+            2.0 * radius * (vx * sin0 - vy * cos0),
+        ]
+    )
+
+
+def circular_circular_pair_features(
+    first: CircularFleet, second: CircularFleet
+) -> np.ndarray:
+    """Features for circular–circular pairs (both fleets on circles).
+
+    With ``D = c1 - c2``, ``e(a) = (cos a, sin a)`` and angles
+    ``a_i = theta_i + w_i t``::
+
+        d^2(t) = |D|^2 + r1^2 + r2^2
+                 + 2 r1 <D, e(a1)> - 2 r2 <D, e(a2)>
+                 - 2 r1 r2 cos(a1 - a2)
+
+    Expanding each trigonometric term yields the seven-component basis of
+    :func:`circular_circular_time_normal`:
+    ``(1, cos w1 t, sin w1 t, cos w2 t, sin w2 t, cos dw t, sin dw t)``
+    with ``dw = w1 - w2``.  As with the circular–linear case the angular
+    velocities live in the *parameters*, so queries must be bucketed by
+    the ``(w1, w2)`` pair.  When ``w1 == w2`` the relative-phase basis
+    degenerates to constants; query-time handling folds that into the
+    constant component (see ``circular_circular_time_normal``), so the
+    features remain 7-wide and bucket-independent.
+    """
+    n2 = second.n
+    big_d = _pair_deltas(first.centers, second.centers)
+    dx, dy = big_d[:, 0], big_d[:, 1]
+    r1 = np.repeat(first.radii, n2)
+    r2 = np.tile(second.radii, first.n)
+    cos1 = np.repeat(np.cos(first.phases), n2)
+    sin1 = np.repeat(np.sin(first.phases), n2)
+    cos2 = np.tile(np.cos(second.phases), first.n)
+    sin2 = np.tile(np.sin(second.phases), first.n)
+    # cos(a1 - a2) = cos(dtheta + dw t) with dtheta = theta1 - theta2:
+    # expands over (cos dw t, sin dw t) with coefficients cos/sin(dtheta).
+    cos_dtheta = cos1 * cos2 + sin1 * sin2
+    sin_dtheta = sin1 * cos2 - cos1 * sin2
+    return np.column_stack(
+        [
+            np.einsum("ij,ij->i", big_d, big_d) + r1**2 + r2**2,
+            2.0 * r1 * (dx * cos1 + dy * sin1),
+            2.0 * r1 * (-dx * sin1 + dy * cos1),
+            -2.0 * r2 * (dx * cos2 + dy * sin2),
+            -2.0 * r2 * (-dx * sin2 + dy * cos2),
+            -2.0 * r1 * r2 * cos_dtheta,
+            -2.0 * r1 * r2 * sin_dtheta,
+        ]
+    )
+
+
+def circular_circular_time_normal(
+    t: float, omega1_degrees: float, omega2_degrees: float
+) -> np.ndarray:
+    """Query normal for circular–circular pairs at time ``t``.
+
+    Components: ``(1, cos w1 t, sin w1 t, cos w2 t, sin w2 t,
+    cos dw t, -sin dw t)`` — the sign on the last component matches the
+    ``sin(dtheta)`` coefficient convention of
+    :func:`circular_circular_pair_features` (``cos(x + y)`` expansion).
+    """
+    t = float(t)
+    a1 = np.deg2rad(float(omega1_degrees)) * t
+    a2 = np.deg2rad(float(omega2_degrees)) * t
+    dw = a1 - a2
+    return np.array(
+        [
+            1.0,
+            np.cos(a1),
+            np.sin(a1),
+            np.cos(a2),
+            np.sin(a2),
+            np.cos(dw),
+            -np.sin(dw),
+        ]
+    )
+
+
+def polynomial_time_normal(t: float, degree: int) -> np.ndarray:
+    """Query normal ``(1, t, t^2, ..., t^degree)`` for polynomial motion."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    return np.power(float(t), np.arange(degree + 1, dtype=np.float64))
+
+
+def circular_time_normal(t: float, omega_degrees: float) -> np.ndarray:
+    """Query normal for circular–linear pairs at time ``t`` with angular
+    velocity ``omega_degrees`` (degrees/min)."""
+    t = float(t)
+    angle = np.deg2rad(float(omega_degrees)) * t
+    cos_wt = float(np.cos(angle))
+    sin_wt = float(np.sin(angle))
+    return np.array([1.0, t, t * t, cos_wt, sin_wt, t * cos_wt, t * sin_wt])

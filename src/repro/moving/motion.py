@@ -1,0 +1,194 @@
+"""Motion models for fleets of moving objects.
+
+Each fleet holds the motion state of ``n`` objects in vectorized form and
+can report every object's position at an arbitrary (future) time.  The
+three models cover the paper's workloads: constant velocity, constant
+angular velocity on concentric circles, and constant acceleration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_1d_float, as_2d_float
+from ..exceptions import DimensionMismatchError
+
+__all__ = ["LinearFleet", "CircularFleet", "AcceleratingFleet"]
+
+
+class LinearFleet:
+    """Objects moving in straight lines with constant velocity.
+
+    ``position(t) = p + u * t``
+    """
+
+    def __init__(self, positions: np.ndarray, velocities: np.ndarray) -> None:
+        self._p = as_2d_float(positions, "positions")
+        self._u = as_2d_float(velocities, "velocities")
+        if self._p.shape != self._u.shape:
+            raise DimensionMismatchError(
+                f"positions {self._p.shape} and velocities {self._u.shape} differ"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return int(self._p.shape[0])
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality (2 or 3 in the paper's workloads)."""
+        return int(self._p.shape[1])
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Initial positions (copy)."""
+        return self._p.copy()
+
+    @property
+    def velocities(self) -> np.ndarray:
+        """Velocities (copy)."""
+        return self._u.copy()
+
+    def position(self, t: float) -> np.ndarray:
+        """All object positions at time ``t``."""
+        return self._p + self._u * float(t)
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class CircularFleet:
+    """Objects moving on circles with constant angular velocity (2-D only).
+
+    ``position(t) = center + r * (cos(theta0 + omega t), sin(theta0 + omega t))``
+
+    ``omega`` is stored in radians/min; the constructor accepts degrees for
+    parity with the paper's "1~5 degree/min" workload description.
+    """
+
+    def __init__(
+        self,
+        centers: np.ndarray,
+        radii: np.ndarray,
+        omega_degrees: np.ndarray,
+        phases: np.ndarray,
+    ) -> None:
+        self._c = as_2d_float(centers, "centers")
+        if self._c.shape[1] != 2:
+            raise DimensionMismatchError(
+                f"circular motion is 2-D; centers have dimension {self._c.shape[1]}"
+            )
+        self._r = as_1d_float(radii, "radii")
+        self._omega_deg = as_1d_float(omega_degrees, "omega_degrees")
+        self._theta0 = as_1d_float(phases, "phases")
+        n = self._c.shape[0]
+        for name, arr in (
+            ("radii", self._r),
+            ("omega_degrees", self._omega_deg),
+            ("phases", self._theta0),
+        ):
+            if arr.size != n:
+                raise DimensionMismatchError(f"{name} has size {arr.size}, expected {n}")
+        if np.any(self._r < 0):
+            raise ValueError("radii must be nonnegative")
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return int(self._c.shape[0])
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality (always 2)."""
+        return 2
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Circle centers (copy)."""
+        return self._c.copy()
+
+    @property
+    def radii(self) -> np.ndarray:
+        """Circle radii (copy)."""
+        return self._r.copy()
+
+    @property
+    def omega_degrees(self) -> np.ndarray:
+        """Angular velocities in degrees/min (copy)."""
+        return self._omega_deg.copy()
+
+    @property
+    def omega_radians(self) -> np.ndarray:
+        """Angular velocities in radians/min (copy)."""
+        return np.deg2rad(self._omega_deg)
+
+    @property
+    def phases(self) -> np.ndarray:
+        """Initial angles ``theta0`` in radians (copy)."""
+        return self._theta0.copy()
+
+    def position(self, t: float) -> np.ndarray:
+        """All object positions at time ``t``."""
+        angle = self._theta0 + np.deg2rad(self._omega_deg) * float(t)
+        return self._c + self._r[:, None] * np.column_stack(
+            [np.cos(angle), np.sin(angle)]
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class AcceleratingFleet:
+    """Objects moving with constant acceleration.
+
+    ``position(t) = p + u * t + a * t^2 / 2``
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        accelerations: np.ndarray,
+    ) -> None:
+        self._p = as_2d_float(positions, "positions")
+        self._u = as_2d_float(velocities, "velocities")
+        self._a = as_2d_float(accelerations, "accelerations")
+        if not (self._p.shape == self._u.shape == self._a.shape):
+            raise DimensionMismatchError(
+                f"positions {self._p.shape}, velocities {self._u.shape}, and "
+                f"accelerations {self._a.shape} differ"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return int(self._p.shape[0])
+
+    @property
+    def dims(self) -> int:
+        """Spatial dimensionality."""
+        return int(self._p.shape[1])
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Initial positions (copy)."""
+        return self._p.copy()
+
+    @property
+    def velocities(self) -> np.ndarray:
+        """Initial velocities (copy)."""
+        return self._u.copy()
+
+    @property
+    def accelerations(self) -> np.ndarray:
+        """Accelerations (copy)."""
+        return self._a.copy()
+
+    def position(self, t: float) -> np.ndarray:
+        """All object positions at time ``t``."""
+        t = float(t)
+        return self._p + self._u * t + 0.5 * self._a * t * t
+
+    def __len__(self) -> int:
+        return self.n

@@ -1,0 +1,93 @@
+"""Workload generators for the three Section 7.5.1 scenarios.
+
+Defaults mirror the paper: uniform placement in the stated space, speeds
+0.1–1 mile/min with random sign per axis, radii 1–100 miles, angular
+velocities 1–5 degrees/min, accelerations 0.01–0.05 mile/min^2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from .motion import AcceleratingFleet, CircularFleet, LinearFleet
+
+__all__ = [
+    "uniform_linear_workload",
+    "circular_workload",
+    "accelerating_workload",
+]
+
+
+def _signed_speeds(
+    rng: np.random.Generator, n: int, dims: int, speed_range: tuple[float, float]
+) -> np.ndarray:
+    """Speeds drawn per axis with a random direction sign (paper setup)."""
+    magnitude = rng.uniform(speed_range[0], speed_range[1], size=(n, dims))
+    signs = rng.choice([-1.0, 1.0], size=(n, dims))
+    return magnitude * signs
+
+
+def uniform_linear_workload(
+    n_per_set: int,
+    space: float = 1000.0,
+    speed_range: tuple[float, float] = (0.1, 1.0),
+    dims: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[LinearFleet, LinearFleet]:
+    """Two constant-velocity fleets in a ``space x space`` region."""
+    generator = as_rng(rng)
+    fleets = []
+    for _ in range(2):
+        positions = generator.uniform(0.0, space, size=(n_per_set, dims))
+        velocities = _signed_speeds(generator, n_per_set, dims, speed_range)
+        fleets.append(LinearFleet(positions, velocities))
+    return fleets[0], fleets[1]
+
+
+def circular_workload(
+    n_per_set: int,
+    space: float = 100.0,
+    speed_range: tuple[float, float] = (0.1, 1.0),
+    radius_range: tuple[float, float] = (1.0, 100.0),
+    omega_values: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    rng: np.random.Generator | int | None = None,
+) -> tuple[CircularFleet, LinearFleet]:
+    """One circular and one linear fleet in a ``space x space`` region.
+
+    Angular velocities are drawn from the discrete ``omega_values`` grid
+    (degrees/min) so the intersection index can bucket by omega; the
+    paper's "uniformly selected from 1~5 degree/min" is reproduced by the
+    default five-value grid.
+    """
+    generator = as_rng(rng)
+    centers = generator.uniform(0.0, space, size=(n_per_set, 2))
+    radii = generator.uniform(radius_range[0], radius_range[1], size=n_per_set)
+    omegas = generator.choice(np.asarray(omega_values, dtype=np.float64), size=n_per_set)
+    phases = generator.uniform(0.0, 2.0 * np.pi, size=n_per_set)
+    circular = CircularFleet(centers, radii, omegas, phases)
+
+    positions = generator.uniform(0.0, space, size=(n_per_set, 2))
+    velocities = _signed_speeds(generator, n_per_set, 2, speed_range)
+    linear = LinearFleet(positions, velocities)
+    return circular, linear
+
+
+def accelerating_workload(
+    n_per_set: int,
+    space: float = 1000.0,
+    speed_range: tuple[float, float] = (0.1, 1.0),
+    accel_range: tuple[float, float] = (0.01, 0.05),
+    rng: np.random.Generator | int | None = None,
+) -> tuple[AcceleratingFleet, LinearFleet]:
+    """One accelerating and one linear fleet in a 3-D ``space^3`` region."""
+    generator = as_rng(rng)
+    positions = generator.uniform(0.0, space, size=(n_per_set, 3))
+    velocities = _signed_speeds(generator, n_per_set, 3, speed_range)
+    accelerations = _signed_speeds(generator, n_per_set, 3, accel_range)
+    accelerating = AcceleratingFleet(positions, velocities, accelerations)
+
+    lin_positions = generator.uniform(0.0, space, size=(n_per_set, 3))
+    lin_velocities = _signed_speeds(generator, n_per_set, 3, speed_range)
+    linear = LinearFleet(lin_positions, lin_velocities)
+    return accelerating, linear

@@ -1,0 +1,5 @@
+"""Sequential-scan baseline (the paper's competing method, Section 7.1)."""
+
+from .baseline import SequentialScan
+
+__all__ = ["SequentialScan"]

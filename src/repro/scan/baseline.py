@@ -1,0 +1,86 @@
+"""Naive sequential scan over all feature vectors.
+
+This is both the correctness oracle for every test in this repository and
+the baseline the paper compares against: ``O(n d')`` per inequality query
+and ``O(n d' + n log k)`` per top-k query, independent of any index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_2d_float
+from ..core.query import ScalarProductQuery
+from ..core.topk import TopKResult
+from ..exceptions import DimensionMismatchError, InvalidQueryError
+
+__all__ = ["SequentialScan"]
+
+
+class SequentialScan:
+    """Answer scalar product queries by evaluating every point.
+
+    Parameters
+    ----------
+    features:
+        ``(n, d')`` matrix of ``phi(x)`` values.
+    ids:
+        Optional point ids (defaults to row numbers) so results are
+        comparable with indexed answers.
+    """
+
+    def __init__(self, features: np.ndarray, ids: np.ndarray | None = None) -> None:
+        self._features = as_2d_float(features, "features")
+        if ids is None:
+            ids = np.arange(self._features.shape[0], dtype=np.int64)
+        else:
+            ids = np.ascontiguousarray(ids, dtype=np.int64)
+            if ids.size != self._features.shape[0]:
+                raise DimensionMismatchError(
+                    f"{ids.size} ids for {self._features.shape[0]} feature rows"
+                )
+        self._ids = ids
+
+    def __len__(self) -> int:
+        return int(self._features.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality ``d'``."""
+        return int(self._features.shape[1])
+
+    def _check(self, query: ScalarProductQuery) -> None:
+        if query.dim != self.dim:
+            raise InvalidQueryError(
+                f"query has dimension {query.dim}, data has {self.dim}"
+            )
+
+    def query(self, query: ScalarProductQuery) -> np.ndarray:
+        """All point ids satisfying the inequality, ascending."""
+        self._check(query)
+        mask = query.evaluate(self._features)
+        return np.sort(self._ids[mask])
+
+    def topk(self, query: ScalarProductQuery, k: int) -> TopKResult:
+        """Exact top-k satisfying points by hyperplane distance."""
+        self._check(query)
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        values = self._features @ query.normal
+        mask = query.op.evaluate(values, query.offset)
+        ids = self._ids[mask]
+        distances = np.abs(values[mask] - query.offset) / np.linalg.norm(query.normal)
+        if ids.size > k:
+            # argpartition gets the k smallest in O(n); ties broken by id via
+            # a stable lexicographic sort of the selected slice.
+            part = np.argpartition(distances, k - 1)[:k]
+            order = np.lexsort((ids[part], distances[part]))
+            chosen = part[order]
+        else:
+            chosen = np.lexsort((ids, distances))
+        return TopKResult(
+            ids=ids[chosen],
+            distances=distances[chosen],
+            n_checked=len(self),
+            n_total=len(self),
+        )

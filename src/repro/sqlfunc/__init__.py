@@ -1,0 +1,39 @@
+"""Mini SQL-function layer (Example 1: indexing parameterised expressions).
+
+Oracle supports function-based indexes over multiple attributes, but — as
+the paper points out — not functions that mix *known* column expressions
+with *unknown* query parameters.  This subpackage closes that gap on top of
+the Planar index:
+
+* an arithmetic expression language over table columns with ``?``
+  placeholders for query-time parameters (lexer / parser / AST),
+* a compiler that decomposes any parameter-linear expression into scalar
+  product form ``base(x) + sum_j coeff_j(x) * ?_j`` — the functional parts
+  become the indexed ``phi`` components and the parameters become the query
+  normal, and
+* a :class:`Table` with ``create_function_index`` mirroring the paper's
+  ``CREATE FUNCTION Critical_Consume`` example.
+"""
+
+from .ast import BinOp, Column, Expr, Neg, Number, Param
+from .compile import ScalarProductForm, compile_expression
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+from .table import FunctionIndexHandle, Table
+
+__all__ = [
+    "BinOp",
+    "Column",
+    "Expr",
+    "FunctionIndexHandle",
+    "Neg",
+    "Number",
+    "Param",
+    "ScalarProductForm",
+    "Table",
+    "Token",
+    "TokenType",
+    "compile_expression",
+    "parse",
+    "tokenize",
+]

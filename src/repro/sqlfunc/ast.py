@@ -1,0 +1,175 @@
+"""Expression AST for the SQL-function layer.
+
+Expressions are arithmetic over table columns, numeric literals, and
+positional query parameters (``?``).  Evaluation is fully vectorized: a
+column environment maps names to numpy arrays and parameters are bound to
+scalars at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ExpressionError, UnknownColumnError
+
+__all__ = ["Expr", "Column", "Number", "Param", "BinOp", "Neg"]
+
+_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def evaluate(
+        self,
+        env: Mapping[str, np.ndarray],
+        params: Sequence[float] = (),
+    ) -> np.ndarray | float:
+        """Evaluate against a column environment and bound parameters."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """Names of all table columns referenced."""
+        raise NotImplementedError
+
+    def params(self) -> frozenset[int]:
+        """Positions of all query parameters referenced."""
+        raise NotImplementedError
+
+    def is_param_free(self) -> bool:
+        """Whether the expression contains no query parameter."""
+        return not self.params()
+
+    # Operator sugar so compiler code can combine nodes naturally.
+    def __add__(self, other: "Expr") -> "Expr":
+        return BinOp("+", self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return BinOp("-", self, other)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return BinOp("*", self, other)
+
+    def __truediv__(self, other: "Expr") -> "Expr":
+        return BinOp("/", self, other)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A reference to a table column by name."""
+
+    name: str
+
+    def evaluate(self, env, params=()):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise UnknownColumnError(self.name) from None
+
+    def columns(self):
+        return frozenset({self.name})
+
+    def params(self):
+        return frozenset()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def evaluate(self, env, params=()):
+        return float(self.value)
+
+    def columns(self):
+        return frozenset()
+
+    def params(self):
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(float(self.value))
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional query parameter (the n-th ``?`` in the expression)."""
+
+    position: int
+
+    def evaluate(self, env, params=()):
+        if self.position >= len(params):
+            raise ExpressionError(
+                f"parameter ?{self.position} unbound: only {len(params)} value(s) given"
+            )
+        return float(params[self.position])
+
+    def columns(self):
+        return frozenset()
+
+    def params(self):
+        return frozenset({self.position})
+
+    def __str__(self) -> str:
+        # Printed as the placeholder itself so printed expressions reparse;
+        # positions are implicit in left-to-right occurrence order.
+        return "?"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation (+, -, *, /)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ExpressionError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, env, params=()):
+        return _OPS[self.op](self.left.evaluate(env, params), self.right.evaluate(env, params))
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def params(self):
+        return self.left.params() | self.right.params()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary negation."""
+
+    operand: Expr
+
+    def evaluate(self, env, params=()):
+        return -self.operand.evaluate(env, params)
+
+    def columns(self):
+        return self.operand.columns()
+
+    def params(self):
+        return self.operand.params()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"

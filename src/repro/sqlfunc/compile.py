@@ -1,0 +1,223 @@
+"""Compile a parameterised expression into scalar product form.
+
+A query expression is *indexable* when it is linear in its parameters::
+
+    expr  =  base(columns) + sum_j coeff_j(columns) * ?_j
+
+The parameter-free ``base`` and ``coeff_j`` become the components of the
+indexed function ``phi``, and the parameter values (plus a constant 1 for
+the base) become the query normal — exactly the decomposition the paper
+performs by hand in Examples 1 and 2.  Expressions that are nonlinear in a
+parameter (``? * ?``, a parameter inside a divisor, ...) raise
+:class:`NonScalarProductError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import NonScalarProductError
+from .ast import BinOp, Column, Expr, Neg, Number, Param
+from .parser import parse
+
+__all__ = ["ScalarProductForm", "compile_expression"]
+
+# ``None`` keys the parameter-free (base) part of a linear form.
+_LinearForm = dict
+
+
+def _is_zero(expr: Expr) -> bool:
+    return isinstance(expr, Number) and expr.value == 0.0
+
+
+def _is_one(expr: Expr) -> bool:
+    return isinstance(expr, Number) and expr.value == 1.0
+
+
+def _add(left: Expr, right: Expr) -> Expr:
+    if _is_zero(left):
+        return right
+    if _is_zero(right):
+        return left
+    if isinstance(left, Number) and isinstance(right, Number):
+        return Number(left.value + right.value)
+    return BinOp("+", left, right)
+
+
+def _mul(left: Expr, right: Expr) -> Expr:
+    if _is_one(left):
+        return right
+    if _is_one(right):
+        return left
+    if _is_zero(left) or _is_zero(right):
+        return Number(0.0)
+    if isinstance(left, Number) and isinstance(right, Number):
+        return Number(left.value * right.value)
+    return BinOp("*", left, right)
+
+
+def _div(left: Expr, right: Expr) -> Expr:
+    if _is_one(right):
+        return left
+    if isinstance(left, Number) and isinstance(right, Number) and right.value != 0.0:
+        return Number(left.value / right.value)
+    return BinOp("/", left, right)
+
+
+def _neg(expr: Expr) -> Expr:
+    if isinstance(expr, Number):
+        return Number(-expr.value)
+    if isinstance(expr, Neg):
+        return expr.operand
+    return Neg(expr)
+
+
+def _linearize(expr: Expr) -> _LinearForm:
+    """Decompose ``expr`` into ``{param_index_or_None: coefficient_expr}``."""
+    if isinstance(expr, (Number, Column)):
+        return {None: expr}
+    if isinstance(expr, Param):
+        return {expr.position: Number(1.0)}
+    if isinstance(expr, Neg):
+        inner = _linearize(expr.operand)
+        return {key: _neg(value) for key, value in inner.items()}
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            left = _linearize(expr.left)
+            right = _linearize(expr.right)
+            merged = dict(left)
+            for key, value in right.items():
+                addend = _neg(value) if expr.op == "-" else value
+                merged[key] = _add(merged[key], addend) if key in merged else addend
+            return merged
+        if expr.op == "*":
+            left_free = expr.left.is_param_free()
+            right_free = expr.right.is_param_free()
+            if not left_free and not right_free:
+                raise NonScalarProductError(
+                    f"expression multiplies two parameter-dependent factors: {expr}"
+                )
+            if left_free:
+                scalar, form = expr.left, _linearize(expr.right)
+            else:
+                scalar, form = expr.right, _linearize(expr.left)
+            return {key: _mul(scalar, value) for key, value in form.items()}
+        # Division: only by a parameter-free expression.
+        if not expr.right.is_param_free():
+            raise NonScalarProductError(
+                f"expression divides by a parameter-dependent factor: {expr}"
+            )
+        form = _linearize(expr.left)
+        return {key: _div(value, expr.right) for key, value in form.items()}
+    raise NonScalarProductError(f"unsupported expression node: {expr!r}")
+
+
+@dataclass(frozen=True)
+class ScalarProductForm:
+    """The scalar-product decomposition of a parameterised expression.
+
+    ``expr(x, p) = base(x) + sum_j coefficients[j](x) * p[param_positions[j]]``
+
+    ``phi(x)`` stacks ``base`` (when present) followed by the coefficient
+    expressions; the matching query normal is ``(1, p_0, ..., p_m)``.
+    """
+
+    expr: Expr
+    base: Expr | None
+    param_positions: tuple[int, ...]
+    coefficients: tuple[Expr, ...]
+
+    @property
+    def n_params(self) -> int:
+        """Number of distinct query parameters."""
+        return len(self.param_positions)
+
+    @property
+    def has_base(self) -> bool:
+        """Whether a parameter-free base component exists."""
+        return self.base is not None
+
+    @property
+    def phi_dim(self) -> int:
+        """Dimensionality ``d'`` of the induced feature map."""
+        return len(self.coefficients) + (1 if self.has_base else 0)
+
+    @property
+    def feature_exprs(self) -> tuple[Expr, ...]:
+        """The column-only expressions making up ``phi`` (base first)."""
+        if self.has_base:
+            return (self.base, *self.coefficients)
+        return self.coefficients
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Readable names for the ``phi`` components."""
+        return tuple(str(expr) for expr in self.feature_exprs)
+
+    def columns(self) -> frozenset[str]:
+        """All table columns the expression touches."""
+        return self.expr.columns()
+
+    def feature_matrix(self, env: Mapping[str, np.ndarray], n_rows: int) -> np.ndarray:
+        """Evaluate ``phi`` over a column environment as an ``(n, d')`` matrix."""
+        cols = []
+        for expr in self.feature_exprs:
+            value = expr.evaluate(env)
+            cols.append(np.broadcast_to(np.asarray(value, dtype=np.float64), n_rows))
+        return np.column_stack(cols)
+
+    def query_normal(self, params: Sequence[float]) -> np.ndarray:
+        """The query normal ``a`` for one parameter binding.
+
+        Raises :class:`NonScalarProductError` when the binding's arity does
+        not match the expression.
+        """
+        if len(params) != self.n_params:
+            raise NonScalarProductError(
+                f"expression has {self.n_params} parameter(s), got {len(params)} value(s)"
+            )
+        # params[i] binds the parameter at param_positions[i] — positional,
+        # mirroring evaluate(); positions need not be contiguous for
+        # hand-built ASTs.
+        values = [float(value) for value in params]
+        if self.has_base:
+            return np.array([1.0, *values], dtype=np.float64)
+        return np.array(values, dtype=np.float64)
+
+    def evaluate(self, env: Mapping[str, np.ndarray], params: Sequence[float]) -> np.ndarray:
+        """Direct (oracle) evaluation of the original expression."""
+        full = [0.0] * (max(self.param_positions, default=-1) + 1)
+        for value, pos in zip(params, self.param_positions):
+            full[pos] = float(value)
+        return np.asarray(self.expr.evaluate(env, full), dtype=np.float64)
+
+
+def compile_expression(expression: str | Expr) -> ScalarProductForm:
+    """Parse (if needed) and decompose an expression into scalar product form.
+
+    >>> form = compile_expression("active_power - ? * voltage * current")
+    >>> form.feature_names
+    ('active_power', '(-(current * voltage))')
+    >>> form.n_params
+    1
+    """
+    expr = parse(expression) if isinstance(expression, str) else expression
+    form = _linearize(expr)
+    base = form.pop(None, None)
+    if base is not None and _is_zero(base):
+        base = None
+    positions = tuple(sorted(form))
+    coefficients = tuple(form[pos] for pos in positions)
+    if not coefficients and base is None:
+        raise NonScalarProductError("expression is identically zero")
+    for pos, coeff in zip(positions, coefficients):
+        if _is_zero(coeff):
+            raise NonScalarProductError(
+                f"parameter ?{pos} cancels out of the expression; rewrite without it"
+            )
+    return ScalarProductForm(
+        expr=expr, base=base, param_positions=positions, coefficients=coefficients
+    )

@@ -1,0 +1,100 @@
+"""Tokenizer for the SQL-function expression language.
+
+Grammar tokens: numbers (integer / decimal / scientific), identifiers
+(column names, ``[A-Za-z_][A-Za-z0-9_]*``), the parameter placeholder
+``?``, arithmetic operators ``+ - * /``, and parentheses.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..exceptions import ExpressionSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    NUMBER = "number"
+    IDENT = "ident"
+    PARAM = "param"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LPAREN = "("
+    RPAREN = ")"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def value(self) -> float:
+        """Numeric value for NUMBER tokens."""
+        if self.type is not TokenType.NUMBER:
+            raise ExpressionSyntaxError(f"token {self.text!r} is not a number")
+        return float(self.text)
+
+
+_NUMBER_RE = re.compile(r"\d+(\.\d*)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_SINGLE_CHAR = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "?": TokenType.PARAM,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``, ending with an EOF token.
+
+    Raises
+    ------
+    ExpressionSyntaxError
+        On any character outside the language.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char in _SINGLE_CHAR:
+            yield Token(_SINGLE_CHAR[char], char, position)
+            position += 1
+            continue
+        number = _NUMBER_RE.match(text, position)
+        if number:
+            yield Token(TokenType.NUMBER, number.group(), position)
+            position = number.end()
+            continue
+        ident = _IDENT_RE.match(text, position)
+        if ident:
+            yield Token(TokenType.IDENT, ident.group(), position)
+            position = ident.end()
+            continue
+        raise ExpressionSyntaxError(
+            f"unexpected character {char!r} at position {position} in {text!r}"
+        )
+    yield Token(TokenType.EOF, "", length)

@@ -1,0 +1,107 @@
+"""Recursive-descent parser for the SQL-function expression language.
+
+Grammar (standard arithmetic precedence, left associative)::
+
+    expression := term (("+" | "-") term)*
+    term       := unary (("*" | "/") unary)*
+    unary      := "-" unary | atom
+    atom       := NUMBER | IDENT | "?" | "(" expression ")"
+
+Each ``?`` placeholder is assigned the next positional parameter index in
+left-to-right source order.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ExpressionSyntaxError
+from .ast import BinOp, Column, Expr, Neg, Number, Param
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._next_param = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ExpressionSyntaxError(
+                f"expected {token_type.value!r} at position {token.position}, "
+                f"found {token.text or 'end of input'!r}"
+            )
+        return self._advance()
+
+    def parse(self) -> Expr:
+        expr = self._expression()
+        trailing = self._peek()
+        if trailing.type is not TokenType.EOF:
+            raise ExpressionSyntaxError(
+                f"unexpected trailing input {trailing.text!r} at position {trailing.position}"
+            )
+        return expr
+
+    def _expression(self) -> Expr:
+        expr = self._term()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance()
+            right = self._term()
+            expr = BinOp("+" if op.type is TokenType.PLUS else "-", expr, right)
+        return expr
+
+    def _term(self) -> Expr:
+        expr = self._unary()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH):
+            op = self._advance()
+            right = self._unary()
+            expr = BinOp("*" if op.type is TokenType.STAR else "/", expr, right)
+        return expr
+
+    def _unary(self) -> Expr:
+        if self._peek().type is TokenType.MINUS:
+            self._advance()
+            return Neg(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Number(token.value)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return Column(token.text)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            param = Param(self._next_param)
+            self._next_param += 1
+            return param
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        raise ExpressionSyntaxError(
+            f"expected a value at position {token.position}, "
+            f"found {token.text or 'end of input'!r}"
+        )
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an expression AST.
+
+    >>> str(parse("active_power - ? * voltage * current"))
+    '(active_power - ((? * voltage) * current))'
+    """
+    return _Parser(tokenize(text)).parse()

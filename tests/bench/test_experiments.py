@@ -1,0 +1,102 @@
+"""Smoke tests for the experiment runners (tiny sizes — shape only)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    run_consumption_experiment,
+    run_index_cost_experiment,
+    run_memory_experiment,
+    run_moving_experiment,
+    run_query_experiment,
+    run_scalability_experiment,
+    run_selectivity_experiment,
+    run_topk_experiment,
+    run_update_experiment,
+)
+from repro.datasets import load
+
+
+@pytest.fixture(scope="module")
+def points():
+    return load("indp", 3000, 4, rng=0).points
+
+
+class TestQueryExperiment:
+    def test_fields(self, points):
+        cell = run_query_experiment(points, rq=2, n_indices=10, n_queries=4, rng=0)
+        assert set(cell) == {
+            "planar_ms",
+            "baseline_ms",
+            "speedup",
+            "pruning_pct",
+            "n_indices",
+        }
+        assert 0.0 <= cell["pruning_pct"] <= 100.0
+        assert cell["planar_ms"] > 0 and cell["baseline_ms"] > 0
+
+
+class TestConsumptionExperiment:
+    def test_rows(self):
+        rows = run_consumption_experiment(5000, [5, 20], n_queries=4, rng=0)
+        assert [r["n_indices"] for r in rows] == [5, 20]
+        assert all(r["build_s"] > 0 for r in rows)
+
+
+class TestSelectivityExperiment:
+    def test_monotone_selectivity(self, points):
+        rows = run_selectivity_experiment(
+            points, (0.1, 0.5, 1.0), n_indices=10, n_queries=4, rng=0
+        )
+        sel = [r["selectivity_pct"] for r in rows]
+        assert sel[0] <= sel[1] <= sel[2]
+
+
+class TestScalability:
+    def test_sizes(self):
+        rows = run_scalability_experiment(
+            "indp", (1000, 3000), n_indices=5, n_queries=3, rng=0
+        )
+        assert [r["n_points"] for r in rows] == [1000, 3000]
+
+
+class TestIndexCosts:
+    def test_build_rows(self):
+        rows = run_index_cost_experiment((2, 4), (1, 5), n_points=2000, rng=0)
+        assert len(rows) == 4
+
+    def test_memory_rows(self):
+        rows = run_memory_experiment((2, 4), (1, 5), n_points=2000, rng=0)
+        assert all(r["memory_mb"] > 0 for r in rows)
+        by_dim2 = [r["memory_mb"] for r in rows if r["dim"] == 2]
+        assert by_dim2[1] > by_dim2[0]
+
+    def test_update_rows(self):
+        rows = run_update_experiment(2000, 4, (0.05, 0.2), n_indices=3, rng=0)
+        assert all(r["per_index_ms"] >= 0 for r in rows)
+
+
+class TestMovingExperiment:
+    @pytest.mark.parametrize("scenario", ["linear", "circular", "accelerating"])
+    def test_scenarios(self, scenario):
+        rows = run_moving_experiment(scenario, 40, (10.0, 12.0), rng=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["planar_ms"] > 0 and row["baseline_ms"] > 0
+        if scenario == "linear":
+            assert "mbr_ms" in rows[0]
+        else:
+            assert "mbr_ms" not in rows[0]
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            run_moving_experiment("teleporting", 10, (10.0,))
+
+
+class TestTopKExperiment:
+    def test_rows(self, points):
+        rows = run_topk_experiment(points, (5, 50), n_indices=10, n_queries=4, rng=0)
+        assert [r["k"] for r in rows] == [5, 50]
+        assert all(0.0 <= r["checked_pct"] <= 100.0 for r in rows)

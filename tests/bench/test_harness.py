@@ -1,0 +1,55 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Timer, format_table, print_table, time_call
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            total = sum(range(10_000))
+        assert total > 0
+        assert timer.seconds >= 0.0
+        assert timer.millis == pytest.approx(timer.seconds * 1000.0)
+
+
+class TestTimeCall:
+    def test_returns_best(self):
+        calls = []
+        value = time_call(lambda: calls.append(1), repeat=4)
+        assert len(calls) == 4
+        assert value >= 0.0
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        rows = [
+            {"name": "a", "value": 1.2345, "count": 10},
+            {"name": "longer", "value": 1234.5, "count": 2},
+        ]
+        text = format_table("demo", rows)
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table("t", [{"v": 0.00012}, {"v": 12.3}, {"v": 4567.0}])
+        assert "0.0001" in text
+        assert "12.30" in text
+        assert "4567" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table("t", [])
+
+    def test_print_table_smoke(self, capsys):
+        print_table("t", [{"a": 1}])
+        captured = capsys.readouterr()
+        assert "== t ==" in captured.out

@@ -1,0 +1,71 @@
+"""Shared fixtures and oracles for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ParameterDomain, QueryModel, ScalarProductQuery
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need other seeds build their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_points(rng: np.random.Generator) -> np.ndarray:
+    """A small first-octant dataset matching the paper's synthetic ranges."""
+    return rng.uniform(1.0, 100.0, size=(2000, 4))
+
+
+@pytest.fixture
+def uniform_model() -> QueryModel:
+    """Positive discrete query model (RQ = 4) over four axes."""
+    return QueryModel.uniform(dim=4, low=1.0, high=5.0, rq=4)
+
+
+@pytest.fixture
+def mixed_sign_points(rng: np.random.Generator) -> np.ndarray:
+    """Data spanning all octants, for translation-path coverage."""
+    return rng.normal(0.0, 10.0, size=(1500, 3))
+
+
+@pytest.fixture
+def mixed_sign_model() -> QueryModel:
+    """Query model whose octant is (+, -, +)."""
+    return QueryModel(
+        [
+            ParameterDomain(low=0.5, high=3.0),
+            ParameterDomain(low=-2.0, high=-0.5),
+            ParameterDomain(values=[1.0, 2.0, 4.0]),
+        ]
+    )
+
+
+def brute_force_ids(
+    features: np.ndarray, query: ScalarProductQuery, ids: np.ndarray | None = None
+) -> np.ndarray:
+    """Oracle: ids satisfying the query by direct evaluation, ascending."""
+    if ids is None:
+        ids = np.arange(features.shape[0], dtype=np.int64)
+    mask = query.evaluate(features)
+    return np.sort(ids[mask])
+
+
+def brute_force_topk(
+    features: np.ndarray,
+    query: ScalarProductQuery,
+    k: int,
+    ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Oracle: (ids, distances) of the top-k satisfying points."""
+    if ids is None:
+        ids = np.arange(features.shape[0], dtype=np.int64)
+    values = features @ query.normal
+    mask = query.op.evaluate(values, query.offset)
+    sat_ids = ids[mask]
+    distances = np.abs(values[mask] - query.offset) / np.linalg.norm(query.normal)
+    order = np.lexsort((sat_ids, distances))[:k]
+    return sat_ids[order], distances[order]

@@ -1,0 +1,124 @@
+"""Tests for conjunctive linear-constraint queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConjunctiveQuery,
+    FunctionIndex,
+    QueryModel,
+    ScalarProductQuery,
+)
+from repro.exceptions import InvalidQueryError
+
+
+@pytest.fixture
+def setup(rng):
+    points = rng.uniform(1, 100, size=(3000, 4))
+    model = QueryModel.uniform(dim=4, low=1.0, high=5.0, rq=4)
+    index = FunctionIndex(points, model, n_indices=30, rng=0)
+    return points, model, index
+
+
+class TestConjunctiveQuery:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery([])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery(
+                [
+                    ScalarProductQuery(np.ones(2), 1.0),
+                    ScalarProductQuery(np.ones(3), 1.0),
+                ]
+            )
+
+    def test_evaluate_is_logical_and(self, rng):
+        points = rng.uniform(0, 10, size=(100, 2))
+        c1 = ScalarProductQuery(np.array([1.0, 0.001]), 5.0)
+        c2 = ScalarProductQuery(np.array([0.001, 1.0]), 5.0)
+        conj = ConjunctiveQuery([c1, c2])
+        expected = c1.evaluate(points) & c2.evaluate(points)
+        assert np.array_equal(conj.evaluate(points), expected)
+
+
+class TestAnswerConjunction:
+    def test_two_constraints_exact(self, setup, rng):
+        points, model, index = setup
+        for _ in range(5):
+            c1 = ScalarProductQuery(model.sample_normal(rng), float(rng.uniform(400, 900)))
+            c2 = ScalarProductQuery(model.sample_normal(rng), float(rng.uniform(300, 700)), ">=")
+            answer = index.query_conjunction([c1, c2])
+            truth = np.nonzero(c1.evaluate(points) & c2.evaluate(points))[0]
+            assert np.array_equal(answer.ids, truth)
+            assert 0.0 <= answer.pruned_fraction <= 1.0
+
+    def test_three_constraints_exact(self, setup, rng):
+        points, model, index = setup
+        constraints = [
+            ScalarProductQuery(model.sample_normal(rng), 800.0),
+            ScalarProductQuery(model.sample_normal(rng), 200.0, ">"),
+            ScalarProductQuery(model.sample_normal(rng), 900.0, "<"),
+        ]
+        answer = index.query_conjunction(constraints)
+        mask = np.ones(len(points), dtype=bool)
+        for constraint in constraints:
+            mask &= constraint.evaluate(points)
+        assert np.array_equal(answer.ids, np.nonzero(mask)[0])
+
+    def test_tuple_constraints_accepted(self, setup, rng):
+        points, model, index = setup
+        normal = model.sample_normal(rng)
+        answer = index.query_conjunction([(normal, 500.0), (normal, 100.0, ">=")])
+        truth = np.nonzero((points @ normal <= 500.0) & (points @ normal >= 100.0))[0]
+        assert np.array_equal(answer.ids, truth)
+
+    def test_contradictory_constraints_empty(self, setup, rng):
+        points, model, index = setup
+        normal = model.sample_normal(rng)
+        answer = index.query_conjunction([(normal, 100.0), (normal, 200.0, ">")])
+        assert len(answer) == 0
+
+    def test_single_constraint_matches_plain_query(self, setup, rng):
+        points, model, index = setup
+        normal = model.sample_normal(rng)
+        conj = index.query_conjunction([(normal, 500.0)])
+        plain = index.query(normal, 500.0)
+        assert np.array_equal(conj.ids, plain.ids)
+
+    def test_pruning_reported_per_constraint(self, setup, rng):
+        points, model, index = setup
+        answer = index.query_conjunction(
+            [(model.sample_normal(rng), 500.0), (model.sample_normal(rng), 600.0)]
+        )
+        assert len(answer.per_constraint) == 2
+        for stats in answer.per_constraint:
+            assert stats.n_total == len(points)
+
+
+@given(seed=st.integers(0, 500), n_constraints=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_property_conjunction_exact(seed, n_constraints):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(1, 50, size=(400, 3))
+    model = QueryModel.uniform(dim=3, low=1.0, high=4.0)
+    index = FunctionIndex(points, model, n_indices=8, rng=seed)
+    ops = ["<=", "<", ">=", ">"]
+    constraints = [
+        ScalarProductQuery(
+            model.sample_normal(rng),
+            float(rng.uniform(50, 400)),
+            ops[int(rng.integers(0, 4))],
+        )
+        for _ in range(n_constraints)
+    ]
+    answer = index.query_conjunction(constraints)
+    mask = np.ones(len(points), dtype=bool)
+    for constraint in constraints:
+        mask &= constraint.evaluate(points)
+    assert np.array_equal(answer.ids, np.nonzero(mask)[0])

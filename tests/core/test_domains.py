@@ -1,0 +1,143 @@
+"""Tests for ParameterDomain and QueryModel (Section 4.1 / 7.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ParameterDomain, QueryModel
+from repro.exceptions import InvalidDomainError
+
+
+class TestParameterDomain:
+    def test_continuous_bounds(self):
+        dom = ParameterDomain(low=1.0, high=5.0)
+        assert not dom.is_discrete
+        assert dom.low == 1.0 and dom.high == 5.0
+        assert dom.cardinality == float("inf")
+        assert dom.sign == 1
+
+    def test_discrete_values_sorted_unique(self):
+        dom = ParameterDomain(values=[3.0, 1.0, 3.0, 2.0])
+        assert dom.is_discrete
+        assert np.array_equal(dom.values, [1.0, 2.0, 3.0])
+        assert dom.cardinality == 3
+
+    def test_discrete_grid_matches_rq(self):
+        dom = ParameterDomain.discrete_grid(1.0, 5.0, 5)
+        assert np.allclose(dom.values, [1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_discrete_grid_single_value(self):
+        dom = ParameterDomain.discrete_grid(2.0, 9.0, 1)
+        assert np.array_equal(dom.values, [2.0])
+
+    def test_negative_domain_sign(self):
+        dom = ParameterDomain(low=-5.0, high=-1.0)
+        assert dom.sign == -1
+
+    def test_straddling_rejected(self):
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain(low=-1.0, high=1.0)
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain(values=[-1.0, 2.0])
+
+    def test_empty_and_invalid(self):
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain(low=5.0, high=1.0)
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain(values=[])
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain(values=[0.0])
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain()
+        with pytest.raises(InvalidDomainError):
+            ParameterDomain(low=1.0, high=2.0, values=[1.0])
+
+    def test_contains(self):
+        cont = ParameterDomain(low=1.0, high=2.0)
+        assert cont.contains(1.5) and not cont.contains(2.5)
+        disc = ParameterDomain(values=[1.0, 4.0])
+        assert disc.contains(4.0) and not disc.contains(2.0)
+
+    def test_sampling_respects_domain(self):
+        rng = np.random.default_rng(0)
+        disc = ParameterDomain(values=[1.0, 2.0])
+        samples = disc.sample(rng, size=100)
+        assert set(np.unique(samples)) <= {1.0, 2.0}
+        cont = ParameterDomain(low=3.0, high=4.0)
+        samples = cont.sample(rng, size=100)
+        assert np.all((samples >= 3.0) & (samples <= 4.0))
+
+    def test_scalar_sample(self):
+        rng = np.random.default_rng(0)
+        value = ParameterDomain(values=[7.0]).sample(rng)
+        assert value == 7.0
+
+    def test_widened(self):
+        disc = ParameterDomain(values=[1.0, 2.0])
+        assert disc.widened(1.0) is disc
+        wider = disc.widened(5.0)
+        assert wider.contains(5.0)
+        cont = ParameterDomain(low=1.0, high=2.0)
+        assert cont.widened(4.0).high == 4.0
+
+    def test_equality_and_hash(self):
+        assert ParameterDomain(values=[1.0, 2.0]) == ParameterDomain(values=[2.0, 1.0])
+        assert ParameterDomain(low=1.0, high=2.0) != ParameterDomain(values=[1.0, 2.0])
+        assert hash(ParameterDomain(low=1.0, high=2.0)) == hash(
+            ParameterDomain(low=1.0, high=2.0)
+        )
+
+
+class TestQueryModel:
+    def test_uniform_discrete_rq(self):
+        model = QueryModel.uniform(dim=3, low=1.0, high=5.0, rq=4)
+        assert model.dim == 3
+        assert model.randomness == 4
+        assert model.normal_space_size == 64
+
+    def test_uniform_continuous(self):
+        model = QueryModel.uniform(dim=2, low=1.0, high=5.0)
+        assert model.normal_space_size == float("inf")
+
+    def test_octant(self):
+        model = QueryModel(
+            [ParameterDomain(low=1.0, high=2.0), ParameterDomain(low=-2.0, high=-1.0)]
+        )
+        assert np.array_equal(model.octant(), [1, -1])
+
+    def test_sample_normal_in_domains(self):
+        model = QueryModel.uniform(dim=4, low=1.0, high=5.0, rq=4)
+        normal = model.sample_normal(0)
+        assert model.contains(normal)
+
+    def test_sample_normals_shape(self):
+        model = QueryModel.uniform(dim=3, low=1.0, high=2.0)
+        normals = model.sample_normals(10, 0)
+        assert normals.shape == (10, 3)
+        assert np.all((normals >= 1.0) & (normals <= 2.0))
+
+    def test_contains_rejects_wrong_shape(self):
+        model = QueryModel.uniform(dim=2, low=1.0, high=2.0)
+        assert not model.contains(np.array([1.0, 1.0, 1.0]))
+
+    def test_widened(self):
+        model = QueryModel.uniform(dim=2, low=1.0, high=2.0, rq=2)
+        wider = model.widened(np.array([3.0, 1.0]))
+        assert wider.contains(np.array([3.0, 1.0]))
+        with pytest.raises(InvalidDomainError):
+            model.widened(np.array([1.0]))
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(InvalidDomainError):
+            QueryModel([])
+
+    def test_non_domain_rejected(self):
+        with pytest.raises(InvalidDomainError):
+            QueryModel([(1.0, 2.0)])
+
+    def test_randomness_nan_when_mixed(self):
+        model = QueryModel(
+            [ParameterDomain(values=[1.0, 2.0]), ParameterDomain(values=[1.0, 2.0, 3.0])]
+        )
+        assert np.isnan(model.randomness)

@@ -1,0 +1,103 @@
+"""Tests for the shared feature store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FeatureStore
+from repro.exceptions import DimensionMismatchError
+
+
+@pytest.fixture
+def store() -> FeatureStore:
+    return FeatureStore(np.arange(12.0).reshape(4, 3))
+
+
+class TestBasics:
+    def test_shape_and_len(self, store):
+        assert len(store) == 4
+        assert store.dim == 3
+        assert store.capacity == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureStore(np.empty((0, 3)))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureStore(np.array([[1.0, np.inf]]))
+
+    def test_initial_data_copied(self):
+        data = np.ones((2, 2))
+        store = FeatureStore(data)
+        data[0, 0] = 99.0
+        assert store.get(np.array([0]))[0, 0] == 1.0
+
+    def test_get_returns_rows(self, store):
+        rows = store.get(np.array([2, 0]))
+        assert np.array_equal(rows, [[6.0, 7.0, 8.0], [0.0, 1.0, 2.0]])
+
+    def test_get_all(self, store):
+        ids, rows = store.get_all()
+        assert np.array_equal(ids, [0, 1, 2, 3])
+        assert rows.shape == (4, 3)
+
+    def test_out_of_range_id(self, store):
+        with pytest.raises(KeyError):
+            store.get(np.array([99]))
+
+
+class TestMutation:
+    def test_update(self, store):
+        store.update(np.array([1]), np.array([[9.0, 9.0, 9.0]]))
+        assert np.array_equal(store.get(np.array([1]))[0], [9.0, 9.0, 9.0])
+
+    def test_update_shape_checked(self, store):
+        with pytest.raises(DimensionMismatchError):
+            store.update(np.array([1]), np.array([[9.0, 9.0]]))
+
+    def test_update_nonfinite_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.update(np.array([1]), np.array([[np.nan, 1.0, 1.0]]))
+
+    def test_append_assigns_fresh_ids(self, store):
+        new_ids = store.append(np.ones((2, 3)))
+        assert np.array_equal(new_ids, [4, 5])
+        assert len(store) == 6
+
+    def test_append_empty(self, store):
+        assert store.append(np.empty((0, 3))).size == 0
+
+    def test_append_wrong_dim(self, store):
+        with pytest.raises(DimensionMismatchError):
+            store.append(np.ones((1, 2)))
+
+    def test_delete_makes_id_dead(self, store):
+        store.delete(np.array([1]))
+        assert len(store) == 3
+        assert not store.is_live(1)
+        with pytest.raises(KeyError):
+            store.get(np.array([1]))
+
+    def test_deleted_ids_not_reused(self, store):
+        store.delete(np.array([3]))
+        new_ids = store.append(np.zeros((1, 3)))
+        assert new_ids[0] == 4
+
+    def test_double_delete_rejected(self, store):
+        store.delete(np.array([0]))
+        with pytest.raises(KeyError):
+            store.delete(np.array([0]))
+
+    def test_duplicate_delete_batch_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.delete(np.array([0, 0]))
+
+    def test_live_ids_after_churn(self, store):
+        store.delete(np.array([0, 2]))
+        store.append(np.ones((1, 3)))
+        assert np.array_equal(store.live_ids(), [1, 3, 4])
+
+    def test_memory_bytes_positive(self, store):
+        assert store.memory_bytes() >= 4 * 3 * 8

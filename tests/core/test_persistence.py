@@ -1,0 +1,119 @@
+"""Tests for index save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FeatureMap,
+    FunctionIndex,
+    ParameterDomain,
+    QueryModel,
+    load_index,
+    product_map,
+    save_index,
+)
+from repro.core.persistence import PersistenceError
+
+
+@pytest.fixture
+def identity_index(rng):
+    points = rng.uniform(1, 100, size=(500, 3))
+    model = QueryModel.uniform(dim=3, low=1.0, high=5.0, rq=4)
+    return points, model, FunctionIndex(points, model, n_indices=8, rng=0)
+
+
+class TestRoundTrip:
+    def test_identity_map_round_trip(self, identity_index, tmp_path, rng):
+        points, model, index = identity_index
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == len(index)
+        assert loaded.n_indices == index.n_indices
+        for _ in range(5):
+            normal = model.sample_normal(rng)
+            offset = float(rng.uniform(100, 800))
+            assert np.array_equal(
+                index.query(normal, offset).ids, loaded.query(normal, offset).ids
+            )
+
+    def test_product_map_round_trip(self, tmp_path, rng):
+        points = rng.uniform(1, 10, size=(300, 4))
+        fmap = product_map(4, [(0,), (2, 3)])
+        model = QueryModel(
+            [ParameterDomain(values=[1.0]), ParameterDomain(low=-1.0, high=-0.1)]
+        )
+        index = FunctionIndex(points, model, feature_map=fmap, n_indices=5, rng=0)
+        path = tmp_path / "prod.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        answer = loaded.query(np.array([1.0, -0.5]), 0.0)
+        expected = index.query(np.array([1.0, -0.5]), 0.0)
+        assert np.array_equal(answer.ids, expected.ids)
+
+    def test_deleted_points_not_persisted(self, identity_index, tmp_path):
+        points, model, index = identity_index
+        index.delete_points(np.arange(100, dtype=np.int64))
+        path = tmp_path / "pruned.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == 400
+
+    def test_discrete_and_continuous_domains_preserved(self, identity_index, tmp_path):
+        _, model, index = identity_index
+        path = tmp_path / "dom.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.query_model.domains == model.domains
+
+    def test_normals_preserved(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = tmp_path / "norm.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert np.allclose(
+            np.sort(loaded.collection.normals, axis=0),
+            np.sort(index.collection.normals, axis=0),
+        )
+
+
+class TestCustomMaps:
+    def test_custom_map_requires_resupply(self, tmp_path, rng):
+        points = rng.uniform(1, 10, size=(100, 2))
+        fmap = FeatureMap(lambda p: np.sqrt(p), in_dim=2, out_dim=2)
+        model = QueryModel.uniform(dim=2, low=1.0, high=2.0)
+        index = FunctionIndex(points, model, feature_map=fmap, n_indices=3, rng=0)
+        path = tmp_path / "custom.npz"
+        save_index(index, path)
+        with pytest.raises(PersistenceError, match="custom feature map"):
+            load_index(path)
+        loaded = load_index(path, feature_map=fmap)
+        normal = model.sample_normal(0)
+        assert np.array_equal(
+            loaded.query(normal, 3.0).ids, index.query(normal, 3.0).ids
+        )
+
+    def test_wrong_custom_map_shape_rejected(self, tmp_path, rng):
+        points = rng.uniform(1, 10, size=(100, 2))
+        fmap = FeatureMap(lambda p: np.sqrt(p), in_dim=2, out_dim=2)
+        model = QueryModel.uniform(dim=2, low=1.0, high=2.0)
+        index = FunctionIndex(points, model, feature_map=fmap, n_indices=3, rng=0)
+        path = tmp_path / "custom2.npz"
+        save_index(index, path)
+        wrong = FeatureMap(lambda p: p[:, :1], in_dim=2, out_dim=1)
+        with pytest.raises(PersistenceError, match="archive expects"):
+            load_index(path, feature_map=wrong)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(PersistenceError):
+            load_index(path)

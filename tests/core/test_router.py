@@ -1,0 +1,97 @@
+"""Tests for the collection's cost-based scan router and related paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FeatureStore,
+    FunctionIndex,
+    PlanarIndexCollection,
+    QueryModel,
+    ScalarProductQuery,
+)
+from repro.geometry import Translator
+
+from ..conftest import brute_force_ids
+
+
+def build_collection(points, normals):
+    store = FeatureStore(points)
+    translator = Translator(np.ones(points.shape[1]))
+    translator.observe(points)
+    return PlanarIndexCollection(store, translator, normals)
+
+
+class TestScanRouter:
+    def test_bad_index_triggers_scan_and_stays_exact(self, rng):
+        """A single index orthogonal-ish to the query produces a huge
+        intermediate interval; the router must scan and stay exact."""
+        points = rng.uniform(1, 100, size=(3000, 2))
+        # Index along (1, 50): nearly parallel to axis 2.
+        collection = build_collection(points, np.array([[1.0, 50.0]]))
+        query = ScalarProductQuery(np.array([50.0, 1.0]), 2000.0)
+        result = collection.query(query)
+        assert np.array_equal(result.ids, brute_force_ids(points, query))
+        # The router verified everything (scan), visible in the stats.
+        assert result.stats.n_verified == result.stats.n_total
+        assert result.stats.ii_size > 0.2 * result.stats.n_total
+
+    def test_good_index_avoids_scan(self, rng):
+        points = rng.uniform(1, 100, size=(3000, 2))
+        collection = build_collection(points, np.array([[2.0, 3.0]]))
+        query = ScalarProductQuery(np.array([2.0, 3.0]), 250.0)
+        result = collection.query(query)
+        assert result.stats.n_verified < 0.01 * result.stats.n_total
+        assert np.array_equal(result.ids, brute_force_ids(points, query))
+
+    def test_router_exact_after_deletions(self, rng):
+        """scan_values must honour liveness when the store has dead rows."""
+        points = rng.uniform(1, 100, size=(2000, 2))
+        model = QueryModel.uniform(dim=2, low=1.0, high=50.0)
+        index = FunctionIndex(points, model, normals=np.array([[1.0, 50.0]]), rng=0)
+        index.delete_points(np.arange(200, dtype=np.int64))
+        query = ScalarProductQuery(np.array([50.0, 1.0]), 2000.0)
+        answer = index.query(query.normal, query.offset)
+        expected = brute_force_ids(points[200:], query, np.arange(200, 2000))
+        assert np.array_equal(answer.ids, expected)
+        assert answer.stats.n_verified == answer.stats.n_total  # scanned
+
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">"])
+    def test_router_exact_for_all_ops(self, rng, op):
+        points = rng.uniform(1, 100, size=(2000, 3))
+        collection = build_collection(points, np.array([[1.0, 80.0, 1.0]]))
+        query = ScalarProductQuery(np.array([80.0, 1.0, 1.0]), 3000.0, op)
+        result = collection.query(query)
+        assert np.array_equal(result.ids, brute_force_ids(points, query))
+
+
+class TestExplicitNormals:
+    def test_function_index_with_explicit_normals(self, rng):
+        points = rng.uniform(1, 100, size=(1000, 3))
+        model = QueryModel.uniform(dim=3, low=1.0, high=5.0)
+        normals = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        index = FunctionIndex(points, model, normals=normals, rng=0)
+        assert index.n_indices == 2
+        assert np.allclose(index.collection.normals, normals)
+
+    def test_explicit_normals_deduped(self, rng):
+        points = rng.uniform(1, 100, size=(100, 2))
+        model = QueryModel.uniform(dim=2, low=1.0, high=5.0)
+        normals = np.array([[1.0, 2.0], [2.0, 4.0], [2.0, 1.0]])
+        index = FunctionIndex(points, model, normals=normals, rng=0)
+        assert index.n_indices == 2
+
+
+class TestPruningMetricSemantics:
+    def test_pruned_fraction_is_interval_based(self, rng):
+        """Even when the router scans, the pruning metric reflects the
+        intervals (the Figures 9/10 semantics)."""
+        points = rng.uniform(1, 100, size=(3000, 2))
+        collection = build_collection(points, np.array([[1.0, 1.0]]))
+        query = ScalarProductQuery(np.array([1.0, 1.0]), 100.0)
+        result = collection.query(query)
+        stats = result.stats
+        expected = (stats.si_size + stats.li_size) / stats.n_total
+        assert stats.pruned_fraction == pytest.approx(expected)

@@ -1,0 +1,95 @@
+"""Tests for best-index selection heuristics (Section 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PlanarIndex, ScalarProductQuery, SelectionStrategy
+from repro.core.selection import (
+    make_selector,
+    select_min_angle,
+    select_min_stretch,
+    select_random,
+)
+from repro.exceptions import IndexBuildError
+
+
+@pytest.fixture
+def indices(rng):
+    features = rng.uniform(1, 100, size=(200, 3))
+    normals = [
+        np.array([1.0, 1.0, 1.0]),
+        np.array([1.0, 2.0, 5.0]),
+        np.array([5.0, 1.0, 1.0]),
+    ]
+    return [PlanarIndex.from_features(features, n) for n in normals]
+
+
+def working(indices, query):
+    return indices[0].working_query(query)
+
+
+class TestMinStretch:
+    def test_parallel_index_selected(self, indices):
+        """Corollary 1: a parallel index has zero stretch and must win."""
+        query = ScalarProductQuery(np.array([1.0, 2.0, 5.0]), 10.0)
+        wq = working(indices, query)
+        assert select_min_stretch(indices, wq) == 1
+
+    def test_scaled_parallel_also_wins(self, indices):
+        query = ScalarProductQuery(np.array([2.0, 4.0, 10.0]), 10.0)
+        assert select_min_stretch(indices, working(indices, query)) == 1
+
+    def test_empty_collection_raises(self, indices):
+        query = ScalarProductQuery(np.array([1.0, 1.0, 1.0]), 10.0)
+        with pytest.raises(IndexBuildError):
+            select_min_stretch([], working(indices, query))
+
+
+class TestMinAngle:
+    def test_parallel_index_selected(self, indices):
+        query = ScalarProductQuery(np.array([5.0, 1.0, 1.0]), 10.0)
+        assert select_min_angle(indices, working(indices, query)) == 2
+
+    def test_agrees_with_stretch_on_parallel(self, indices):
+        for pos, normal in enumerate([[1.0, 1.0, 1.0], [1.0, 2.0, 5.0], [5.0, 1.0, 1.0]]):
+            query = ScalarProductQuery(np.array(normal), 25.0)
+            wq = working(indices, query)
+            assert select_min_angle(indices, wq) == pos
+            assert select_min_stretch(indices, wq) == pos
+
+
+class TestRandom:
+    def test_in_range_and_reproducible(self, indices):
+        query = ScalarProductQuery(np.array([1.0, 1.0, 1.0]), 10.0)
+        wq = working(indices, query)
+        picks_a = [select_random(indices, wq, np.random.default_rng(7)) for _ in range(5)]
+        picks_b = [select_random(indices, wq, np.random.default_rng(7)) for _ in range(5)]
+        assert picks_a == picks_b
+        assert all(0 <= p < 3 for p in picks_a)
+
+
+class TestMakeSelector:
+    def test_strategy_round_trip(self, indices):
+        query = ScalarProductQuery(np.array([1.0, 2.0, 5.0]), 10.0)
+        wq = working(indices, query)
+        assert make_selector(SelectionStrategy.MIN_STRETCH)(indices, wq) == 1
+        assert make_selector("min_angle")(indices, wq) == 1
+        pick = make_selector("random", rng=0)(indices, wq)
+        assert 0 <= pick < 3
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_selector("best_guess")
+
+
+class TestStretchValues:
+    def test_stretch_decreases_with_alignment(self, rng):
+        """An index closer to parallel yields a smaller max stretch."""
+        features = rng.uniform(1, 100, size=(50, 3))
+        query = ScalarProductQuery(np.array([1.0, 2.0, 5.0]), 10.0)
+        aligned = PlanarIndex.from_features(features, np.array([1.0, 2.0, 4.5]))
+        skewed = PlanarIndex.from_features(features, np.array([5.0, 1.0, 1.0]))
+        wq = aligned.working_query(query)
+        assert aligned.max_stretch(wq) < skewed.max_stretch(wq)

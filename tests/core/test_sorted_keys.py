@@ -1,0 +1,193 @@
+"""Tests for the dynamically maintained sorted key list (Section 4.2/4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SortedKeyStore
+from repro.exceptions import DimensionMismatchError
+
+key_lists = st.lists(
+    st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False), min_size=1, max_size=60
+)
+
+
+def assert_invariants(store: SortedKeyStore) -> None:
+    """Structural invariants: ascending keys, ids unique, lookup consistent."""
+    keys = store.sorted_keys
+    ids = store.sorted_ids
+    assert np.all(np.diff(keys) >= 0)
+    assert np.unique(ids).size == ids.size
+    for pid, key in zip(ids, keys):
+        assert store.key_of(int(pid)) == key
+
+
+class TestConstruction:
+    def test_sorts_on_build(self):
+        store = SortedKeyStore(np.array([3.0, 1.0, 2.0]))
+        assert np.array_equal(store.sorted_keys, [1.0, 2.0, 3.0])
+        assert np.array_equal(store.sorted_ids, [1, 2, 0])
+
+    def test_custom_ids(self):
+        store = SortedKeyStore(np.array([2.0, 1.0]), np.array([10, 20]))
+        assert np.array_equal(store.sorted_ids, [20, 10])
+        assert 10 in store and 30 not in store
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SortedKeyStore(np.array([1.0, 2.0]), np.array([5, 5]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            SortedKeyStore(np.array([1.0, 2.0]), np.array([1]))
+
+    def test_nonfinite_keys_rejected(self):
+        with pytest.raises(ValueError):
+            SortedKeyStore(np.array([1.0, np.nan]))
+
+    def test_views_are_read_only(self):
+        store = SortedKeyStore(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            store.sorted_keys[0] = 5.0
+
+
+class TestBinarySearch:
+    def test_rank_le_and_lt(self):
+        store = SortedKeyStore(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert store.rank_le(2.0) == 3
+        assert store.rank_lt(2.0) == 1
+        assert store.rank_le(0.5) == 0
+        assert store.rank_le(9.0) == 4
+
+    def test_rank_ranges(self):
+        store = SortedKeyStore(np.array([10.0, 20.0, 30.0]))
+        assert np.array_equal(store.ids_in_rank_range(0, 2), [0, 1])
+        assert np.array_equal(store.keys_in_rank_range(1, 3), [20.0, 30.0])
+
+
+class TestUpdate:
+    def test_single_update_moves_entry(self):
+        store = SortedKeyStore(np.array([1.0, 2.0, 3.0]))
+        store.update(0, 5.0)
+        assert np.array_equal(store.sorted_keys, [2.0, 3.0, 5.0])
+        assert store.key_of(0) == 5.0
+        assert_invariants(store)
+
+    def test_update_with_duplicate_keys(self):
+        store = SortedKeyStore(np.array([2.0, 2.0, 2.0]), np.array([7, 8, 9]))
+        store.update(8, 1.0)
+        assert store.key_of(8) == 1.0
+        assert store.sorted_ids[0] == 8
+        assert_invariants(store)
+
+    def test_update_unknown_id(self):
+        store = SortedKeyStore(np.array([1.0]))
+        with pytest.raises(KeyError):
+            store.update(99, 1.0)
+
+    def test_update_nonfinite_rejected(self):
+        store = SortedKeyStore(np.array([1.0]))
+        with pytest.raises(ValueError):
+            store.update(0, np.inf)
+
+    def test_batch_update_small(self):
+        store = SortedKeyStore(np.arange(100.0))
+        store.update_batch(np.array([0, 1]), np.array([200.0, 300.0]))
+        assert store.key_of(0) == 200.0
+        assert store.rank_le(99.0) == 98
+        assert_invariants(store)
+
+    def test_batch_update_large_triggers_rebuild(self):
+        store = SortedKeyStore(np.arange(10.0))
+        ids = np.arange(8)
+        store.update_batch(ids, -np.arange(8.0))
+        for pid in ids:
+            assert store.key_of(int(pid)) == -float(pid)
+        assert_invariants(store)
+
+    def test_batch_update_duplicate_ids_rejected(self):
+        store = SortedKeyStore(np.arange(5.0))
+        with pytest.raises(ValueError):
+            store.update_batch(np.array([1, 1]), np.array([0.0, 1.0]))
+
+    def test_batch_update_unknown_id(self):
+        store = SortedKeyStore(np.arange(5.0))
+        with pytest.raises(KeyError):
+            store.update_batch(np.array([42]), np.array([0.0]))
+
+    def test_batch_update_empty_noop(self):
+        store = SortedKeyStore(np.arange(5.0))
+        store.update_batch(np.array([], dtype=np.int64), np.array([]))
+        assert len(store) == 5
+
+
+class TestInsertDelete:
+    def test_insert(self):
+        store = SortedKeyStore(np.array([1.0, 3.0]))
+        store.insert(np.array([5]), np.array([2.0]))
+        assert np.array_equal(store.sorted_keys, [1.0, 2.0, 3.0])
+        assert np.array_equal(store.sorted_ids, [0, 5, 1])
+        assert_invariants(store)
+
+    def test_insert_existing_id_rejected(self):
+        store = SortedKeyStore(np.array([1.0]))
+        with pytest.raises(ValueError):
+            store.insert(np.array([0]), np.array([2.0]))
+
+    def test_delete(self):
+        store = SortedKeyStore(np.array([1.0, 2.0, 3.0]))
+        store.delete(np.array([1]))
+        assert np.array_equal(store.sorted_keys, [1.0, 3.0])
+        assert 1 not in store
+        assert_invariants(store)
+
+    def test_delete_unknown_id(self):
+        store = SortedKeyStore(np.array([1.0]))
+        with pytest.raises(KeyError):
+            store.delete(np.array([5]))
+
+    def test_memory_reported(self):
+        store = SortedKeyStore(np.arange(1000.0))
+        assert store.memory_bytes() >= 1000 * 16
+        # Touching the id->key map materializes it and grows the footprint.
+        assert store.key_of(0) == 0.0
+        assert store.memory_bytes() > 1000 * 16
+
+
+@given(keys=key_lists, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_operation_sequences_keep_invariants(keys, data):
+    """Property: arbitrary update/insert/delete sequences preserve order."""
+    store = SortedKeyStore(np.array(keys))
+    next_id = len(keys)
+    live = set(range(len(keys)))
+    for _ in range(data.draw(st.integers(0, 15))):
+        op = data.draw(st.sampled_from(["update", "insert", "delete"]))
+        if op == "update" and live:
+            pid = data.draw(st.sampled_from(sorted(live)))
+            key = data.draw(st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False))
+            store.update(pid, key)
+        elif op == "insert":
+            key = data.draw(st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False))
+            store.insert(np.array([next_id]), np.array([key]))
+            live.add(next_id)
+            next_id += 1
+        elif op == "delete" and len(live) > 1:
+            pid = data.draw(st.sampled_from(sorted(live)))
+            store.delete(np.array([pid]))
+            live.discard(pid)
+    assert len(store) == len(live)
+    keys_arr = store.sorted_keys
+    assert np.all(np.diff(keys_arr) >= 0)
+    assert set(int(i) for i in store.sorted_ids) == live
+
+
+@given(keys=key_lists, threshold=st.floats(-1e9, 1e9, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_rank_le_matches_bruteforce(keys, threshold):
+    store = SortedKeyStore(np.array(keys))
+    assert store.rank_le(threshold) == sum(1 for k in keys if k <= threshold)
+    assert store.rank_lt(threshold) == sum(1 for k in keys if k < threshold)

@@ -1,0 +1,81 @@
+"""Tests for dataset CSV import/export and the UCI loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import independent
+from repro.datasets.io import load_csv, load_uci_household_power, save_csv
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        dataset = independent(50, 3, rng=0)
+        path = save_csv(dataset, tmp_path / "indp.csv")
+        loaded = load_csv(path)
+        assert loaded.attribute_names == dataset.attribute_names
+        assert np.allclose(loaded.points, dataset.points)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        dataset = independent(5, 2, rng=0)
+        path = save_csv(dataset, tmp_path / "mydata.csv")
+        assert load_csv(path).name == "mydata"
+
+    def test_non_numeric_rows_skipped(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text("a,b\n1,2\n?,3\n4,5\n")
+        loaded = load_csv(path)
+        assert loaded.points.shape == (2, 2)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n?,?\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+
+class TestUciLoader:
+    HEADER = (
+        "Date;Time;Global_active_power;Global_reactive_power;Voltage;"
+        "Global_intensity;Sub_metering_1;Sub_metering_2;Sub_metering_3\n"
+    )
+
+    def test_parses_measurements(self, tmp_path):
+        path = tmp_path / "household_power_consumption.txt"
+        path.write_text(
+            self.HEADER
+            + "16/12/2006;17:24:00;4.216;0.418;234.840;18.400;0.000;1.000;17.000\n"
+            + "16/12/2006;17:25:00;?;?;?;?;?;?;?\n"
+            + "16/12/2006;17:26:00;5.360;0.436;233.630;23.000;0.000;1.000;16.000\n"
+        )
+        dataset = load_uci_household_power(path)
+        assert dataset.points.shape == (2, 4)
+        assert dataset.attribute_names == (
+            "active_power",
+            "reactive_power",
+            "voltage",
+            "current",
+        )
+        assert np.allclose(dataset.points[0], [4.216, 0.418, 234.84, 18.4])
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "p.txt"
+        rows = "".join(
+            f"1/1/2007;00:0{i}:00;1.0;0.1;230.0;5.0;0;0;0\n" for i in range(5)
+        )
+        path.write_text(self.HEADER + rows)
+        dataset = load_uci_household_power(path, max_rows=3)
+        assert dataset.points.shape == (3, 4)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "other.txt"
+        path.write_text("a;b;c\n1;2;3\n")
+        with pytest.raises(ValueError, match="does not look like"):
+            load_uci_household_power(path)
+
+    def test_all_missing_rejected(self, tmp_path):
+        path = tmp_path / "missing.txt"
+        path.write_text(self.HEADER + "1/1/2007;00:00:00;?;?;?;?;?;?;?\n")
+        with pytest.raises(ValueError, match="no parsable"):
+            load_uci_household_power(path)

@@ -1,0 +1,97 @@
+"""Tests for the simulated real-world datasets (Table 2 characteristics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import cmoment, consumption, ctexture
+from repro.datasets.realworld import (
+    ACTIVE_POWER_RANGE,
+    CMOMENT_DIM,
+    CMOMENT_RANGE,
+    CTEXTURE_DIM,
+    CTEXTURE_RANGE,
+    CURRENT_RANGE,
+    REACTIVE_POWER_RANGE,
+    VOLTAGE_RANGE,
+)
+
+
+class TestCMoment:
+    def test_published_characteristics(self):
+        ds = cmoment(4000, rng=0)
+        assert ds.dim == CMOMENT_DIM
+        low, high = ds.attribute_range
+        assert low == pytest.approx(CMOMENT_RANGE[0])
+        assert high == pytest.approx(CMOMENT_RANGE[1])
+
+    def test_default_cardinality(self):
+        # Full-size generation is cheap enough to verify once.
+        ds = cmoment(rng=0)
+        assert ds.n == 68_040
+
+    def test_features_are_correlated(self):
+        """Image features share latent factors; correlation must be present
+        (this is what distinguishes the simulation from white noise)."""
+        ds = cmoment(5000, rng=0)
+        corr = np.corrcoef(ds.points.T)
+        offdiag = np.abs(corr[np.triu_indices(ds.dim, 1)])
+        assert offdiag.max() > 0.3
+
+    def test_reproducible(self):
+        assert np.array_equal(cmoment(100, rng=3).points, cmoment(100, rng=3).points)
+
+
+class TestCTexture:
+    def test_published_characteristics(self):
+        ds = ctexture(4000, rng=0)
+        assert ds.dim == CTEXTURE_DIM
+        low, high = ds.attribute_range
+        assert low == pytest.approx(CTEXTURE_RANGE[0])
+        assert high == pytest.approx(CTEXTURE_RANGE[1])
+
+    def test_right_skew(self):
+        """Texture energies have a long right tail: mean above median."""
+        ds = ctexture(5000, rng=0)
+        assert ds.points.mean() > np.median(ds.points)
+
+
+class TestConsumption:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return consumption(30_000, rng=0)
+
+    def test_columns_and_ranges(self, ds):
+        assert ds.attribute_names == (
+            "active_power",
+            "reactive_power",
+            "voltage",
+            "current",
+        )
+        active, reactive, voltage, current = ds.points.T
+        assert ACTIVE_POWER_RANGE[0] <= active.min() and active.max() <= ACTIVE_POWER_RANGE[1]
+        assert REACTIVE_POWER_RANGE[0] <= reactive.min() and reactive.max() <= REACTIVE_POWER_RANGE[1]
+        assert VOLTAGE_RANGE[0] <= voltage.min() and voltage.max() <= VOLTAGE_RANGE[1]
+        assert CURRENT_RANGE[0] <= current.min() and current.max() <= CURRENT_RANGE[1]
+
+    def test_power_factor_physics(self, ds):
+        """active / (V*I/1000) must be a power factor in (0, 1) — the
+        property the Example 1 query thresholds."""
+        active, _, voltage, current = ds.points.T
+        apparent_kw = voltage * current / 1000.0
+        ok = apparent_kw > 1e-9
+        pf = active[ok] / apparent_kw[ok]
+        assert np.all((pf >= 0.0) & (pf <= 1.0 + 1e-9))
+        # Mass concentrated at high power factors (resistive loads).
+        assert np.median(pf) > 0.7
+
+    def test_threshold_sweep_is_selective(self, ds):
+        """Thresholds in (0.1, 1.0) must sweep a nontrivial selectivity
+        range, otherwise the Fig. 6(a) experiment is vacuous."""
+        active, _, voltage, current = ds.points.T
+        apparent_kw = voltage * current / 1000.0
+        sel_low = np.mean(active - 0.2 * apparent_kw <= 0)
+        sel_high = np.mean(active - 0.95 * apparent_kw <= 0)
+        assert sel_low < 0.05
+        assert sel_high > 0.5

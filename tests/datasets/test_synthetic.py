@@ -1,0 +1,108 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    anticorrelated,
+    correlated,
+    independent,
+    load,
+    table2_characteristics,
+)
+
+
+class TestDataset:
+    def test_metadata(self):
+        ds = Dataset("toy", np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert ds.n == 2 and ds.dim == 2 and len(ds) == 2
+        assert ds.attribute_range == (1.0, 4.0)
+        assert ds.attribute_names == ("attr_0", "attr_1")
+
+    def test_points_read_only(self):
+        ds = Dataset("toy", np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            ds.points[0, 0] = 5.0
+
+    def test_custom_names(self):
+        ds = Dataset("toy", np.ones((1, 2)), ("a", "b"))
+        assert ds.attribute_names == ("a", "b")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("factory", [independent, correlated, anticorrelated])
+    def test_shape_and_range(self, factory):
+        ds = factory(500, 6, low=1.0, high=100.0, rng=0)
+        assert ds.points.shape == (500, 6)
+        assert ds.points.min() >= 1.0
+        assert ds.points.max() <= 100.0
+
+    @pytest.mark.parametrize("factory", [independent, correlated, anticorrelated])
+    def test_reproducible(self, factory):
+        a = factory(100, 3, rng=42).points
+        b = factory(100, 3, rng=42).points
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("factory", [independent, correlated, anticorrelated])
+    def test_different_seeds_differ(self, factory):
+        a = factory(100, 3, rng=1).points
+        b = factory(100, 3, rng=2).points
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            independent(0, 3)
+        with pytest.raises(ValueError):
+            independent(10, 0)
+        with pytest.raises(ValueError):
+            independent(10, 3, low=5.0, high=1.0)
+
+    def test_correlation_structure(self):
+        """The defining property of each family: sign of cross-correlation."""
+        n, dim = 8000, 4
+        indp_corr = _mean_offdiag(independent(n, dim, rng=0).points)
+        corr_corr = _mean_offdiag(correlated(n, dim, rng=0).points)
+        anti_corr = _mean_offdiag(anticorrelated(n, dim, rng=0).points)
+        assert abs(indp_corr) < 0.05
+        assert corr_corr > 0.5
+        assert anti_corr < -0.05
+
+    def test_anticorrelated_near_plane(self):
+        """Anti points concentrate near sum == dim/2 in unit coordinates."""
+        ds = anticorrelated(5000, 4, low=0.0, high=1.0, rng=0)
+        sums = ds.points.sum(axis=1)
+        # Clipping to [0, 1] pulls the mean slightly below dim/2.
+        assert abs(sums.mean() - 2.0) < 0.2
+        assert sums.std() < 0.5
+
+
+def _mean_offdiag(points: np.ndarray) -> float:
+    corr = np.corrcoef(points.T)
+    dim = corr.shape[0]
+    return float(corr[np.triu_indices(dim, 1)].mean())
+
+
+class TestLoad:
+    def test_by_name(self):
+        for name in ("indp", "corr", "anti"):
+            assert load(name, 50, 3, rng=0).name == name
+
+    def test_case_insensitive(self):
+        assert load("INDP", 10, 2, rng=0).name == "indp"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown synthetic dataset"):
+            load("mystery", 10, 2)
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = table2_characteristics([independent(100, 5, rng=0)])
+        assert rows[0]["dataset"] == "indp"
+        assert rows[0]["n_points"] == 100
+        assert rows[0]["dimension"] == 5
+        low, high = rows[0]["attribute_range"]
+        assert 1.0 <= low < high <= 100.0

@@ -1,0 +1,96 @@
+"""Tests for the Eq. 18 and Critical_Consume workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Comparison, QueryModel
+from repro.datasets import Workload, consumption_workload, eq18_offset, independent
+
+
+class TestEq18Offset:
+    def test_formula(self):
+        normal = np.array([1.0, 2.0])
+        maxima = np.array([10.0, 5.0])
+        assert eq18_offset(normal, maxima, 0.25) == pytest.approx(0.25 * 20.0)
+
+
+class TestWorkload:
+    @pytest.fixture
+    def workload(self):
+        points = independent(500, 4, rng=0).points
+        return Workload.for_points(points, rq=4)
+
+    def test_for_points_defaults(self, workload):
+        assert workload.model.dim == 4
+        assert workload.model.randomness == 4
+        assert workload.inequality_parameter == 0.25
+        assert workload.op is Comparison.LE
+
+    def test_sample_query_consistent(self, workload):
+        query = workload.sample_query(rng=0)
+        assert workload.model.contains(query.normal)
+        expected = eq18_offset(query.normal, workload.maxima, 0.25)
+        assert query.offset == pytest.approx(expected)
+
+    def test_sample_queries_count_and_variety(self, workload):
+        queries = workload.sample_queries(20, rng=0)
+        assert len(queries) == 20
+        normals = np.unique(np.vstack([q.normal for q in queries]), axis=0)
+        assert normals.shape[0] > 1
+
+    def test_inequality_parameter_sweep(self, workload):
+        wider = workload.with_inequality_parameter(0.75)
+        assert wider.inequality_parameter == 0.75
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        q_narrow = workload.sample_query(rng_a)
+        q_wide = wider.sample_query(rng_b)
+        assert q_wide.offset > q_narrow.offset
+
+    def test_validation(self):
+        model = QueryModel.uniform(dim=2, low=1.0, high=2.0)
+        with pytest.raises(ValueError):
+            Workload(model, np.array([1.0, 2.0, 3.0]))  # wrong maxima dim
+        with pytest.raises(ValueError):
+            Workload(model, np.array([1.0, 2.0]), inequality_parameter=0.0)
+
+    def test_selectivity_increases_with_inequality_parameter(self):
+        """The Fig. 11(a) relationship."""
+        points = independent(2000, 6, rng=0).points
+        base = Workload.for_points(points)
+        fractions = []
+        for s in (0.10, 0.50, 1.00):
+            query = base.with_inequality_parameter(s).sample_query(rng=7)
+            fractions.append(query.evaluate(points).mean())
+        assert fractions[0] < fractions[1] < fractions[2]
+
+
+class TestConsumptionWorkload:
+    def test_build(self):
+        workload = consumption_workload(900)
+        assert workload.thresholds.size == 900
+        assert workload.thresholds[0] == pytest.approx(0.100)
+        assert workload.thresholds[-1] == pytest.approx(1.000)
+        assert workload.feature_map.in_dim == 4
+        assert workload.feature_map.out_dim == 2
+
+    def test_query_semantics(self):
+        workload = consumption_workload(10)
+        # One household: 5 kW active at 230 V, 40 A -> pf ~ 0.543.
+        row = np.array([[5.0, 0.3, 230.0, 40.0]])
+        features = workload.feature_map(row)
+        pf = 5.0 / (230.0 * 40.0 / 1000.0)
+        below = workload.query_for_threshold(pf + 0.01)
+        above = workload.query_for_threshold(pf - 0.01)
+        assert below.evaluate(features)[0]
+        assert not above.evaluate(features)[0]
+
+    def test_sample_query_uses_grid(self):
+        workload = consumption_workload(5)
+        query = workload.sample_query(rng=0)
+        assert -query.normal[1] in workload.thresholds
+
+    def test_invalid_threshold_count(self):
+        with pytest.raises(ValueError):
+            consumption_workload(0)

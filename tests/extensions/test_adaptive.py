@@ -1,0 +1,126 @@
+"""Tests for the query-adaptive octant index (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.extensions import AdaptiveOctantIndex
+
+
+@pytest.fixture
+def data(rng):
+    return rng.normal(0.0, 5.0, size=(1000, 3))
+
+
+@pytest.fixture
+def adaptive(data):
+    return AdaptiveOctantIndex(data, rng=0)
+
+
+def oracle(rows: np.ndarray, normal: np.ndarray, offset: float, op: str) -> np.ndarray:
+    values = rows @ normal
+    mask = {
+        "<=": values <= offset,
+        "<": values < offset,
+        ">=": values >= offset,
+        ">": values > offset,
+    }[op]
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+class TestValidation:
+    def test_bad_budget(self, data):
+        with pytest.raises(ValueError):
+            AdaptiveOctantIndex(data, max_indices_per_octant=0)
+
+    def test_bad_spread(self, data):
+        with pytest.raises(ValueError):
+            AdaptiveOctantIndex(data, domain_spread=1.0)
+
+    def test_dim_mismatch(self, adaptive):
+        with pytest.raises(DimensionMismatchError):
+            adaptive.query(np.array([1.0, 1.0]), 0.0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">"])
+    def test_random_sign_patterns(self, data, adaptive, rng, op):
+        for _ in range(10):
+            normal = rng.normal(0.0, 1.0, 3)
+            offset = float(rng.uniform(-10, 10))
+            ids = adaptive.query(normal, offset, op).ids
+            assert np.array_equal(ids, oracle(data, normal, offset, op))
+
+    def test_topk_matches_scan(self, data, adaptive, rng):
+        normal = rng.normal(0.0, 1.0, 3)
+        result = adaptive.topk(normal, 2.0, 15)
+        values = data @ normal
+        satisfied = np.abs(values[values <= 2.0] - 2.0)
+        expected = np.sort(satisfied)[:15] / np.linalg.norm(normal)
+        assert np.allclose(result.distances, expected)
+
+    def test_zero_component_normal(self, data, adaptive):
+        normal = np.array([1.0, 0.0, -1.0])
+        ids = adaptive.query(normal, 1.0).ids
+        assert np.array_equal(ids, oracle(data, normal, 1.0, "<="))
+
+
+class TestAdaptation:
+    def test_octants_materialize_lazily(self, data):
+        adaptive = AdaptiveOctantIndex(data, rng=0)
+        assert adaptive.n_octants == 0
+        adaptive.query(np.array([1.0, 1.0, 1.0]), 0.0)
+        assert adaptive.n_octants == 1
+        adaptive.query(np.array([-1.0, 1.0, 1.0]), 0.0)
+        assert adaptive.n_octants == 2
+        adaptive.query(np.array([2.0, 2.0, 2.0]), 0.0)  # same octant as first
+        assert adaptive.n_octants == 2
+
+    def test_query_normals_folded_into_index_set(self, data):
+        adaptive = AdaptiveOctantIndex(data, max_indices_per_octant=3, rng=0)
+        normal_a = np.array([1.0, 1.0, 1.0])
+        adaptive.query(normal_a, 0.0)
+        assert adaptive.n_indices(normal_a) == 1
+        adaptive.query(np.array([1.0, 2.0, 3.0]), 0.0)
+        assert adaptive.n_indices(normal_a) == 2
+        adaptive.query(np.array([3.0, 2.0, 1.0]), 0.0)
+        adaptive.query(np.array([4.0, 4.0, 1.0]), 0.0)  # budget reached
+        assert adaptive.n_indices(normal_a) == 3
+
+    def test_repeated_query_prunes_everything(self, data):
+        adaptive = AdaptiveOctantIndex(data, rng=0)
+        normal = np.array([1.5, 2.5, 0.5])
+        adaptive.query(normal, 4.0)
+        answer = adaptive.query(normal, 4.0)
+        assert answer.stats is not None
+        assert answer.stats.ii_size <= 1  # parallel index exists now
+
+
+class TestDynamics:
+    def test_insert_update_delete_consistent(self, data, rng):
+        adaptive = AdaptiveOctantIndex(data, rng=0)
+        normal = rng.normal(0.0, 1.0, 3)
+        adaptive.query(normal, 0.0)  # materialize one octant
+
+        new_ids = adaptive.insert_points(rng.normal(0, 5, (50, 3)))
+        assert np.array_equal(new_ids, np.arange(1000, 1050))
+        adaptive.delete_points(np.arange(100, dtype=np.int64))
+        adaptive.update_points(np.array([200, 201]), rng.normal(0, 5, (2, 3)))
+        assert len(adaptive) == 950
+
+        rows = adaptive._rows
+        live = [i for i in range(rows.shape[0]) if i not in adaptive._dead]
+        values = rows[live] @ normal
+        expected = np.asarray(live, dtype=np.int64)[values <= 1.0]
+        assert np.array_equal(adaptive.query(normal, 1.0).ids, expected)
+
+    def test_delete_dead_id_raises(self, adaptive):
+        adaptive.delete_points(np.array([5]))
+        with pytest.raises(KeyError):
+            adaptive.delete_points(np.array([5]))
+
+    def test_out_of_range_id_raises(self, adaptive):
+        with pytest.raises(KeyError):
+            adaptive.update_points(np.array([99999]), np.zeros((1, 3)))

@@ -1,0 +1,92 @@
+"""Tests for PCA and the exact PCA-filtered index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.extensions import PCA, PCAFilterIndex
+
+
+@pytest.fixture
+def low_rank_data(rng):
+    """8-D data that is almost 2-D (small residuals)."""
+    latent = rng.normal(0.0, 1.0, size=(2000, 2))
+    loadings = rng.normal(0.0, 1.0, size=(2, 8))
+    return latent @ loadings + 0.05 * rng.normal(0.0, 1.0, size=(2000, 8))
+
+
+class TestPCA:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(DimensionMismatchError):
+            PCA(5).fit(np.ones((10, 3)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.ones((1, 3)))
+
+    def test_variance_ordering(self, low_rank_data):
+        pca = PCA(4).fit(low_rank_data)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_low_rank_data_reconstructs_well(self, low_rank_data):
+        pca = PCA(2).fit(low_rank_data)
+        residuals = pca.residual_norms(low_rank_data)
+        assert residuals.max() < 1.0
+        assert residuals.mean() < 0.3
+
+    def test_transform_shape(self, low_rank_data):
+        pca = PCA(3).fit(low_rank_data)
+        assert pca.transform(low_rank_data).shape == (2000, 3)
+        assert pca.inverse_transform(pca.transform(low_rank_data)).shape == (2000, 8)
+
+    def test_components_orthonormal(self, low_rank_data):
+        pca = PCA(3).fit(low_rank_data)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-9)
+
+    def test_full_rank_reconstruction_exact(self, rng):
+        data = rng.normal(size=(100, 4))
+        pca = PCA(4).fit(data)
+        recon = pca.inverse_transform(pca.transform(data))
+        assert np.allclose(recon, data, atol=1e-9)
+
+
+class TestPCAFilterIndex:
+    @pytest.fixture
+    def index(self, low_rank_data):
+        return PCAFilterIndex(low_rank_data, n_components=2, rng=0)
+
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">"])
+    def test_exactness(self, low_rank_data, index, rng, op):
+        for _ in range(8):
+            normal = rng.normal(0.0, 1.0, 8)
+            offset = float(rng.uniform(-5, 5))
+            answer = index.query(normal, offset, op)
+            values = low_rank_data @ normal
+            mask = {
+                "<=": values <= offset,
+                "<": values < offset,
+                ">=": values >= offset,
+                ">": values > offset,
+            }[op]
+            assert np.array_equal(answer.ids, np.nonzero(mask)[0])
+
+    def test_prunes_most_points(self, index, rng):
+        """The point of the extension: full-D verification only in the band."""
+        normal = rng.normal(0.0, 1.0, 8)
+        answer = index.query(normal, 1.0)
+        assert answer.pruned_fraction > 0.5
+
+    def test_residual_bound_positive(self, index):
+        assert 0.0 < index.residual_bound < 1.0
+
+    def test_dim_checked(self, index):
+        with pytest.raises(DimensionMismatchError):
+            index.query(np.ones(3), 0.0)
+
+    def test_len(self, index):
+        assert len(index) == 2000

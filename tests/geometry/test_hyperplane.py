@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.geometry.hyperplane."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import DimensionMismatchError, InvalidQueryError
+from repro.geometry import Hyperplane, angle_between, cosine_similarity
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def nonzero_vectors(dim: int = 3):
+    return hnp.arrays(np.float64, dim, elements=finite_floats).filter(
+        lambda v: np.linalg.norm(v) > 1e-6
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        plane = Hyperplane([1.0, 2.0, 5.0], 10.0)
+        assert plane.dim == 3
+        assert plane.offset == 10.0
+        assert np.array_equal(plane.normal, [1.0, 2.0, 5.0])
+
+    def test_normal_is_read_only(self):
+        plane = Hyperplane([1.0, 1.0], 1.0)
+        with pytest.raises(ValueError):
+            plane.normal[0] = 9.0
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Hyperplane([0.0, 0.0], 1.0)
+
+    def test_empty_normal_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Hyperplane([], 1.0)
+
+
+class TestIntercepts:
+    def test_example4_intercepts(self):
+        """The paper's Example 4: Y1 + 2 Y2 + 5 Y3 = 10."""
+        plane = Hyperplane([1.0, 2.0, 5.0], 10.0)
+        assert plane.intercept(0) == pytest.approx(10.0)
+        assert plane.intercept(1) == pytest.approx(5.0)
+        assert plane.intercept(2) == pytest.approx(2.0)
+        assert np.allclose(plane.intercepts(), [10.0, 5.0, 2.0])
+
+    def test_parallel_axis_gives_infinite_intercept(self):
+        plane = Hyperplane([0.0, 1.0], 3.0)
+        assert np.isinf(plane.intercept(0))
+        assert plane.intercept(1) == pytest.approx(3.0)
+
+    def test_negative_offset_intercept_signs(self):
+        plane = Hyperplane([2.0, -4.0], -8.0)
+        assert plane.intercept(0) == pytest.approx(-4.0)
+        assert plane.intercept(1) == pytest.approx(2.0)
+
+
+class TestEvaluationAndDistance:
+    def test_evaluate_sign_convention(self):
+        plane = Hyperplane([1.0, 1.0], 2.0)
+        values = plane.evaluate([[0.0, 0.0], [1.0, 1.0], [3.0, 3.0]])
+        assert values[0] < 0 and values[1] == 0 and values[2] > 0
+
+    def test_distance_matches_formula(self):
+        plane = Hyperplane([3.0, 4.0], 10.0)
+        pts = np.array([[0.0, 0.0], [2.0, 1.0]])
+        expected = np.abs(pts @ [3.0, 4.0] - 10.0) / 5.0
+        assert np.allclose(plane.distance(pts), expected)
+
+    def test_side_values(self):
+        plane = Hyperplane([1.0, 0.0], 1.0)
+        assert np.array_equal(
+            plane.side([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0]]), [-1, 0, 1]
+        )
+
+    def test_dimension_mismatch_raises(self):
+        plane = Hyperplane([1.0, 1.0], 1.0)
+        with pytest.raises(DimensionMismatchError):
+            plane.evaluate([[1.0, 2.0, 3.0]])
+
+    @given(normal=nonzero_vectors(), offset=finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_points_on_plane_have_zero_distance(self, normal, offset):
+        plane = Hyperplane(normal, offset)
+        # Project the origin onto the plane: p = offset * n / |n|^2.
+        foot = offset * normal / np.dot(normal, normal)
+        dist = plane.distance(foot.reshape(1, -1))[0]
+        scale = max(1.0, abs(offset))
+        assert dist <= 1e-6 * scale
+
+
+class TestAngles:
+    def test_parallel_planes_zero_angle(self):
+        assert angle_between([1.0, 2.0], [2.0, 4.0]) == pytest.approx(0.0, abs=1e-7)
+
+    def test_antiparallel_also_zero(self):
+        """Hyperplanes are unoriented: c and -c are parallel planes."""
+        assert angle_between([1.0, 2.0], [-1.0, -2.0]) == pytest.approx(0.0, abs=1e-7)
+
+    def test_orthogonal(self):
+        assert angle_between([1.0, 0.0], [0.0, 1.0]) == pytest.approx(np.pi / 2)
+
+    def test_cosine_similarity_zero_vector_raises(self):
+        with pytest.raises(InvalidQueryError):
+            cosine_similarity([0.0, 0.0], [1.0, 0.0])
+
+    def test_is_parallel_to(self):
+        plane = Hyperplane([1.0, 1.0], 5.0)
+        assert plane.is_parallel_to(Hyperplane([3.0, 3.0], 1.0))
+        assert not plane.is_parallel_to(Hyperplane([1.0, 2.0], 1.0))
+
+    @given(normal=nonzero_vectors(), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_preserves_angle_zero(self, normal, scale):
+        assert angle_between(normal, scale * normal) <= 1e-6
+
+
+class TestTranslation:
+    def test_translate_shifts_offset_by_dot(self):
+        plane = Hyperplane([1.0, 2.0], 3.0)
+        shifted = plane.translate([10.0, 20.0])
+        assert shifted.offset == pytest.approx(3.0 + 10.0 + 40.0)
+        assert np.array_equal(shifted.normal, plane.normal)
+
+    def test_translate_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            Hyperplane([1.0, 2.0], 3.0).translate([1.0])
+
+    @given(normal=nonzero_vectors(), offset=finite_floats, delta=nonzero_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_translation_preserves_membership(self, normal, offset, delta):
+        """A point on the plane maps to a point on the translated plane."""
+        plane = Hyperplane(normal, offset)
+        foot = offset * normal / np.dot(normal, normal)
+        shifted = plane.translate(delta)
+        residual = shifted.evaluate((foot + delta).reshape(1, -1))[0]
+        scale = max(1.0, abs(offset), float(np.abs(delta).max()))
+        assert abs(residual) <= 1e-6 * scale * max(1.0, float(np.abs(normal).max()))

@@ -1,0 +1,67 @@
+"""Tests for hyper-octant handling (Section 4.5 preliminaries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDomainError
+from repro.geometry import (
+    first_octant,
+    octant_from_domains,
+    octant_of_point,
+    sign_vector,
+)
+
+
+class TestSignVector:
+    def test_mixed_signs(self):
+        assert np.array_equal(sign_vector([-2.0, 3.0, 0.0]), [-1, 1, 1])
+
+    def test_zero_maps_to_plus(self):
+        assert np.array_equal(sign_vector([0.0]), [1])
+
+
+class TestFirstOctant:
+    def test_all_positive(self):
+        assert np.array_equal(first_octant(4), [1, 1, 1, 1])
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            first_octant(0)
+
+
+class TestOctantOfPoint:
+    def test_point_octant(self):
+        assert np.array_equal(octant_of_point([-1.0, 2.0]), [-1, 1])
+
+
+class TestOctantFromDomains:
+    def test_positive_domains(self):
+        octant = octant_from_domains([1.0, 0.5], [5.0, 2.0])
+        assert np.array_equal(octant, [1, 1])
+
+    def test_negative_domain_axis(self):
+        octant = octant_from_domains([1.0, -5.0], [5.0, -1.0])
+        assert np.array_equal(octant, [1, -1])
+
+    def test_zero_touching_domains(self):
+        """[0, h] is positive; [l, 0] is negative."""
+        octant = octant_from_domains([0.0, -3.0], [2.0, 0.0])
+        assert np.array_equal(octant, [1, -1])
+
+    def test_straddling_domain_rejected(self):
+        with pytest.raises(InvalidDomainError, match="straddles zero"):
+            octant_from_domains([-1.0], [1.0])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(InvalidDomainError, match="empty"):
+            octant_from_domains([5.0], [1.0])
+
+    def test_identically_zero_domain_rejected(self):
+        with pytest.raises(InvalidDomainError, match="identically zero"):
+            octant_from_domains([0.0], [0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidDomainError):
+            octant_from_domains([1.0, 2.0], [3.0])

@@ -1,0 +1,80 @@
+"""Tests for pool-based active learning with Planar acquisition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning import ActiveLearner, make_linear_classification
+
+
+@pytest.fixture(scope="module")
+def pool_and_labels():
+    points, labels, _, _ = make_linear_classification(1500, 4, noise=0.02, rng=0)
+    return points, labels
+
+
+class TestValidation:
+    def test_bad_backend(self, pool_and_labels):
+        points, labels = pool_and_labels
+        with pytest.raises(ValueError):
+            ActiveLearner(points, labels, backend="magic")
+
+    def test_bad_sizes(self, pool_and_labels):
+        points, labels = pool_and_labels
+        with pytest.raises(ValueError):
+            ActiveLearner(points, labels, seed_size=1)
+        with pytest.raises(ValueError):
+            ActiveLearner(points, labels, batch_size=0)
+
+    def test_bad_label_shape(self, pool_and_labels):
+        points, _ = pool_and_labels
+        with pytest.raises(ValueError):
+            ActiveLearner(points, np.ones(3))
+
+    def test_bad_rounds(self, pool_and_labels):
+        points, labels = pool_and_labels
+        with pytest.raises(ValueError):
+            ActiveLearner(points, labels, rng=0).run(0)
+
+
+class TestLearning:
+    def test_accuracy_improves_over_seed(self, pool_and_labels):
+        points, labels = pool_and_labels
+        report = ActiveLearner(points, labels, backend="planar", rng=1).run(10, labels)
+        assert report.n_rounds == 10
+        assert report.final_accuracy > 0.9
+        assert report.labeled_ids.size == 10 + 10 * 10  # seed + rounds * batch
+
+    def test_backends_label_identical_points(self, pool_and_labels):
+        points, labels = pool_and_labels
+        planar = ActiveLearner(points, labels, backend="planar", rng=2).run(6, labels)
+        scan = ActiveLearner(points, labels, backend="scan", rng=2).run(6, labels)
+        assert np.array_equal(np.sort(planar.labeled_ids), np.sort(scan.labeled_ids))
+        assert planar.accuracy_history == scan.accuracy_history
+
+    def test_planar_checks_fewer_points(self, pool_and_labels):
+        points, labels = pool_and_labels
+        planar = ActiveLearner(points, labels, backend="planar", rng=3).run(6, labels)
+        scan = ActiveLearner(points, labels, backend="scan", rng=3).run(6, labels)
+        assert planar.n_checked_total < scan.n_checked_total
+
+    def test_callable_oracle(self, pool_and_labels):
+        points, labels = pool_and_labels
+        report = ActiveLearner(
+            points, lambda ids: labels[ids], backend="planar", rng=4
+        ).run(3, labels)
+        assert report.n_rounds == 3
+
+    def test_no_duplicate_labels(self, pool_and_labels):
+        points, labels = pool_and_labels
+        report = ActiveLearner(points, labels, backend="planar", rng=5).run(8, labels)
+        assert np.unique(report.labeled_ids).size == report.labeled_ids.size
+
+    def test_pool_exhaustion_stops_early(self):
+        points, labels, _, _ = make_linear_classification(40, 2, rng=6)
+        report = ActiveLearner(
+            points, labels, seed_size=5, batch_size=10, backend="planar", rng=6
+        ).run(50, labels)
+        assert report.labeled_ids.size <= 40
+        assert report.n_rounds < 50

@@ -1,0 +1,86 @@
+"""Tests for the from-scratch logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.learning import LogisticRegression, make_linear_classification
+
+
+class TestFit:
+    def test_learns_separable_data(self):
+        points, labels, _, _ = make_linear_classification(2000, 4, noise=0.0, rng=0)
+        model = LogisticRegression().fit(points, labels.astype(float))
+        assert model.accuracy(points, labels) > 0.95
+
+    def test_recovers_true_direction(self):
+        points, labels, true_normal, _ = make_linear_classification(
+            4000, 3, noise=0.0, rng=1
+        )
+        model = LogisticRegression(epochs=400).fit(points, labels.astype(float))
+        learned = model.coef_ / np.linalg.norm(model.coef_)
+        assert abs(float(learned @ true_normal)) > 0.95
+
+    def test_noisy_labels_still_good(self):
+        points, labels, _, _ = make_linear_classification(2000, 4, noise=0.1, rng=2)
+        model = LogisticRegression().fit(points, labels.astype(float))
+        assert model.accuracy(points, labels) > 0.8
+
+    def test_label_validation(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.ones((3, 2)), np.array([0.0, 1.0, 2.0]))
+        with pytest.raises(DimensionMismatchError):
+            model.fit(np.ones((3, 2)), np.array([1.0, -1.0]))
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(epochs=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        model = LogisticRegression()
+        with pytest.raises(RuntimeError):
+            model.predict(np.ones((1, 2)))
+        with pytest.raises(RuntimeError):
+            model.hyperplane()
+
+    def test_predictions_in_label_set(self):
+        points, labels, _, _ = make_linear_classification(200, 3, rng=3)
+        model = LogisticRegression(epochs=50).fit(points, labels.astype(float))
+        assert set(np.unique(model.predict(points)).tolist()) <= {-1, 1}
+
+    def test_hyperplane_consistent_with_decision(self):
+        points, labels, _, _ = make_linear_classification(500, 3, rng=4)
+        model = LogisticRegression(epochs=100).fit(points, labels.astype(float))
+        normal, offset = model.hyperplane()
+        scores = points @ normal - offset
+        assert np.allclose(scores, model.decision_function(points))
+
+
+class TestMakeLinearClassification:
+    def test_shapes_and_labels(self):
+        points, labels, normal, offset = make_linear_classification(100, 5, rng=0)
+        assert points.shape == (100, 5)
+        assert labels.shape == (100,)
+        assert np.linalg.norm(normal) == pytest.approx(1.0)
+        assert offset == 0.0
+
+    def test_noise_fraction(self):
+        points, labels, normal, offset = make_linear_classification(
+            5000, 3, noise=0.2, rng=0
+        )
+        clean = np.where(points @ normal - offset >= 0, 1, -1)
+        flipped = np.mean(labels != clean)
+        assert 0.15 < flipped < 0.25
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            make_linear_classification(10, 2, noise=0.7)

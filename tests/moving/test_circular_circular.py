@@ -1,0 +1,99 @@
+"""Tests for the circular-vs-circular intersection extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.moving import (
+    CircularCircularIntersectionIndex,
+    CircularFleet,
+    PairScan,
+    circular_circular_pair_features,
+    circular_circular_time_normal,
+)
+
+
+def make_fleet(n, omegas, rng):
+    return CircularFleet(
+        rng.uniform(0, 100, (n, 2)),
+        rng.uniform(1, 40, n),
+        rng.choice(np.asarray(omegas, dtype=np.float64), n),
+        rng.uniform(0, 2 * np.pi, n),
+    )
+
+
+class TestFeatures:
+    def test_decomposition_exact(self, rng):
+        a = make_fleet(6, [3.0], rng)
+        b = make_fleet(5, [5.0], rng)
+        features = circular_circular_pair_features(a, b)
+        assert features.shape == (30, 7)
+        for t in (0.0, 7.3, 14.0):
+            normal = circular_circular_time_normal(t, 3.0, 5.0)
+            truth = (
+                (a.position(t)[:, None, :] - b.position(t)[None, :, :]) ** 2
+            ).sum(-1).ravel()
+            assert np.allclose(features @ normal, truth)
+
+    def test_co_rotating_decomposition(self, rng):
+        """Equal angular velocities: the relative phase is constant."""
+        a = make_fleet(4, [2.0], rng)
+        b = make_fleet(3, [2.0], rng)
+        features = circular_circular_pair_features(a, b)
+        for t in (0.0, 9.0, 15.0):
+            normal = circular_circular_time_normal(t, 2.0, 2.0)
+            truth = (
+                (a.position(t)[:, None, :] - b.position(t)[None, :, :]) ** 2
+            ).sum(-1).ravel()
+            assert np.allclose(features @ normal, truth)
+        # The relative-phase parameters degenerate to constants: components
+        # 5 and 6 of the normal are (1, 0) at every t.
+        normal = circular_circular_time_normal(7.0, 2.0, 2.0)
+        assert normal[5] == pytest.approx(1.0)
+        assert normal[6] == pytest.approx(0.0)
+
+
+class TestIntersectionIndex:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(3)
+        a = make_fleet(70, [2.0, 3.0, 5.0], rng)
+        b = make_fleet(60, [2.0, 4.0], rng)
+        index = CircularCircularIntersectionIndex(a, b, rng=0)
+        return a, b, index, PairScan(a, b)
+
+    @pytest.mark.parametrize("t", [10.0, 12.3, 15.0])
+    def test_matches_baseline(self, setup, t):
+        _, _, index, scan = setup
+        planar = index.query(t, 10.0)
+        truth = scan.query(t, 10.0)
+        assert np.array_equal(planar.pairs, truth.pairs)
+        assert not planar.used_fallback
+
+    def test_bucket_structure(self, setup):
+        a, b, index, _ = setup
+        n_a = np.unique(a.omega_degrees).size
+        n_b = np.unique(b.omega_degrees).size
+        assert index.n_buckets == n_a * n_b
+        assert index.n_pairs == a.n * b.n
+
+    def test_co_rotating_bucket_included(self, setup):
+        """omega = 2.0 appears in both fleets -> a degenerate bucket exists
+        and its queries stay exact (covered by test_matches_baseline);
+        verify it really collapsed to the 3-D feature space."""
+        _, _, index, _ = setup
+        co_rotating = [b for b in index._buckets if b[5]]
+        assert co_rotating
+        for bucket in co_rotating:
+            assert bucket[4].feature_map.out_dim == 3
+
+    def test_prunes(self, setup):
+        _, _, index, _ = setup
+        result = index.query(12.0, 10.0)
+        assert result.n_candidates < 0.2 * result.n_total
+
+    def test_negative_distance_rejected(self, setup):
+        _, _, index, _ = setup
+        with pytest.raises(ValueError):
+            index.query(10.0, -1.0)

@@ -1,0 +1,80 @@
+"""Tests for the continuous (windowed) intersection join."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moving import ContinuousLinearJoin, uniform_linear_workload
+
+
+@pytest.fixture(scope="module")
+def join():
+    first, second = uniform_linear_workload(100, space=300.0, rng=0)
+    return ContinuousLinearJoin(first, second, rng=0)
+
+
+class TestValidation:
+    def test_empty_window(self, join):
+        with pytest.raises(ValueError):
+            join.query(12.0, 10.0, 5.0)
+
+    def test_negative_distance(self, join):
+        with pytest.raises(ValueError):
+            join.query(10.0, 12.0, -1.0)
+
+    def test_bad_step(self, join):
+        with pytest.raises(ValueError):
+            join.query(10.0, 12.0, 5.0, step=0.0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("window", [(10.0, 15.0), (10.0, 11.0), (13.5, 14.0)])
+    @pytest.mark.parametrize("distance", [2.0, 10.0])
+    def test_matches_bruteforce(self, join, window, distance):
+        result = join.query(window[0], window[1], distance)
+        truth = join.brute_force(window[0], window[1], distance)
+        assert np.array_equal(result.pairs, truth)
+
+    def test_degenerate_window_is_instant_query(self, join):
+        result = join.query(12.0, 12.0, 8.0)
+        truth = join.brute_force(12.0, 12.0, 8.0)
+        assert np.array_equal(result.pairs, truth)
+
+    def test_step_does_not_change_answer(self, join):
+        coarse = join.query(10.0, 15.0, 6.0, step=2.5)
+        fine = join.query(10.0, 15.0, 6.0, step=0.25)
+        assert np.array_equal(coarse.pairs, fine.pairs)
+        # A finer grid yields a tighter candidate set.
+        assert fine.n_candidates <= coarse.n_candidates
+
+    def test_window_superset_of_instant(self, join):
+        """Everything within S at t=12 is within S during [10, 15]."""
+        instant = set(map(tuple, join.brute_force(12.0, 12.0, 8.0)))
+        window = set(map(tuple, join.query(10.0, 15.0, 8.0).pairs))
+        assert instant <= window
+
+    def test_candidates_far_below_all_pairs(self, join):
+        result = join.query(10.0, 15.0, 5.0)
+        assert result.n_candidates < 0.2 * result.n_total
+
+
+class TestLipschitz:
+    def test_bound_is_max_relative_speed(self):
+        first, second = uniform_linear_workload(50, speed_range=(0.1, 1.0), rng=1)
+        join = ContinuousLinearJoin(first, second, rng=0)
+        max_a = np.linalg.norm(first.velocities, axis=1).max()
+        max_b = np.linalg.norm(second.velocities, axis=1).max()
+        assert join.lipschitz_bound == pytest.approx(max_a + max_b)
+
+
+@given(seed=st.integers(0, 200), distance=st.floats(1.0, 20.0))
+@settings(max_examples=20, deadline=None)
+def test_property_window_join_exact(seed, distance):
+    first, second = uniform_linear_workload(30, space=100.0, rng=seed)
+    join = ContinuousLinearJoin(first, second, rng=0)
+    result = join.query(10.0, 15.0, distance, step=1.0)
+    truth = join.brute_force(10.0, 15.0, distance)
+    assert np.array_equal(result.pairs, truth)

@@ -1,0 +1,152 @@
+"""Tests for the pair-feature scalar product decompositions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionMismatchError
+from repro.moving import (
+    AcceleratingFleet,
+    CircularFleet,
+    LinearFleet,
+    accelerating_pair_features,
+    circular_pair_features,
+    circular_time_normal,
+    linear_pair_features,
+    polynomial_time_normal,
+)
+from repro.moving.features import pair_rows_to_pairs
+
+
+def true_sq_distances(fleet_a, fleet_b, t: float) -> np.ndarray:
+    pos_a = fleet_a.position(t)
+    pos_b = fleet_b.position(t)
+    return ((pos_a[:, None, :] - pos_b[None, :, :]) ** 2).sum(axis=2).ravel()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestPairRows:
+    def test_row_encoding(self):
+        pairs = pair_rows_to_pairs(np.array([0, 4, 7]), n_second=3)
+        assert np.array_equal(pairs, [[0, 0], [1, 1], [2, 1]])
+
+
+class TestLinearFeatures:
+    def test_matches_true_distance(self, rng):
+        a = LinearFleet(rng.uniform(0, 100, (9, 2)), rng.uniform(-1, 1, (9, 2)))
+        b = LinearFleet(rng.uniform(0, 100, (6, 2)), rng.uniform(-1, 1, (6, 2)))
+        features = linear_pair_features(a, b)
+        assert features.shape == (54, 3)
+        for t in (0.0, 1.0, 12.5, 100.0):
+            d2 = features @ polynomial_time_normal(t, 2) if t > 0 else features[:, 0]
+            assert np.allclose(d2, true_sq_distances(a, b, t))
+
+    def test_3d_supported(self, rng):
+        a = LinearFleet(rng.uniform(0, 10, (4, 3)), rng.uniform(-1, 1, (4, 3)))
+        b = LinearFleet(rng.uniform(0, 10, (3, 3)), rng.uniform(-1, 1, (3, 3)))
+        features = linear_pair_features(a, b)
+        assert np.allclose(
+            features @ polynomial_time_normal(5.0, 2), true_sq_distances(a, b, 5.0)
+        )
+
+    def test_dim_mismatch(self, rng):
+        a = LinearFleet(rng.uniform(0, 10, (2, 2)), np.zeros((2, 2)))
+        b = LinearFleet(rng.uniform(0, 10, (2, 3)), np.zeros((2, 3)))
+        with pytest.raises(DimensionMismatchError):
+            linear_pair_features(a, b)
+
+
+class TestAcceleratingFeatures:
+    def test_matches_true_distance(self, rng):
+        a = AcceleratingFleet(
+            rng.uniform(0, 100, (8, 3)),
+            rng.uniform(-1, 1, (8, 3)),
+            rng.uniform(-0.05, 0.05, (8, 3)),
+        )
+        b = LinearFleet(rng.uniform(0, 100, (5, 3)), rng.uniform(-1, 1, (5, 3)))
+        features = accelerating_pair_features(a, b)
+        assert features.shape == (40, 5)
+        for t in (1.0, 10.0, 15.0):
+            assert np.allclose(
+                features @ polynomial_time_normal(t, 4),
+                true_sq_distances(a, b, t),
+            )
+
+
+class TestCircularFeatures:
+    def test_matches_true_distance(self, rng):
+        circ = CircularFleet(
+            rng.uniform(0, 100, (6, 2)),
+            rng.uniform(1, 50, 6),
+            np.full(6, 4.0),
+            rng.uniform(0, 2 * np.pi, 6),
+        )
+        lin = LinearFleet(rng.uniform(0, 100, (5, 2)), rng.uniform(-1, 1, (5, 2)))
+        features = circular_pair_features(circ, lin)
+        assert features.shape == (30, 7)
+        for t in (1.0, 10.0, 15.0):
+            assert np.allclose(
+                features @ circular_time_normal(t, 4.0),
+                true_sq_distances(circ, lin, t),
+            )
+
+    def test_requires_2d_linear(self, rng):
+        circ = CircularFleet([[0.0, 0.0]], [1.0], [1.0], [0.0])
+        lin = LinearFleet(rng.uniform(0, 10, (2, 3)), np.zeros((2, 3)))
+        with pytest.raises(DimensionMismatchError):
+            circular_pair_features(circ, lin)
+
+
+class TestTimeNormals:
+    def test_polynomial(self):
+        assert np.allclose(polynomial_time_normal(2.0, 3), [1.0, 2.0, 4.0, 8.0])
+
+    def test_polynomial_degree_validation(self):
+        with pytest.raises(ValueError):
+            polynomial_time_normal(2.0, 0)
+
+    def test_circular_components(self):
+        normal = circular_time_normal(10.0, 3.0)  # 30 degrees
+        assert normal[0] == 1.0 and normal[1] == 10.0 and normal[2] == 100.0
+        assert normal[3] == pytest.approx(np.cos(np.pi / 6))
+        assert normal[4] == pytest.approx(np.sin(np.pi / 6))
+        assert normal[5] == pytest.approx(10 * np.cos(np.pi / 6))
+        assert normal[6] == pytest.approx(10 * np.sin(np.pi / 6))
+
+
+@given(
+    t=st.floats(0.5, 20.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_decompositions_exact(t, seed):
+    """All three decompositions equal the true distance at random times."""
+    rng = np.random.default_rng(seed)
+    lin_a = LinearFleet(rng.uniform(0, 50, (4, 2)), rng.uniform(-2, 2, (4, 2)))
+    lin_b = LinearFleet(rng.uniform(0, 50, (3, 2)), rng.uniform(-2, 2, (3, 2)))
+    assert np.allclose(
+        linear_pair_features(lin_a, lin_b) @ polynomial_time_normal(t, 2),
+        true_sq_distances(lin_a, lin_b, t),
+        rtol=1e-9,
+        atol=1e-6,
+    )
+    omega = float(rng.uniform(0.5, 6.0))
+    circ = CircularFleet(
+        rng.uniform(0, 50, (4, 2)),
+        rng.uniform(0.5, 20, 4),
+        np.full(4, omega),
+        rng.uniform(0, 2 * np.pi, 4),
+    )
+    assert np.allclose(
+        circular_pair_features(circ, lin_b) @ circular_time_normal(t, omega),
+        true_sq_distances(circ, lin_b, t),
+        rtol=1e-9,
+        atol=1e-6,
+    )

@@ -1,0 +1,134 @@
+"""Tests for the intersection indexes vs the all-pairs baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.moving import (
+    AcceleratingIntersectionIndex,
+    CircularIntersectionIndex,
+    LinearIntersectionIndex,
+    PairScan,
+    accelerating_workload,
+    circular_workload,
+    uniform_linear_workload,
+)
+
+
+class TestPairScan:
+    def test_simple_pairs(self):
+        from repro.moving import LinearFleet
+
+        a = LinearFleet([[0.0, 0.0], [100.0, 100.0]], [[0.0, 0.0], [0.0, 0.0]])
+        b = LinearFleet([[1.0, 0.0]], [[0.0, 0.0]])
+        result = PairScan(a, b).query(5.0, 2.0)
+        assert np.array_equal(result.pairs, [[0, 0]])
+        assert result.n_total == 2
+
+    def test_negative_distance_rejected(self):
+        a, b = uniform_linear_workload(5, rng=0)
+        with pytest.raises(ValueError):
+            PairScan(a, b).query(10.0, -1.0)
+
+
+class TestLinearIntersection:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        a, b = uniform_linear_workload(150, space=300.0, rng=1)
+        return a, b, LinearIntersectionIndex(a, b, rng=0), PairScan(a, b)
+
+    @pytest.mark.parametrize("t", [10.0, 11.5, 13.0, 15.0])
+    def test_matches_baseline(self, setup, t):
+        _, _, index, scan = setup
+        indexed = index.query(t, 15.0)
+        truth = scan.query(t, 15.0)
+        assert np.array_equal(indexed.pairs, truth.pairs)
+        assert not indexed.used_fallback
+
+    def test_slot_time_prunes_hard(self, setup):
+        """At an indexed time slot the index is parallel to the query."""
+        _, _, index, _ = setup
+        result = index.query(10.0, 15.0)
+        assert result.n_candidates < result.n_total * 0.05
+
+    def test_distance_sweep(self, setup):
+        _, _, index, scan = setup
+        for distance in (0.0, 5.0, 50.0):
+            assert np.array_equal(
+                index.query(12.0, distance).pairs, scan.query(12.0, distance).pairs
+            )
+
+    def test_object_update_rekeys_pairs(self):
+        a, b = uniform_linear_workload(40, space=100.0, rng=3)
+        index = LinearIntersectionIndex(a, b, rng=0)
+        # Move object 0 of the first fleet somewhere new.
+        index.update_first_object(0, np.array([1.0, 1.0]), np.array([0.2, -0.2]))
+        scan = PairScan(a, b)  # fleet was mutated in place
+        assert np.array_equal(index.query(12.0, 10.0).pairs, scan.query(12.0, 10.0).pairs)
+
+    def test_negative_distance_rejected(self, setup):
+        _, _, index, _ = setup
+        with pytest.raises(ValueError):
+            index.query(10.0, -2.0)
+
+
+class TestCircularIntersection:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        circ, lin = circular_workload(120, rng=2)
+        return circ, lin, CircularIntersectionIndex(circ, lin, rng=0), PairScan(circ, lin)
+
+    @pytest.mark.parametrize("t", [10.0, 12.7, 15.0])
+    def test_matches_baseline(self, setup, t):
+        _, _, index, scan = setup
+        indexed = index.query(t, 10.0)
+        truth = scan.query(t, 10.0)
+        assert np.array_equal(indexed.pairs, truth.pairs)
+        assert not indexed.used_fallback
+
+    def test_buckets_by_omega(self, setup):
+        circ, _, index, _ = setup
+        assert index.n_buckets == np.unique(circ.omega_degrees).size
+        assert index.n_pairs == circ.n * 120
+
+    def test_prunes(self, setup):
+        _, _, index, _ = setup
+        result = index.query(12.0, 10.0)
+        assert result.n_candidates < result.n_total
+
+
+class TestAcceleratingIntersection:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        acc, lin = accelerating_workload(100, space=300.0, rng=4)
+        return acc, lin, AcceleratingIntersectionIndex(acc, lin, rng=0), PairScan(acc, lin)
+
+    @pytest.mark.parametrize("t", [10.0, 13.2, 15.0])
+    def test_matches_baseline(self, setup, t):
+        _, _, index, scan = setup
+        assert np.array_equal(index.query(t, 15.0).pairs, scan.query(t, 15.0).pairs)
+
+
+class TestWorkloads:
+    def test_linear_workload_shapes(self):
+        a, b = uniform_linear_workload(25, dims=3, rng=0)
+        assert a.n == b.n == 25 and a.dims == b.dims == 3
+
+    def test_speed_range_respected(self):
+        a, _ = uniform_linear_workload(200, speed_range=(0.1, 1.0), rng=0)
+        speeds = np.abs(a.velocities)
+        assert speeds.min() >= 0.1 and speeds.max() <= 1.0
+
+    def test_velocities_have_both_signs(self):
+        a, _ = uniform_linear_workload(200, rng=0)
+        assert (a.velocities < 0).any() and (a.velocities > 0).any()
+
+    def test_circular_workload_omega_grid(self):
+        circ, _ = circular_workload(100, omega_values=(1.0, 3.0), rng=0)
+        assert set(np.unique(circ.omega_degrees)) <= {1.0, 3.0}
+
+    def test_accelerating_workload_ranges(self):
+        acc, _ = accelerating_workload(100, accel_range=(0.01, 0.05), rng=0)
+        magnitudes = np.abs(acc.accelerations)
+        assert magnitudes.min() >= 0.01 and magnitudes.max() <= 0.05

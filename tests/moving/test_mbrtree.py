@@ -1,0 +1,74 @@
+"""Tests for the time-parameterized R-tree baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.moving import LinearFleet, PairScan, TPRTree, tpr_intersection_join, uniform_linear_workload
+
+
+class TestBuild:
+    def test_all_objects_reachable(self):
+        fleet, _ = uniform_linear_workload(500, rng=0)
+        tree = TPRTree(fleet, leaf_capacity=16)
+        assert tree.count_objects() == 500
+        assert tree.height() >= 2
+
+    def test_small_fleet_single_leaf(self):
+        fleet = LinearFleet(np.zeros((3, 2)), np.zeros((3, 2)))
+        tree = TPRTree(fleet)
+        assert tree.root.is_leaf
+        assert tree.height() == 1
+
+    def test_leaf_capacity_validation(self):
+        fleet = LinearFleet(np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            TPRTree(fleet, leaf_capacity=1)
+
+    def test_bounds_contain_objects_over_time(self):
+        fleet, _ = uniform_linear_workload(200, rng=1)
+        tree = TPRTree(fleet, leaf_capacity=8)
+        for t in (0.0, 10.0, 25.0):
+            positions = fleet.position(t)
+
+            def check(node):
+                lo, hi = node.bounds_at(t)
+                if node.is_leaf:
+                    pts = positions[node.object_ids]
+                    assert np.all(pts >= lo - 1e-9) and np.all(pts <= hi + 1e-9)
+                else:
+                    for child in node.children:
+                        check(child)
+
+            check(tree.root)
+
+
+class TestJoin:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        a, b = uniform_linear_workload(180, space=300.0, rng=2)
+        return a, b, TPRTree(a, leaf_capacity=16), TPRTree(b, leaf_capacity=16)
+
+    @pytest.mark.parametrize("t", [10.0, 12.5, 15.0])
+    def test_matches_all_pairs(self, setup, t):
+        a, b, tree_a, tree_b = setup
+        pairs = tpr_intersection_join(tree_a, tree_b, t, 12.0)
+        truth = PairScan(a, b).query(t, 12.0).pairs
+        assert np.array_equal(pairs, truth)
+
+    def test_empty_result(self, setup):
+        a, b, tree_a, tree_b = setup
+        pairs = tpr_intersection_join(tree_a, tree_b, 10.0, 0.0)
+        truth = PairScan(a, b).query(10.0, 0.0).pairs
+        assert np.array_equal(pairs, truth)
+
+    def test_negative_distance_rejected(self, setup):
+        _, _, tree_a, tree_b = setup
+        with pytest.raises(ValueError):
+            tpr_intersection_join(tree_a, tree_b, 10.0, -1.0)
+
+    def test_large_distance_returns_all(self):
+        a, b = uniform_linear_workload(20, space=10.0, rng=3)
+        pairs = tpr_intersection_join(TPRTree(a), TPRTree(b), 10.0, 1e6)
+        assert pairs.shape == (400, 2)

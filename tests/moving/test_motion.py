@@ -1,0 +1,83 @@
+"""Tests for fleet motion models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.moving import AcceleratingFleet, CircularFleet, LinearFleet
+
+
+class TestLinearFleet:
+    def test_position_formula(self):
+        fleet = LinearFleet([[0.0, 0.0], [10.0, 5.0]], [[1.0, -1.0], [0.5, 0.0]])
+        assert np.allclose(fleet.position(4.0), [[4.0, -4.0], [12.0, 5.0]])
+        assert fleet.n == 2 and fleet.dims == 2 and len(fleet) == 2
+
+    def test_time_zero_is_initial(self):
+        fleet = LinearFleet([[3.0, 4.0]], [[9.0, 9.0]])
+        assert np.allclose(fleet.position(0.0), [[3.0, 4.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            LinearFleet([[1.0, 2.0]], [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_copies_are_returned(self):
+        fleet = LinearFleet([[1.0, 2.0]], [[0.0, 0.0]])
+        fleet.positions[0, 0] = 99.0
+        assert fleet.position(0.0)[0, 0] == 1.0
+
+
+class TestCircularFleet:
+    def test_position_on_circle(self):
+        fleet = CircularFleet([[0.0, 0.0]], [2.0], [90.0], [0.0])
+        # 90 degrees/min: after 1 minute the object is at angle 90 degrees.
+        assert np.allclose(fleet.position(1.0), [[0.0, 2.0]], atol=1e-12)
+        assert np.allclose(fleet.position(0.0), [[2.0, 0.0]])
+
+    def test_radius_preserved(self):
+        rng = np.random.default_rng(0)
+        fleet = CircularFleet(
+            rng.uniform(0, 10, (20, 2)),
+            rng.uniform(1, 5, 20),
+            rng.uniform(1, 5, 20),
+            rng.uniform(0, 2 * np.pi, 20),
+        )
+        for t in (0.0, 7.3, 100.0):
+            dist = np.linalg.norm(fleet.position(t) - fleet.centers, axis=1)
+            assert np.allclose(dist, fleet.radii)
+
+    def test_omega_units(self):
+        fleet = CircularFleet([[0.0, 0.0]], [1.0], [180.0], [0.0])
+        assert np.allclose(fleet.omega_radians, [np.pi])
+
+    def test_dimension_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            CircularFleet([[0.0, 0.0, 0.0]], [1.0], [1.0], [0.0])
+        with pytest.raises(DimensionMismatchError):
+            CircularFleet([[0.0, 0.0]], [1.0, 2.0], [1.0], [0.0])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            CircularFleet([[0.0, 0.0]], [-1.0], [1.0], [0.0])
+
+
+class TestAcceleratingFleet:
+    def test_position_formula(self):
+        fleet = AcceleratingFleet(
+            [[0.0, 0.0, 0.0]], [[1.0, 0.0, 0.0]], [[0.0, 2.0, 0.0]]
+        )
+        assert np.allclose(fleet.position(3.0), [[3.0, 9.0, 0.0]])
+
+    def test_zero_acceleration_matches_linear(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0, 10, (5, 3))
+        u = rng.uniform(-1, 1, (5, 3))
+        accel = AcceleratingFleet(p, u, np.zeros((5, 3)))
+        linear = LinearFleet(p, u)
+        assert np.allclose(accel.position(12.0), linear.position(12.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            AcceleratingFleet([[1.0, 2.0]], [[1.0, 2.0]], [[1.0, 2.0, 3.0]])

@@ -1,0 +1,148 @@
+"""Tests for the scalar-product compiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExpressionError, NonScalarProductError
+from repro.sqlfunc import compile_expression, parse
+
+
+class TestDecomposition:
+    def test_example1(self):
+        form = compile_expression("active_power - ? * voltage * current")
+        assert form.has_base
+        assert form.n_params == 1
+        assert form.phi_dim == 2
+        assert str(form.base) == "active_power"
+
+    def test_no_base(self):
+        form = compile_expression("? * a + ? * b")
+        assert not form.has_base
+        assert form.phi_dim == 2
+        assert form.param_positions == (0, 1)
+
+    def test_param_free_expression(self):
+        form = compile_expression("a * b + 3")
+        assert form.n_params == 0
+        assert form.phi_dim == 1
+
+    def test_repeated_param_merges(self):
+        # Hand-built AST reusing the same parameter position in two terms.
+        from repro.sqlfunc import BinOp, Column, Param
+
+        expr = BinOp("+", BinOp("*", Param(0), Column("a")), BinOp("*", Param(0), Column("b")))
+        form = compile_expression(expr)
+        assert form.n_params == 1
+        env = {"a": np.array([2.0]), "b": np.array([3.0])}
+        features = form.feature_matrix(env, 1)
+        assert np.allclose(features, [[5.0]])
+
+    def test_zero_base_dropped(self):
+        # Constant folding recognises literal-zero bases (full symbolic
+        # cancellation like "a - a" is intentionally out of scope).
+        form = compile_expression("0 * a + ? * b")
+        assert not form.has_base
+
+    def test_constant_coefficient_broadcasts(self):
+        form = compile_expression("x + 2 * ?")
+        env = {"x": np.array([1.0, 2.0, 3.0])}
+        features = form.feature_matrix(env, 3)
+        assert features.shape == (3, 2)
+        assert np.allclose(features[:, 1], 2.0)
+
+    def test_division_by_constant(self):
+        form = compile_expression("(a + ? * b) / 4")
+        env = {"a": np.array([8.0]), "b": np.array([2.0])}
+        assert np.allclose(form.feature_matrix(env, 1), [[2.0, 0.5]])
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "? * ?",
+            "? * (a + ?)",
+            "a / ?",
+            "(a + ? * b) / (1 + ?)",
+        ],
+    )
+    def test_nonlinear_rejected(self, bad):
+        with pytest.raises(NonScalarProductError):
+            compile_expression(bad)
+
+    def test_cancelled_param_rejected(self):
+        with pytest.raises(NonScalarProductError, match="cancels out"):
+            compile_expression("? * 0 + b")
+
+    def test_identically_zero_rejected(self):
+        with pytest.raises(NonScalarProductError, match="identically zero"):
+            compile_expression("0 * a")
+
+
+class TestQueryNormal:
+    def test_with_base(self):
+        form = compile_expression("a - ? * b")
+        assert np.array_equal(form.query_normal([0.5]), [1.0, 0.5])
+
+    def test_without_base(self):
+        form = compile_expression("? * a + ? * b")
+        assert np.array_equal(form.query_normal([2.0, 3.0]), [2.0, 3.0])
+
+    def test_arity_checked(self):
+        form = compile_expression("a - ? * b")
+        with pytest.raises(NonScalarProductError):
+            form.query_normal([1.0, 2.0])
+
+
+class TestConsistency:
+    def test_decomposition_equals_direct_evaluation(self):
+        """<query_normal, phi(x)> must equal the original expression."""
+        form = compile_expression("3 * a - ? * b * c + ? * (a - 2) / 5 + 1")
+        rng = np.random.default_rng(0)
+        env = {name: rng.normal(size=50) for name in ("a", "b", "c")}
+        params = [1.7, -2.3]
+        features = form.feature_matrix(env, 50)
+        normal = form.query_normal(params)
+        assert np.allclose(features @ normal, form.evaluate(env, params))
+
+    def test_unbound_param_raises(self):
+        expr = parse("? + a")
+        with pytest.raises(ExpressionError, match="unbound"):
+            expr.evaluate({"a": np.ones(2)}, [])
+
+
+@st.composite
+def linear_expressions(draw):
+    """Random parameter-linear expression strings over columns a, b."""
+    n_terms = draw(st.integers(1, 4))
+    terms = []
+    param_count = 0
+    for _ in range(n_terms):
+        coeff = draw(st.sampled_from(["a", "b", "2", "a * b", "(a + 3)", "b / 2"]))
+        if draw(st.booleans()):
+            terms.append(f"? * {coeff}")
+            param_count += 1
+        else:
+            terms.append(coeff)
+    expression = " + ".join(terms)
+    return expression, param_count
+
+
+@given(expr_and_count=linear_expressions(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_compile_matches_direct(expr_and_count, data):
+    expression, param_count = expr_and_count
+    form = compile_expression(expression)
+    assert form.n_params == param_count
+    params = [
+        data.draw(st.floats(-10, 10, allow_nan=False)) for _ in range(param_count)
+    ]
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    env = {"a": rng.normal(size=10), "b": rng.normal(size=10)}
+    features = form.feature_matrix(env, 10)
+    normal = form.query_normal(params)
+    assert np.allclose(features @ normal, form.evaluate(env, params), atol=1e-9)

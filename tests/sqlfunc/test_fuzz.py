@@ -1,0 +1,102 @@
+"""Fuzz tests for the expression language: print/parse round trips and
+random-tree compilation consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NonScalarProductError
+from repro.sqlfunc import BinOp, Column, Expr, Neg, Number, Param, compile_expression, parse
+
+COLUMNS = ("a", "b", "c")
+
+
+@st.composite
+def expression_trees(draw, max_depth: int = 4, allow_params: bool = True) -> Expr:
+    """Random expression ASTs (division only by literals, to dodge /0)."""
+    if max_depth == 0:
+        choice = draw(st.integers(0, 2 if allow_params else 1))
+        if choice == 0:
+            return Column(draw(st.sampled_from(COLUMNS)))
+        if choice == 1:
+            return Number(draw(st.floats(-9.0, 9.0, allow_nan=False)))
+        return Param(draw(st.integers(0, 2)))
+    kind = draw(st.sampled_from(["leaf", "neg", "add", "sub", "mul", "div"]))
+    if kind == "leaf":
+        return draw(expression_trees(max_depth=0, allow_params=allow_params))
+    if kind == "neg":
+        return Neg(draw(expression_trees(max_depth=max_depth - 1, allow_params=allow_params)))
+    if kind in ("add", "sub"):
+        left = draw(expression_trees(max_depth=max_depth - 1, allow_params=allow_params))
+        right = draw(expression_trees(max_depth=max_depth - 1, allow_params=allow_params))
+        return BinOp("+" if kind == "add" else "-", left, right)
+    if kind == "mul":
+        # Keep one side parameter-free so the tree stays compilable.
+        left = draw(expression_trees(max_depth=max_depth - 1, allow_params=False))
+        right = draw(expression_trees(max_depth=max_depth - 1, allow_params=allow_params))
+        if draw(st.booleans()):
+            left, right = right, left
+        return BinOp("*", left, right)
+    divisor = Number(draw(st.floats(0.5, 8.0, allow_nan=False)))
+    return BinOp(
+        "/",
+        draw(expression_trees(max_depth=max_depth - 1, allow_params=allow_params)),
+        divisor,
+    )
+
+
+def random_env(rng: np.random.Generator, n: int = 12) -> dict[str, np.ndarray]:
+    return {name: rng.normal(0.0, 3.0, size=n) for name in COLUMNS}
+
+
+@given(expr=expression_trees(), seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_print_parse_round_trip(expr, seed):
+    """str(expr) reparses to a tree with identical semantics.
+
+    The parser renumbers ``?`` placeholders left-to-right, so the
+    comparison binds the reparsed tree's parameters by source order.
+    """
+    text = str(expr)
+    reparsed = parse(text)
+    rng = np.random.default_rng(seed)
+    env = random_env(rng)
+    # Bind original params by position index, reparsed by occurrence order.
+    original_positions = sorted(expr.params())
+    values = {pos: float(rng.uniform(-5, 5)) for pos in original_positions}
+    original_bound = [values.get(i, 0.0) for i in range(max(original_positions, default=-1) + 1)]
+    # Occurrences in source order: walk the printed text for ? markers.
+    occurrence_values = []
+    stack = [expr]
+    # In-order traversal matching the printer's left-to-right layout.
+    def visit(node):
+        if isinstance(node, Param):
+            occurrence_values.append(values[node.position])
+        elif isinstance(node, BinOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, Neg):
+            visit(node.operand)
+    visit(expr)
+    lhs = np.asarray(expr.evaluate(env, original_bound), dtype=np.float64)
+    rhs = np.asarray(reparsed.evaluate(env, occurrence_values), dtype=np.float64)
+    assert np.allclose(np.broadcast_to(lhs, 12), np.broadcast_to(rhs, 12), atol=1e-6, rtol=1e-6)
+
+
+@given(expr=expression_trees(), seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_compiled_form_matches_direct_evaluation(expr, seed):
+    """When compilable, <query_normal, phi(x)> == expr(x, params)."""
+    try:
+        form = compile_expression(expr)
+    except NonScalarProductError:
+        return  # degenerate tree (zero expression / cancelled param): fine
+    rng = np.random.default_rng(seed)
+    env = random_env(rng)
+    params = [float(rng.uniform(-5, 5)) for _ in form.param_positions]
+    features = form.feature_matrix(env, 12)
+    normal = form.query_normal(params)
+    direct = np.broadcast_to(form.evaluate(env, params), 12)
+    assert np.allclose(features @ normal, direct, atol=1e-6, rtol=1e-6)

@@ -1,0 +1,113 @@
+"""Tests for the expression lexer and parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExpressionSyntaxError
+from repro.sqlfunc import (
+    BinOp,
+    Column,
+    Neg,
+    Number,
+    Param,
+    TokenType,
+    parse,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("a + 2.5 * ? - (b / 1e3)")
+        types = [t.type for t in tokens]
+        assert types == [
+            TokenType.IDENT,
+            TokenType.PLUS,
+            TokenType.NUMBER,
+            TokenType.STAR,
+            TokenType.PARAM,
+            TokenType.MINUS,
+            TokenType.LPAREN,
+            TokenType.IDENT,
+            TokenType.SLASH,
+            TokenType.NUMBER,
+            TokenType.RPAREN,
+            TokenType.EOF,
+        ]
+
+    def test_number_values(self):
+        tokens = tokenize("3.25 .5 2e-3")
+        assert [t.value for t in tokens[:-1]] == [3.25, 0.5, 0.002]
+
+    def test_value_on_non_number(self):
+        token = tokenize("abc")[0]
+        with pytest.raises(ExpressionSyntaxError):
+            _ = token.value
+
+    def test_identifier_with_underscores_digits(self):
+        tokens = tokenize("active_power2")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "active_power2"
+
+    def test_illegal_character(self):
+        with pytest.raises(ExpressionSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  +b")
+        assert [t.position for t in tokens[:-1]] == [0, 3, 4]
+
+
+class TestParser:
+    def test_precedence(self):
+        expr = parse("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse("a - b - c")
+        # (a - b) - c
+        assert isinstance(expr.left, BinOp) and expr.left.op == "-"
+        assert expr.right == Column("c")
+
+    def test_parentheses_override(self):
+        expr = parse("(a + b) * c")
+        assert isinstance(expr, BinOp) and expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse("-a * b")
+        # Unary binds tighter: (-a) * b
+        assert isinstance(expr, BinOp) and expr.op == "*"
+        assert isinstance(expr.left, Neg)
+
+    def test_double_negation(self):
+        expr = parse("--2")
+        assert isinstance(expr, Neg) and isinstance(expr.operand, Neg)
+
+    def test_params_numbered_left_to_right(self):
+        expr = parse("? * a + ? * b")
+        assert expr.params() == frozenset({0, 1})
+        assert expr.left.left == Param(0)
+        assert expr.right.left == Param(1)
+
+    def test_example1_expression(self):
+        expr = parse("active_power - ? * voltage * current")
+        assert expr.columns() == frozenset({"active_power", "voltage", "current"})
+        assert expr.params() == frozenset({0})
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a +", "* a", "(a + b", "a b", "a + + b..", "1 2"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ExpressionSyntaxError):
+            parse(bad)
+
+    def test_evaluation_round_trip(self):
+        expr = parse("2 * x + ? * (y - 1) / 4")
+        env = {"x": np.array([1.0, 2.0]), "y": np.array([5.0, 9.0])}
+        values = expr.evaluate(env, [8.0])
+        assert np.allclose(values, [2.0 + 8.0, 4.0 + 16.0])

@@ -1,0 +1,185 @@
+"""Tests for Table and FunctionIndexHandle (the Example 1 pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ParameterDomain
+from repro.exceptions import (
+    DimensionMismatchError,
+    UnknownColumnError,
+)
+from repro.sqlfunc import Table
+
+
+@pytest.fixture
+def households(rng):
+    """A small consumption-like table with controllable power factors."""
+    n = 800
+    voltage = rng.uniform(223.0, 254.0, n)
+    current = rng.uniform(0.5, 48.0, n)
+    pf = rng.beta(6.0, 1.5, n)
+    active = pf * voltage * current / 1000.0
+    return Table(
+        {
+            "active_power": active,
+            "voltage": voltage,
+            "current": current,
+        }
+    )
+
+
+EXPR = "active_power - ? * voltage * current / 1000"
+DOMAIN = ParameterDomain(low=0.1, high=1.0)
+
+
+class TestTableBasics:
+    def test_construction(self, households):
+        assert len(households) == 800
+        assert households.column_names == ("active_power", "voltage", "current")
+        assert "voltage" in households
+
+    def test_column_read_only(self, households):
+        with pytest.raises(ValueError):
+            households.column("voltage")[0] = 0.0
+
+    def test_unknown_column(self, households):
+        with pytest.raises(UnknownColumnError):
+            households.column("nope")
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Table({"a": np.ones(3), "b": np.ones(4)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table({})
+
+
+class TestFilter:
+    def test_filter_matches_manual(self, households):
+        ids = households.filter(EXPR, [0.5])
+        active = households.column("active_power")
+        va = households.column("voltage") * households.column("current") / 1000.0
+        expected = np.nonzero(active - 0.5 * va <= 0)[0]
+        assert np.array_equal(ids, expected)
+
+    def test_filter_ops(self, households):
+        le = households.filter(EXPR, [0.5], op="<=")
+        gt = households.filter(EXPR, [0.5], op=">")
+        assert len(le) + len(gt) == len(households)
+
+    def test_filter_unknown_column(self, households):
+        with pytest.raises(UnknownColumnError):
+            households.filter("mystery + ?", [1.0])
+
+
+class TestFunctionIndex:
+    def test_index_matches_scan(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=15, rng=0)
+        for threshold in (0.2, 0.5, 0.8, 0.95):
+            answer = handle.query([threshold])
+            assert np.array_equal(answer.ids, handle.scan([threshold]))
+            assert not answer.used_fallback
+
+    def test_all_comparison_ops(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=10, rng=0)
+        for op in ("<=", "<", ">=", ">"):
+            assert np.array_equal(
+                handle.query([0.6], op=op).ids, handle.scan([0.6], op=op)
+            )
+
+    def test_custom_rhs(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=5, rng=0)
+        assert np.array_equal(
+            handle.query([0.6], rhs=1.5).ids, handle.scan([0.6], rhs=1.5)
+        )
+
+    def test_topk(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=15, rng=0)
+        result = handle.topk([0.7], 10)
+        # The closest rows to the boundary are those with pf nearest 0.7.
+        scan_ids = handle.scan([0.7])
+        env = households.env()
+        values = (
+            env["active_power"] - 0.7 * env["voltage"] * env["current"] / 1000.0
+        )
+        distances = np.abs(values[scan_ids]) / np.linalg.norm(
+            handle.form.query_normal([0.7])
+        )
+        assert np.allclose(np.sort(result.distances), np.sort(distances)[:10])
+
+    def test_feature_names_exposed(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=2, rng=0)
+        assert handle.feature_names[0] == "active_power"
+
+    def test_domain_arity_checked(self, households):
+        with pytest.raises(DimensionMismatchError):
+            households.create_function_index(EXPR, [DOMAIN, DOMAIN])
+
+    def test_unknown_column_rejected(self, households):
+        with pytest.raises(UnknownColumnError):
+            households.create_function_index("ghost - ?", [DOMAIN])
+
+    def test_drop_function_index(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=2, rng=0)
+        households.drop_function_index(handle)
+        households.append_rows(
+            {"active_power": [1.0], "voltage": [230.0], "current": [10.0]}
+        )
+        # Handle no longer tracks the table; its index still has 800 rows.
+        assert len(handle.index) == 800
+
+
+class TestDynamicPropagation:
+    def test_append_rows_updates_index(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=5, rng=0)
+        new_ids = households.append_rows(
+            {
+                "active_power": [0.1, 9.0],
+                "voltage": [230.0, 240.0],
+                "current": [20.0, 40.0],
+            }
+        )
+        assert np.array_equal(new_ids, [800, 801])
+        assert np.array_equal(handle.query([0.5]).ids, handle.scan([0.5]))
+        # Row 800 has pf ~ 0.022: must satisfy a 0.5 threshold.
+        assert 800 in set(handle.query([0.5]).ids.tolist())
+
+    def test_update_rows_updates_index(self, households):
+        handle = households.create_function_index(EXPR, [DOMAIN], n_indices=5, rng=0)
+        households.update_rows(
+            np.array([0, 1]), {"active_power": [0.0, 11.0]}
+        )
+        assert np.array_equal(handle.query([0.5]).ids, handle.scan([0.5]))
+        assert 0 in set(handle.query([0.5]).ids.tolist())
+
+    def test_append_validation(self, households):
+        with pytest.raises(DimensionMismatchError):
+            households.append_rows({"active_power": [1.0]})
+        with pytest.raises(UnknownColumnError):
+            households.append_rows(
+                {
+                    "active_power": [1.0],
+                    "voltage": [230.0],
+                    "current": [1.0],
+                    "ghost": [0.0],
+                }
+            )
+        with pytest.raises(DimensionMismatchError):
+            households.append_rows(
+                {
+                    "active_power": [1.0, 2.0],
+                    "voltage": [230.0],
+                    "current": [1.0],
+                }
+            )
+
+    def test_update_validation(self, households):
+        with pytest.raises(IndexError):
+            households.update_rows(np.array([10_000]), {"voltage": [230.0]})
+        with pytest.raises(UnknownColumnError):
+            households.update_rows(np.array([0]), {"ghost": [1.0]})
+        with pytest.raises(DimensionMismatchError):
+            households.update_rows(np.array([0]), {"voltage": [230.0, 231.0]})

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_choices(self):
+        args = build_parser().parse_args(["demo", "quickstart", "--n", "123"])
+        assert args.name == "quickstart" and args.n == 123
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "Planar index" in capsys.readouterr().out
+
+    def test_demo_quickstart(self, capsys):
+        assert main(["demo", "quickstart", "--n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 2,000 points" in out
+        assert "pruned" in out
+
+    def test_demo_consumption(self, capsys):
+        assert main(["demo", "consumption", "--n", "3000"]) == 0
+        assert "power factor" in capsys.readouterr().out
+
+    def test_demo_learning(self, capsys):
+        assert main(["demo", "learning", "--n", "1500"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_bench_query(self, capsys):
+        assert main(["bench", "query", "--n", "3000", "--indices", "10"]) == 0
+        assert "pruning_pct" in capsys.readouterr().out
+
+    def test_bench_topk(self, capsys):
+        assert main(["bench", "topk", "--n", "3000", "--indices", "10"]) == 0
+        assert "checked_pct" in capsys.readouterr().out
+
+    def test_datasets_synthetic(self, capsys):
+        assert main(["datasets", "corr", "--n", "500", "--dim", "3"]) == 0
+        assert "corr" in capsys.readouterr().out
+
+    def test_datasets_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert main(["datasets", "indp", "--n", "50", "--csv", str(target)]) == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert header.startswith("attr_0")

@@ -1,0 +1,48 @@
+"""Smoke tests: the lighter example scripts must run end to end.
+
+The two heavyweight examples (critical_consume at 300K rows, air_traffic
+at 500x500 fleets) are exercised indirectly by the moving/sqlfunc test
+suites and the benchmark targets; running them here would double suite
+time for no extra coverage.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "script,needle",
+    [
+        ("quickstart.py", "exactness : identical to sequential scan"),
+        ("active_learning.py", "fewer scalar products"),
+        ("constraint_regions.py", "round trip OK"),
+    ],
+)
+def test_example_runs(script, needle, capsys):
+    out = run_example(script, capsys)
+    assert needle in out
+
+
+def test_examples_directory_complete():
+    """Every example advertised in the README exists."""
+    advertised = {
+        "quickstart.py",
+        "critical_consume.py",
+        "air_traffic.py",
+        "active_learning.py",
+        "constraint_regions.py",
+    }
+    present = {path.name for path in EXAMPLES.glob("*.py")}
+    assert advertised <= present

@@ -1,0 +1,84 @@
+"""Tests for the half-space range searching convenience API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Hyperplane
+from repro.halfspace import HalfspaceIndex
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).normal(0.0, 3.0, size=(2000, 3))
+
+
+@pytest.fixture
+def index(points):
+    return HalfspaceIndex(points, rng=0)
+
+
+class TestReporting:
+    def test_below_above_partition(self, points, index):
+        normal = np.array([1.0, -2.0, 0.5])
+        below = index.below(normal, 0.3)
+        above = index.above(normal, 0.3, strict=True)
+        assert below.size + above.size == len(points)
+        assert np.all(points[below] @ normal <= 0.3)
+        assert np.all(points[above] @ normal > 0.3)
+
+    def test_strict_below(self, points, index):
+        normal = np.array([0.5, 0.5, 0.5])
+        non_strict = index.below(normal, 1.0)
+        strict = index.below(normal, 1.0, strict=True)
+        assert strict.size <= non_strict.size
+
+    def test_side_of_hyperplane(self, points, index):
+        plane = Hyperplane(np.array([1.0, 1.0, 1.0]), 0.0)
+        positive = index.side(plane, positive=True)
+        negative = index.side(plane, positive=False)
+        assert np.all(points[positive] @ plane.normal >= 0.0)
+        assert np.all(points[negative] @ plane.normal <= 0.0)
+
+    def test_random_orientations_exact(self, points, index):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            normal = rng.normal(size=3)
+            offset = float(rng.uniform(-3, 3))
+            ids = index.below(normal, offset)
+            truth = np.nonzero(points @ normal <= offset)[0]
+            assert np.array_equal(ids, truth)
+
+
+class TestNearest:
+    def test_below_side(self, points, index):
+        normal = np.array([1.0, 0.0, 0.0])
+        result = index.nearest(normal, 0.0, k=7, side="below")
+        values = points @ normal
+        sat = np.abs(values[values <= 0.0])
+        assert np.allclose(result.distances, np.sort(sat)[:7])
+
+    def test_both_sides_merged(self, points, index):
+        normal = np.array([1.0, 1.0, 0.0])
+        result = index.nearest(normal, 0.5, k=9, side="both")
+        distances = np.abs(points @ normal - 0.5) / np.linalg.norm(normal)
+        assert np.allclose(result.distances, np.sort(distances)[:9])
+
+    def test_bad_side(self, index):
+        with pytest.raises(ValueError):
+            index.nearest(np.ones(3), 0.0, k=3, side="sideways")
+
+
+class TestDynamics:
+    def test_insert_and_delete(self, points):
+        index = HalfspaceIndex(points, rng=0)
+        normal = np.array([1.0, 1.0, 1.0])
+        index.below(normal, 0.0)  # materialize an octant
+        new_ids = index.insert(np.array([[100.0, 100.0, 100.0]]))
+        assert len(index) == len(points) + 1
+        above = index.above(normal, 250.0)
+        assert new_ids[0] in set(above.tolist())
+        index.delete(new_ids)
+        assert len(index) == len(points)
+        assert index.above(normal, 250.0).size == 0
