@@ -1,0 +1,43 @@
+"""Static analysis and runtime sanitization for the Planar index invariants.
+
+Two halves (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.lint` — an AST-based linter with repo-specific rules
+  (REP001–REP008) run as ``python -m repro lint [paths]``; the test suite
+  gates ``src/`` at zero findings.
+* :mod:`repro.analysis.contracts` — the :func:`array_contract` decorator, a
+  zero-overhead no-op by default and a full shape/dtype/contiguity/NaN-inf
+  checker when ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+from .contracts import (
+    ArraySpec,
+    Contract,
+    array_contract,
+    checked,
+    parse_param_spec,
+    parse_return_spec,
+    sanitize_enabled,
+)
+from .lint import LintReport, lint_file, lint_paths
+from .rules import REGISTRY, Diagnostic, Rule, check_module, rule_ids
+
+__all__ = [
+    "ArraySpec",
+    "Contract",
+    "Diagnostic",
+    "LintReport",
+    "REGISTRY",
+    "Rule",
+    "array_contract",
+    "check_module",
+    "checked",
+    "lint_file",
+    "lint_paths",
+    "parse_param_spec",
+    "parse_return_spec",
+    "rule_ids",
+    "sanitize_enabled",
+]

@@ -1,0 +1,313 @@
+"""Lint driver: file discovery, noqa filtering, reporters, exit codes.
+
+Exposed through the CLI as ``python -m repro lint [paths]``:
+
+* exit code 0 — no findings,
+* exit code 1 — at least one finding (or an unparsable file, reported as
+  the pseudo-rule ``REP000``),
+* exit code 2 — usage error (nonexistent path, unknown rule in
+  ``--select``).
+
+Suppression: append ``# repro: noqa`` (all rules) or
+``# repro: noqa(REP001)`` / ``# repro: noqa(REP001, REP004)`` to the
+offending line.  Suppressions are line-scoped and should carry a rationale
+comment — see ``docs/analysis.md``.
+
+``--format json`` emits machine-readable findings; ``--stats`` emits
+per-rule finding counts and wall-time as JSON so benchmark harnesses can
+track lint runtime as the codebase grows (``BENCH_*.json`` entries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from .rules import REGISTRY, Diagnostic, check_module, rule_ids
+
+__all__ = [
+    "LintReport",
+    "lint_paths",
+    "lint_file",
+    "module_name_for",
+    "configure_parser",
+    "build_parser",
+    "run_from_args",
+    "main",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\(\s*([A-Za-z0-9_,\s]*)\s*\))?", re.I)
+
+# Directories never worth descending into.
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    files_scanned: int
+    elapsed_s: float
+    suppressed: int
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Findings per rule id, including zero entries for silent rules."""
+        counts = {rule_id: 0 for rule_id in rule_ids()}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.diagnostics else 0
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted module name of ``path`` by walking up ``__init__.py`` parents.
+
+    Returns ``None`` for files outside any package — rule scoping then
+    treats them as hot-path (all rules apply), which is what makes the
+    linter usable on scratch files and downstream code.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    package_found = path.name == "__init__.py"
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+        package_found = True
+    if not package_found or not parts:
+        return None
+    return ".".join(parts)
+
+
+def _noqa_rules(line: str) -> set[str] | None:
+    """Rules suppressed on ``line``: empty set = none, None = all rules."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return set()
+    spec = match.group(1)
+    if spec is None or not spec.strip():
+        return None
+    return {rule.strip().upper() for rule in spec.split(",") if rule.strip()}
+
+
+def lint_file(path: Path, select: set[str] | None = None) -> list[Diagnostic]:
+    """Lint one file, applying noqa suppression. Returns remaining findings."""
+    findings, _ = _lint_file_counting(path, select)
+    return findings
+
+
+def _lint_file_counting(
+    path: Path, select: set[str] | None
+) -> tuple[list[Diagnostic], int]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return (
+            [
+                Diagnostic(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="REP000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    raw = check_module(str(path), module_name_for(path), tree, select)
+    lines = source.splitlines()
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in raw:
+        line_text = lines[diagnostic.line - 1] if diagnostic.line - 1 < len(lines) else ""
+        rules = _noqa_rules(line_text)
+        if rules is None or diagnostic.rule in rules:
+            suppressed += 1
+            continue
+        kept.append(diagnostic)
+    return kept, suppressed
+
+
+def _discover(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not any(part in _SKIP_DIRS for part in candidate.parts)
+            )
+        else:
+            files.append(path)
+    # De-duplicate while preserving order.
+    unique: dict[Path, None] = {}
+    for file in files:
+        unique.setdefault(file.resolve(), None)
+    return list(unique)
+
+
+def lint_paths(paths: Sequence[Path | str], select: set[str] | None = None) -> LintReport:
+    """Lint files/directories and return a :class:`LintReport`."""
+    start = time.perf_counter()
+    resolved = [Path(p) for p in paths]
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    files = _discover(resolved)
+    for file in files:
+        kept, hidden = _lint_file_counting(file, select)
+        diagnostics.extend(kept)
+        suppressed += hidden
+    diagnostics.sort()
+    return LintReport(
+        diagnostics=tuple(diagnostics),
+        files_scanned=len(files),
+        elapsed_s=time.perf_counter() - start,
+        suppressed=suppressed,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Reporters
+# --------------------------------------------------------------------- #
+
+
+def _report_text(report: LintReport, stream: TextIO) -> None:
+    for diagnostic in report.diagnostics:
+        print(diagnostic.render(), file=stream)
+    noun = "finding" if len(report.diagnostics) == 1 else "findings"
+    print(
+        f"{len(report.diagnostics)} {noun} in {report.files_scanned} files "
+        f"({report.suppressed} suppressed, {report.elapsed_s * 1e3:.1f} ms)",
+        file=stream,
+    )
+
+
+def _report_json(report: LintReport, stream: TextIO) -> None:
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "path": diagnostic.path,
+                "line": diagnostic.line,
+                "col": diagnostic.col,
+                "rule": diagnostic.rule,
+                "message": diagnostic.message,
+            }
+            for diagnostic in report.diagnostics
+        ],
+        "counts": report.counts,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "elapsed_s": report.elapsed_s,
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def _report_stats(report: LintReport, stream: TextIO) -> None:
+    """Per-rule counts + wall time, shaped for BENCH_*.json consumption."""
+    payload = {
+        "lint_counts": report.counts,
+        "lint_files_scanned": report.files_scanned,
+        "lint_suppressed": report.suppressed,
+        "lint_wall_time_s": report.elapsed_s,
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+# --------------------------------------------------------------------- #
+# CLI entry point (wired into repro.cli)
+# --------------------------------------------------------------------- #
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="emit per-rule finding counts and wall-time as JSON",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="repo-specific AST linter for the Planar index invariants",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """Execute a lint invocation from a parsed namespace; returns exit code."""
+    stream = stream or sys.stdout
+    if args.list_rules:
+        for rule_id in rule_ids():
+            rule = REGISTRY[rule_id]
+            print(f"{rule.id}  {rule.name:<28} {rule.summary}", file=stream)
+        return 0
+    select: set[str] | None = None
+    if args.select:
+        select = {rule.strip().upper() for rule in args.select.split(",") if rule.strip()}
+        unknown = select - set(rule_ids())
+        if unknown:
+            print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
+            return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = lint_paths(paths, select)
+    if args.stats:
+        _report_stats(report, stream)
+    elif args.format == "json":
+        _report_json(report, stream)
+    else:
+        _report_text(report, stream)
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.lint``);
+    returns the process exit code (0 clean / 1 findings / 2 usage error)."""
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse uses 2 for usage errors already
+        return int(exc.code or 0)
+    return run_from_args(args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI tests
+    sys.exit(main())

@@ -13,6 +13,10 @@ Commands
 ``datasets``
     Generate a dataset and print its Table 2 characteristics (optionally
     exporting to CSV).
+``lint``
+    Run the repo-specific AST linter (rules REP001–REP008, see
+    ``docs/analysis.md``) over files or directories.  Exit code 0 means
+    clean, 1 means findings, 2 means usage error.
 """
 
 from __future__ import annotations
@@ -66,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--dim", type=int, default=6, help="synthetic families only")
     datasets.add_argument("--seed", type=int, default=0)
     datasets.add_argument("--csv", type=str, default=None, help="export path")
+
+    from repro.analysis import lint as lint_module
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific AST linter (REP001–REP008)",
+        description="AST linter enforcing the Planar index invariants; "
+        "see docs/analysis.md for the rule catalogue",
+    )
+    lint_module.configure_parser(lint)
     return parser
 
 
@@ -207,6 +221,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "lint":
+        from repro.analysis.lint import run_from_args
+
+        return run_from_args(args)
     return _cmd_datasets(args)
 
 

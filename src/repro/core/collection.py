@@ -15,6 +15,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from .._util import as_rng
+from ..analysis.contracts import array_contract
 from ..exceptions import IndexBuildError
 from ..geometry.hyperplane import angle_between
 from ..geometry.translation import Translator
@@ -41,6 +42,7 @@ _PARALLEL_TOL = 1e-7
 _SCAN_FALLBACK_FRACTION = 0.2
 
 
+@array_contract("normals: (r, d) float64 cast", returns="(k,) int64")
 def dedupe_parallel_normals(normals: np.ndarray, tol: float = _PARALLEL_TOL) -> np.ndarray:
     """Drop normals parallel to an earlier one (Section 5.2 redundancy rule).
 
@@ -80,6 +82,7 @@ class PlanarIndexCollection:
         volume heuristic used in all its experiments).
     """
 
+    @array_contract("normals: (r, d) float64 cast")
     def __init__(
         self,
         store: FeatureStore,
@@ -99,7 +102,7 @@ class PlanarIndexCollection:
         # One matrix product computes every index's keys (Section 4.2's
         # <c, phi(x)> for all c at once); each index then only sorts.
         ids, rows = store.get_all()
-        key_matrix = rows @ normals[keep].T
+        key_matrix = rows @ normals[keep].T  # repro: noqa(REP001) — bulk build-time keying, one matmul by design
         self._indices = [
             PlanarIndex(
                 normals[row],
@@ -293,6 +296,7 @@ class PlanarIndexCollection:
     # Maintenance (Sections 4.2 and 4.4)
     # ------------------------------------------------------------------ #
 
+    @array_contract("normal: (d,) float64 cast")
     def add_index(self, normal: np.ndarray) -> bool:
         """Dynamically introduce a new Planar index (skips redundant normals).
 
@@ -316,16 +320,19 @@ class PlanarIndexCollection:
         del self._indices[position]
         self._refresh_selection_cache()
 
-    def rekey(self, ids: np.ndarray, features: np.ndarray) -> None:
-        """Propagate a feature update to every index."""
+    @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
+    def rekey(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Propagate a feature update (changed rows only) to every index."""
         for index in self._indices:
-            index.rekey(ids, features)
+            index.rekey(ids, rows)
 
-    def insert(self, ids: np.ndarray, features: np.ndarray) -> None:
+    @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
+    def insert(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Propagate newly appended points to every index."""
         for index in self._indices:
-            index.insert(ids, features)
+            index.insert(ids, rows)
 
+    @array_contract("ids: (m,) int64 cast")
     def delete(self, ids: np.ndarray) -> None:
         """Propagate deletions to every index."""
         for index in self._indices:

@@ -186,7 +186,7 @@ def answer_conjunction(
         # Short-circuit: apply the most selective-looking constraint first
         # (smallest candidate set => likely to kill the most points).
         order = np.argsort([c[1].size for c in certains])
-        for position in order:
+        for position in order:  # repro: noqa(REP006) — loop over the few constraints, not data points
             constraint = query.constraints[position]
             mask = constraint.evaluate(feats)
             survivors = survivors[mask]
@@ -234,7 +234,7 @@ def answer_disjunction(
     if remaining.size:
         feats = store.take_rows(remaining)
         order = np.argsort([c[1].size for c in certains])
-        for position in order:
+        for position in order:  # repro: noqa(REP006) — loop over the few constraints, not data points
             constraint = query.constraints[position]
             mask = constraint.evaluate(feats)
             satisfied_parts.append(remaining[mask])

@@ -245,7 +245,8 @@ class QueryModel:
         normal = np.asarray(normal, dtype=np.float64)
         if normal.shape != (self.dim,):
             return False
-        return all(dom.contains(float(v)) for dom, v in zip(self._domains, normal))
+        # Iterates the d'-length parameter vector, not data points.
+        return all(dom.contains(float(v)) for dom, v in zip(self._domains, normal))  # repro: noqa(REP006)
 
     def widened(self, normal: np.ndarray) -> "QueryModel":
         """Model whose domains additionally cover ``normal`` (drift update)."""
@@ -255,5 +256,5 @@ class QueryModel:
                 f"normal has shape {normal.shape}, model has dim {self.dim}"
             )
         return QueryModel(
-            [dom.widened(float(v)) for dom, v in zip(self._domains, normal)]
+            [dom.widened(float(v)) for dom, v in zip(self._domains, normal)]  # repro: noqa(REP006) — d' domains, not data
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import as_2d_float
+from ..analysis.contracts import array_contract
 from ..exceptions import DimensionMismatchError
 
 __all__ = ["FeatureStore"]
@@ -24,6 +25,7 @@ __all__ = ["FeatureStore"]
 class FeatureStore:
     """Growable ``(capacity, d')`` matrix with liveness tracking."""
 
+    @array_contract("features: (n, d) float64 cast promote")
     def __init__(self, features: np.ndarray) -> None:
         data = as_2d_float(features, "features")
         if data.shape[0] == 0:
@@ -75,11 +77,13 @@ class FeatureStore:
             raise KeyError(f"point ids not live: {dead[:5].tolist()}")
         return ids
 
+    @array_contract("ids: (m,) int64 cast", returns="(m, d) float64")
     def get(self, ids: np.ndarray) -> np.ndarray:
         """Feature rows for the given live ids (copy)."""
         ids = self._check_ids(ids)
         return self._data[ids]
 
+    @array_contract("ids: (m,) int64 C", returns="(m, d) float64")
     def take_rows(self, ids: np.ndarray) -> np.ndarray:
         """Unvalidated row gather for internal hot paths.
 
@@ -96,6 +100,7 @@ class FeatureStore:
         ids = self.live_ids()
         return ids, self._data[ids]
 
+    @array_contract("normal: (d,) float64 cast")
     def scan_values(self, normal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(ids, <normal, row>)`` for every live row via one matmul.
 
@@ -109,6 +114,7 @@ class FeatureStore:
         ids = self.live_ids()
         return ids, values[ids]
 
+    @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
     def update(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Replace the feature vectors of existing live rows."""
         ids = self._check_ids(ids)
@@ -121,6 +127,7 @@ class FeatureStore:
             raise ValueError("feature values must be finite")
         self._data[ids] = rows
 
+    @array_contract("rows: (m, d) float64 cast promote", returns="(m,) int64")
     def append(self, rows: np.ndarray) -> np.ndarray:
         """Add new rows; returns their freshly assigned ids."""
         rows = as_2d_float(rows, "rows")
@@ -138,6 +145,7 @@ class FeatureStore:
         self._n_live += rows.shape[0]
         return np.arange(start, start + rows.shape[0], dtype=np.int64)
 
+    @array_contract("ids: (m,) int64 cast")
     def delete(self, ids: np.ndarray) -> None:
         """Mark rows dead; their ids become permanently invalid."""
         ids = self._check_ids(ids)

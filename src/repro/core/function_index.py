@@ -251,7 +251,7 @@ class FunctionIndex:
             if not self._scan_fallback:
                 raise
             ids, rows = self._features.get_all()
-            values = rows @ low_q.normal
+            values = rows @ low_q.normal  # repro: noqa(REP001) — explicit opt-in scan fallback (guarded above)
             mask = (values >= low) & (values <= high)
             return QueryAnswer(np.sort(ids[mask]), None, True)
         index = self._collection.select(wq_high)

@@ -96,7 +96,7 @@ def save_index(index: FunctionIndex, path: str | Path) -> Path:
         normals=index.collection.normals,
         octant=index.translator.octant,
         delta=index.translator.delta,
-        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),  # repro: noqa(REP002) — byte buffer for JSON metadata, not numeric keys
     )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 

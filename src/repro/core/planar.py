@@ -47,6 +47,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import as_1d_float
+from ..analysis.contracts import array_contract
 from ..exceptions import IndexBuildError, InvalidQueryError
 from ..geometry.octant import sign_vector
 from ..geometry.translation import Translator
@@ -178,6 +179,7 @@ class PlanarIndex:
         Optional subset of store ids to index.
     """
 
+    @array_contract("normal: (d,) float64 cast", "ids: ?(n,) int64 cast")
     def __init__(
         self,
         normal: np.ndarray,
@@ -220,7 +222,8 @@ class PlanarIndex:
             else:
                 ids = np.ascontiguousarray(ids, dtype=np.int64)
                 rows = store.get(ids)
-            self._keys = SortedKeyStore(rows @ self._normal, ids)
+            # Build-time keying of the indexed rows: one deliberate matmul.
+            self._keys = SortedKeyStore(rows @ self._normal, ids)  # repro: noqa(REP001)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -252,6 +255,7 @@ class PlanarIndex:
         return self._keys.memory_bytes()
 
     @classmethod
+    @array_contract("features: (n, d) float64 cast promote", "normal: (d,) float64 cast")
     def from_features(
         cls,
         features: np.ndarray,
@@ -539,24 +543,29 @@ class PlanarIndex:
     # Dynamic maintenance (Section 4.4)
     # ------------------------------------------------------------------ #
 
-    def rekey(self, ids: np.ndarray, features: np.ndarray) -> None:
+    @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
+    def rekey(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Update keys after the features of existing points changed.
 
-        The caller (usually :class:`FunctionIndex`) is responsible for
-        having already updated the shared store and grown the translator.
+        ``rows`` holds only the changed feature rows (one per id), never the
+        full matrix.  The caller (usually :class:`FunctionIndex`) is
+        responsible for having already updated the shared store and grown
+        the translator.
         """
-        features = np.ascontiguousarray(features, dtype=np.float64)
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
         self._keys.update_batch(
-            np.ascontiguousarray(ids, dtype=np.int64), features @ self._normal
+            np.ascontiguousarray(ids, dtype=np.int64), rows @ self._normal
         )
 
-    def insert(self, ids: np.ndarray, features: np.ndarray) -> None:
-        """Index newly appended points."""
-        features = np.ascontiguousarray(features, dtype=np.float64)
+    @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
+    def insert(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Index newly appended points (one feature row per id)."""
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
         self._keys.insert(
-            np.ascontiguousarray(ids, dtype=np.int64), features @ self._normal
+            np.ascontiguousarray(ids, dtype=np.int64), rows @ self._normal
         )
 
+    @array_contract("ids: (m,) int64 cast")
     def delete(self, ids: np.ndarray) -> None:
         """Drop points from this index."""
         self._keys.delete(np.ascontiguousarray(ids, dtype=np.int64))

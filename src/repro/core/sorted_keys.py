@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import as_1d_float
+from ..analysis.contracts import array_contract
 from ..exceptions import DimensionMismatchError
 
 __all__ = ["SortedKeyStore"]
@@ -34,6 +35,7 @@ __all__ = ["SortedKeyStore"]
 class SortedKeyStore:
     """Ascending key order over ``(point id, key)`` pairs with dynamic updates."""
 
+    @array_contract("keys: (n,) float64 cast", "ids: ?(n,) int64 cast")
     def __init__(
         self,
         keys: np.ndarray,
@@ -167,6 +169,7 @@ class SortedKeyStore:
             np.array([point_id], dtype=np.int64), np.array([float(new_key)])
         )
 
+    @array_contract("point_ids: (m,) int64 cast", "new_keys: (m,) float64 cast")
     def update_batch(self, point_ids: np.ndarray, new_keys: np.ndarray) -> None:
         """Re-key many points with one remove + one merge pass."""
         point_ids, new_keys = self._validate_batch(point_ids, new_keys)
@@ -176,6 +179,7 @@ class SortedKeyStore:
         self._merge_in(point_ids, new_keys)
         self._key_map = None
 
+    @array_contract("point_ids: (m,) int64 cast", "keys: (m,) float64 cast")
     def insert(self, point_ids: np.ndarray, keys: np.ndarray) -> None:
         """Add new points to the index order."""
         point_ids, keys = self._validate_batch(point_ids, keys)
@@ -187,6 +191,7 @@ class SortedKeyStore:
         self._merge_in(point_ids, keys)
         self._key_map = None
 
+    @array_contract("point_ids: (m,) int64 cast")
     def delete(self, point_ids: np.ndarray) -> None:
         """Remove points from the index order."""
         point_ids = np.ascontiguousarray(point_ids, dtype=np.int64)

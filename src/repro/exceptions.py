@@ -11,6 +11,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "DimensionMismatchError",
+    "ContractSpecError",
+    "ContractViolationError",
     "InvalidQueryError",
     "InvalidDomainError",
     "IndexBuildError",
@@ -27,6 +29,25 @@ class ReproError(Exception):
 
 class DimensionMismatchError(ReproError, ValueError):
     """An array has the wrong dimensionality for the operation requested."""
+
+
+class ContractSpecError(ReproError, TypeError):
+    """An ``@array_contract`` specification is malformed or names a parameter
+    that does not exist in the decorated function's signature.
+
+    Raised at decoration (import) time so that contract drift fails fast;
+    the static linter reports the same condition as rule REP008.
+    """
+
+
+class ContractViolationError(DimensionMismatchError):
+    """A runtime array-contract check failed under ``REPRO_SANITIZE=1``.
+
+    Subclasses :class:`DimensionMismatchError` (and therefore ``ValueError``)
+    so sanitized runs preserve the library's documented error contract: code
+    that catches the library's validation errors keeps working when the
+    sanitizer fires first.
+    """
 
 
 class InvalidQueryError(ReproError, ValueError):

@@ -124,7 +124,7 @@ class Hyperplane:
 
     def side(self, points: np.ndarray) -> np.ndarray:
         """Sign (+1 / 0 / -1) of each point relative to the hyperplane."""
-        return np.sign(self.evaluate(points)).astype(np.int8)
+        return np.sign(self.evaluate(points)).astype(np.int8)  # repro: noqa(REP002) — compact ±1 side labels
 
     def angle_to(self, other: "Hyperplane | np.ndarray") -> float:
         """Acute angle (radians) between this hyperplane and ``other``."""

@@ -33,7 +33,7 @@ def sign_vector(values: np.ndarray, name: str = "values") -> np.ndarray:
     yields a valid enclosing octant.
     """
     arr = as_1d_float(values, name)
-    signs = np.where(arr < 0.0, -1, 1).astype(np.int8)
+    signs = np.where(arr < 0.0, -1, 1).astype(np.int8)  # repro: noqa(REP002) — compact ±1 sign pattern
     return signs
 
 
@@ -41,7 +41,7 @@ def first_octant(dim: int) -> np.ndarray:
     """The all-positive octant of ``R^dim``."""
     if dim <= 0:
         raise ValueError(f"dim must be positive, got {dim}")
-    return np.ones(dim, dtype=np.int8)
+    return np.ones(dim, dtype=np.int8)  # repro: noqa(REP002) — compact ±1 sign pattern
 
 
 def octant_of_point(point: np.ndarray) -> np.ndarray:
@@ -90,4 +90,4 @@ def octant_from_domains(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
             "(Section 4.1 assumption a_i != 0)"
         )
     # A domain [0, h] with h > 0 is positive; [l, 0] with l < 0 is negative.
-    return np.where(highs > 0.0, 1, -1).astype(np.int8)
+    return np.where(highs > 0.0, 1, -1).astype(np.int8)  # repro: noqa(REP002) — compact ±1 sign pattern

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import as_1d_float, as_2d_float
+from ..analysis.contracts import array_contract
 from ..exceptions import DimensionMismatchError, InvalidQueryError
 
 __all__ = ["Translator"]
@@ -85,12 +86,13 @@ class Translator:
         return self._delta.copy()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Translator(octant={self._signs.astype(int).tolist()}, delta={self._delta.tolist()})"
+        return f"Translator(octant={self._signs.astype(np.int64).tolist()}, delta={self._delta.tolist()})"
 
     # ------------------------------------------------------------------ #
     # Fitting / maintenance
     # ------------------------------------------------------------------ #
 
+    @array_contract("points: (m, d) float64 cast promote")
     def observe(self, points: np.ndarray) -> bool:
         """Grow ``delta`` so the given feature vectors fit the working octant.
 
@@ -120,6 +122,7 @@ class Translator:
     # Coordinate maps
     # ------------------------------------------------------------------ #
 
+    @array_contract("points: (m, d) float64 cast promote", returns="(m, d) float64")
     def reflect(self, points: np.ndarray) -> np.ndarray:
         """Apply only the axis reflection (no shift) to feature vectors."""
         pts = as_2d_float(points, "points")
@@ -129,10 +132,12 @@ class Translator:
             )
         return pts * self._signs
 
+    @array_contract("points: (m, d) float64 cast promote", returns="(m, d) float64")
     def to_working(self, points: np.ndarray) -> np.ndarray:
         """Map feature vectors into the working (first) octant: reflect + shift."""
         return self.reflect(points) + self._delta
 
+    @array_contract("normal: (d,) float64 cast", returns="(d,) float64")
     def reflect_normal(self, normal: np.ndarray) -> np.ndarray:
         """Map a hyperplane normal into working coordinates.
 
@@ -147,6 +152,7 @@ class Translator:
             )
         return vec * self._signs
 
+    @array_contract("normal: (d,) float64 cast")
     def transform_query(self, normal: np.ndarray, offset: float) -> tuple[np.ndarray, float]:
         """Express the query ``<normal, Y> <= offset`` in working coordinates.
 
@@ -174,6 +180,7 @@ class Translator:
         working_offset = float(offset) + float(np.dot(working_normal, self._delta))
         return working_normal, working_offset
 
+    @array_contract("working_normal_c: (d,) float64 cast")
     def key_offset(self, working_normal_c: np.ndarray) -> float:
         """Constant ``<c, delta>`` separating stored keys from working keys.
 

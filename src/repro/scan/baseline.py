@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import as_2d_float
+from ..analysis.contracts import array_contract
 from ..core.query import ScalarProductQuery
 from ..core.topk import TopKResult
 from ..exceptions import DimensionMismatchError, InvalidQueryError
@@ -29,6 +30,7 @@ class SequentialScan:
         comparable with indexed answers.
     """
 
+    @array_contract("features: (n, d) float64 cast promote", "ids: ?(n,) int64 cast")
     def __init__(self, features: np.ndarray, ids: np.ndarray | None = None) -> None:
         self._features = as_2d_float(features, "features")
         if ids is None:
@@ -55,6 +57,7 @@ class SequentialScan:
                 f"query has dimension {query.dim}, data has {self.dim}"
             )
 
+    @array_contract(returns="(k,) int64")
     def query(self, query: ScalarProductQuery) -> np.ndarray:
         """All point ids satisfying the inequality, ascending."""
         self._check(query)

@@ -1,0 +1,117 @@
+"""Property test: the SI/LI/II interval partition is semantically exact.
+
+For arbitrary integer-valued data and queries (integer arithmetic keeps
+``<a, phi(x)>`` exactly representable in float64, so "on the hyperplane"
+is a meaningful event rather than a measure-zero accident):
+
+* every point the index places in SI certainly satisfies ``<a, x> < b``,
+* every point in LI certainly satisfies ``<a, x> > b``,
+* every boundary point (``<a, x> == b`` exactly) lands in the
+  intermediate interval — this is what makes the strict operators
+  (``<``, ``>``) correct, because only II is re-verified, and
+* the full query answer matches the brute-force sequential scan for all
+  four comparison operators.
+
+The offset is drawn as the exact key of one data row, so every generated
+case contains at least one boundary point and the strict/non-strict
+answers genuinely differ.  Run with ``REPRO_SANITIZE=1`` the same
+properties hold with every entry point contract-checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Comparison, PlanarIndex, ScalarProductQuery
+from repro.scan.baseline import SequentialScan
+
+# Small magnitudes: products and sums stay far below 2**53, so float64
+# arithmetic over these integers is exact and equality is deterministic.
+_coord = st.integers(min_value=-50, max_value=50)
+_weight = st.integers(min_value=1, max_value=9)
+_sign = st.sampled_from([-1, 1])
+
+
+@st.composite
+def partition_cases(draw):
+    dim = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=40))
+    rows = draw(
+        st.lists(
+            st.lists(_coord, min_size=dim, max_size=dim),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    features = np.array(rows, dtype=np.float64)
+    # Index and query normals share a sign pattern (octant compatibility);
+    # magnitudes differ so the interval split is non-trivial.
+    signs = np.array(draw(st.lists(_sign, min_size=dim, max_size=dim)), dtype=np.float64)
+    index_normal = signs * np.array(
+        draw(st.lists(_weight, min_size=dim, max_size=dim)), dtype=np.float64
+    )
+    query_normal = signs * np.array(
+        draw(st.lists(_weight, min_size=dim, max_size=dim)), dtype=np.float64
+    )
+    # Offset = exact key of one row under the query normal: at least one
+    # point sits exactly on the hyperplane.
+    anchor = draw(st.integers(min_value=0, max_value=n - 1))
+    offset = float(query_normal @ features[anchor])
+    op = draw(st.sampled_from(list(Comparison)))
+    return features, index_normal, query_normal, offset, op, anchor
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=partition_cases())
+def test_partition_matches_brute_force(case):
+    features, index_normal, query_normal, offset, op, anchor = case
+    index = PlanarIndex.from_features(features, index_normal)
+    query = ScalarProductQuery(query_normal, offset, op)
+    oracle = SequentialScan(features)
+
+    # 1. End-to-end answers agree with the sequential scan, exactly.
+    got = index.query(query)
+    expected = oracle.query(query)
+    np.testing.assert_array_equal(got.ids, expected)
+
+    # 2. The certain intervals really are certain (strictly), so they are
+    # valid for strict and non-strict operators alike.
+    wq = index.working_query(query)
+    r_lo, r_hi, n = index.interval_ranks(wq)
+    values = features @ query_normal
+    si_ids = np.asarray(index._keys.ids_in_rank_range(0, r_lo))
+    li_ids = np.asarray(index._keys.ids_in_rank_range(r_hi, n))
+    ii_ids = np.asarray(index._keys.ids_in_rank_range(r_lo, r_hi))
+    assert np.all(values[si_ids] < offset), "SI must strictly satisfy < b"
+    assert np.all(values[li_ids] > offset), "LI must strictly satisfy > b"
+    assert si_ids.size + ii_ids.size + li_ids.size == n == len(features)
+
+    # 3. Every exact-boundary point is in the intermediate interval: the
+    # measure-zero slice the strict operators depend on is re-verified,
+    # never bulk-classified.
+    boundary = np.nonzero(values == offset)[0]
+    assert boundary.size >= 1  # the anchor row at minimum
+    assert anchor in boundary
+    assert set(boundary.tolist()) <= set(ii_ids.tolist())
+
+    # 4. Strict vs non-strict answers differ by exactly the boundary set.
+    strict = index.query(query.with_op(Comparison.LT if op.is_upper_bound else Comparison.GT))
+    loose = index.query(query.with_op(Comparison.LE if op.is_upper_bound else Comparison.GE))
+    np.testing.assert_array_equal(
+        np.setdiff1d(loose.ids, strict.ids), np.sort(boundary)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=partition_cases())
+def test_stats_are_consistent(case):
+    features, index_normal, query_normal, offset, op, _ = case
+    index = PlanarIndex.from_features(features, index_normal)
+    result = index.query(ScalarProductQuery(query_normal, offset, op))
+    stats = result.stats
+    assert stats.si_size + stats.ii_size + stats.li_size == stats.n_total
+    assert stats.n_verified == stats.ii_size
+    assert stats.n_results == len(result.ids)
+    assert 0.0 <= stats.pruned_fraction <= 1.0

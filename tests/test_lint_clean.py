@@ -1,0 +1,31 @@
+"""Tier-1 self-gate: the repository must stay clean under its own linter.
+
+Runs ``repro.analysis.lint`` over ``src/`` in-process (no subprocess cost)
+and fails with the rendered findings if any rule fires.  New code that
+violates a rule must either be fixed or carry a line-scoped
+``# repro: noqa(REPxxx)`` with a rationale — see ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_src_is_lint_clean():
+    report = lint_paths([REPO / "src"])
+    assert report.files_scanned > 0
+    rendered = "\n".join(d.render() for d in report.diagnostics)
+    assert not report.diagnostics, f"lint findings in src/:\n{rendered}"
+    assert report.exit_code == 0
+
+
+def test_benchmarks_parse_cleanly():
+    """Benchmarks are exempt from hot-path rules but must at least parse
+    (REP000 fires on syntax errors regardless of scope)."""
+    report = lint_paths([REPO / "benchmarks"], select={"REP000"})
+    rendered = "\n".join(d.render() for d in report.diagnostics)
+    assert not report.diagnostics, f"unparsable benchmark files:\n{rendered}"
