@@ -1,0 +1,77 @@
+"""Observability tour: metrics, tracing spans, and EXPLAIN reports.
+
+Arms the ``repro.obs`` layer in-process (the CLI equivalent is
+``REPRO_OBS=1``), runs a small query workload, then shows the three
+signal families the layer collects:
+
+1. an EXPLAIN report — which index the strategy chose and why, the
+   SI/II/LI partition, and estimated vs. actual pruning,
+2. the span tree of the last query — where its wall time went,
+3. the metrics registry — counters and latency histograms, rendered as
+   Prometheus exposition text ready for a scrape endpoint.
+
+Run:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FunctionIndex, QueryModel
+from repro.obs import (
+    clear_traces,
+    disable,
+    enable,
+    enabled,
+    metrics,
+    recent_traces,
+    to_prometheus,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    points = rng.uniform(1.0, 100.0, size=(50_000, 6))
+    model = QueryModel.uniform(dim=6, low=1.0, high=5.0, rq=4)
+    index = FunctionIndex(points, model, n_indices=20, rng=0)
+
+    was_enabled = enabled()
+    enable()  # same switch as REPRO_OBS=1
+    clear_traces()
+
+    # A small workload: inequality queries plus one top-k.
+    for seed in range(8):
+        normal = model.sample_normal(seed)
+        offset = 0.25 * float(normal @ points.max(axis=0))
+        index.query(normal, offset)
+    normal = model.sample_normal(99)
+    offset = 0.3 * float(normal @ points.max(axis=0))
+    index.topk(normal, offset, k=10)
+
+    # --- 1. EXPLAIN: why was this plan chosen, and was it any good? -- #
+    report = index.explain_report(normal, offset)
+    print(report.render())
+
+    # --- 2. Spans: where did the last query spend its time? ---------- #
+    print("\nlast trace:")
+    print(recent_traces(limit=1)[0].render())
+
+    # --- 3. Metrics: the workload in aggregate ----------------------- #
+    queries = metrics.queries_total()
+    total = sum(queries.series().values())
+    latency = metrics.query_latency()
+    n_latency = sum(series.count for series in latency.series().values())
+    print(f"\nqueries recorded : {total:.0f}")
+    print(f"latency samples  : {n_latency}")
+
+    text = to_prometheus()
+    print("\nprometheus exposition (first 12 lines):")
+    print("\n".join(text.splitlines()[:12]))
+    print("exposition complete:", len(text.splitlines()), "lines")
+
+    if not was_enabled:
+        disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -710,6 +710,7 @@ REGISTRY: dict[str, Rule] = {
                 "core",
                 "scan",
                 "moving",
+                "obs",
                 exempt_modules=("repro.core.feature_store", "repro.scan.baseline"),
             ),
             check=_check_rep001,
@@ -718,7 +719,7 @@ REGISTRY: dict[str, Rule] = {
             id="REP002",
             name="dtype-drift",
             summary="numeric dtype other than float64/int64 on the hot path",
-            applies=_scope_packages("core", "scan", "geometry", "moving"),
+            applies=_scope_packages("core", "scan", "geometry", "moving", "obs"),
             check=_check_rep002,
         ),
         Rule(
@@ -746,7 +747,7 @@ REGISTRY: dict[str, Rule] = {
             id="REP006",
             name="python-loop-over-array",
             summary="Python-level loop over a numpy array in core/scan",
-            applies=_scope_packages("core", "scan"),
+            applies=_scope_packages("core", "scan", "obs"),
             check=_check_rep006,
         ),
         Rule(

@@ -7,7 +7,7 @@ runners in pytest-benchmark targets; EXPERIMENTS.md records paper-vs-
 measured values.
 """
 
-from .harness import Timer, format_table, print_table, time_call
+from .harness import Timer, TimingResult, format_table, print_table, time_call
 from .experiments import (
     run_consumption_experiment,
     run_index_cost_experiment,
@@ -22,6 +22,7 @@ from .experiments import (
 
 __all__ = [
     "Timer",
+    "TimingResult",
     "format_table",
     "print_table",
     "run_consumption_experiment",

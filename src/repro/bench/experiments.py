@@ -31,6 +31,8 @@ from ..moving.simulate import (
     circular_workload,
     uniform_linear_workload,
 )
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
 from ..scan.baseline import SequentialScan
 
 __all__ = [
@@ -46,20 +48,29 @@ __all__ = [
 ]
 
 
-def _mean_query_ms(run, queries) -> float:
+def _observe_bench(label: str, mean_ms: float) -> None:
+    """Fold a mean per-query timing into the obs bench histogram."""
+    if _ort.ENABLED:
+        _om.bench_seconds().observe(mean_ms / 1000.0, bench=label)
+
+
+def _mean_query_ms(run, queries, label: str = "experiment.baseline") -> float:
     start = time.perf_counter()
     for query in queries:
         run(query)
-    return (time.perf_counter() - start) * 1000.0 / max(1, len(queries))
+    mean_ms = (time.perf_counter() - start) * 1000.0 / max(1, len(queries))
+    _observe_bench(label, mean_ms)
+    return mean_ms
 
 
-def _timed_run(run, queries) -> tuple[float, list]:
+def _timed_run(run, queries, label: str = "experiment.planar") -> tuple[float, list]:
     """Mean per-query milliseconds plus the collected answers."""
     answers = []
     start = time.perf_counter()
     for query in queries:
         answers.append(run(query))
     elapsed_ms = (time.perf_counter() - start) * 1000.0 / max(1, len(queries))
+    _observe_bench(label, elapsed_ms)
     return elapsed_ms, answers
 
 

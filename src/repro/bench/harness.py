@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import statistics
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["Timer", "time_call", "format_table", "print_table"]
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+
+__all__ = ["Timer", "TimingResult", "time_call", "format_table", "print_table"]
 
 
 class Timer:
@@ -34,16 +39,79 @@ class Timer:
         return self.seconds * 1000.0
 
 
-def time_call(func: Callable[[], object], repeat: int = 3) -> float:
-    """Best-of-``repeat`` wall-clock seconds for calling ``func``."""
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock timing distribution from :func:`time_call`.
+
+    ``min`` is the least-noise estimate (what the old best-of-``repeat``
+    float return value reported); ``median`` and ``max`` expose run-to-run
+    spread so a benchmark can tell a stable measurement from a noisy one.
+    ``float(result)`` still yields ``min`` for drop-in arithmetic.
+    """
+
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError("TimingResult needs at least one sample")
+
+    @property
+    def min(self) -> float:
+        """Fastest repetition in seconds."""
+        return min(self.times)
+
+    @property
+    def median(self) -> float:
+        """Median repetition in seconds."""
+        return float(statistics.median(self.times))
+
+    @property
+    def max(self) -> float:
+        """Slowest repetition in seconds."""
+        return max(self.times)
+
+    @property
+    def repeat(self) -> int:
+        """Number of repetitions measured."""
+        return len(self.times)
+
+    def __float__(self) -> float:
+        return self.min
+
+    def to_dict(self) -> dict[str, float]:
+        """``{"min": ..., "median": ..., "max": ..., "repeat": ...}``."""
+        return {
+            "min": self.min,
+            "median": self.median,
+            "max": self.max,
+            "repeat": float(self.repeat),
+        }
+
+
+def time_call(
+    func: Callable[[], object], repeat: int = 3, name: str | None = None
+) -> TimingResult:
+    """Time ``repeat`` calls of ``func``; report min / median / max.
+
+    When observability is armed (``REPRO_OBS=1`` /
+    :func:`repro.obs.enable`), every repetition is also observed into the
+    ``repro_bench_seconds`` histogram under the ``bench`` label (``name``,
+    defaulting to the callable's qualified name) so benchmark timings land
+    in the same registry as query latencies.
+    """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    best = float("inf")
+    times: list[float] = []
     for _ in range(repeat):
         start = time.perf_counter()
         func()
-        best = min(best, time.perf_counter() - start)
-    return best
+        times.append(time.perf_counter() - start)
+    if _ort.ENABLED:
+        label = name or getattr(func, "__qualname__", None) or repr(func)
+        histogram = _om.bench_seconds()
+        for sample in times:
+            histogram.observe(sample, bench=label)
+    return TimingResult(tuple(times))
 
 
 def format_table(title: str, rows: Sequence[Mapping[str, object]]) -> str:

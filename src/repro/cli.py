@@ -17,6 +17,11 @@ Commands
     Run the repo-specific AST linter (rules REP001–REP008, see
     ``docs/analysis.md``) over files or directories.  Exit code 0 means
     clean, 1 means findings, 2 means usage error.
+``obs``
+    Inspect, export (JSON / Prometheus text), or reset the observability
+    registry (see ``docs/observability.md``).  Instrumented commands merge
+    their samples into a state file when ``REPRO_OBS=1`` is set, so metrics
+    accumulate across CLI runs.
 """
 
 from __future__ import annotations
@@ -48,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--n", type=int, default=50_000, help="dataset size")
     demo.add_argument("--seed", type=int, default=0, help="random seed")
+    demo.add_argument(
+        "--explain",
+        action="store_true",
+        help="print an EXPLAIN report for the demo query (quickstart only)",
+    )
 
     bench = sub.add_parser("bench", help="run one experiment family")
     bench.add_argument(
@@ -80,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         "see docs/analysis.md for the rule catalogue",
     )
     lint_module.configure_parser(lint)
+
+    from repro.obs import cli as obs_module
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect / export / reset the metrics registry",
+        description="observability registry tools; see docs/observability.md",
+    )
+    obs_module.configure_parser(obs)
     return parser
 
 
@@ -107,6 +126,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"indexed {len(index):,} points with {index.n_indices} Planar indices")
         print(f"query matched {len(answer):,} points; "
               f"pruned {answer.stats.pruned_fraction:.1%}")
+        if args.explain:
+            print()
+            print(index.explain_report(normal, offset).render())
         return 0
     if args.name == "consumption":
         from repro import ParameterDomain
@@ -211,21 +233,46 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_obs_state() -> None:
+    """Merge this process's metric samples into the obs state file.
+
+    Only runs when observability is armed and something was recorded, so
+    uninstrumented invocations never touch the filesystem.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import runtime as obs_runtime
+
+    if not obs_runtime.ENABLED:
+        return
+    if obs_metrics.registry().n_samples() == 0:
+        return
+    from repro.obs.exporters import merge_into_file
+
+    merge_into_file()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=4, suppress=True)
     if args.command == "info":
         return _cmd_info()
+    if args.command == "obs":
+        from repro.obs.cli import run_from_args as obs_run
+
+        return obs_run(args)
     if args.command == "demo":
-        return _cmd_demo(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "lint":
+        code = _cmd_demo(args)
+    elif args.command == "bench":
+        code = _cmd_bench(args)
+    elif args.command == "lint":
         from repro.analysis.lint import run_from_args
 
-        return run_from_args(args)
-    return _cmd_datasets(args)
+        code = run_from_args(args)
+    else:
+        code = _cmd_datasets(args)
+    _save_obs_state()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -10,6 +10,7 @@ uniformly from the query-parameter domains (Section 5.2), removes redundant
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -19,6 +20,10 @@ from ..analysis.contracts import array_contract
 from ..exceptions import IndexBuildError
 from ..geometry.hyperplane import angle_between
 from ..geometry.translation import Translator
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+from ..obs import spans as _osp
+from ..obs.explain import ExplainReport, IndexCandidate
 from .domains import QueryModel
 from .feature_store import FeatureStore
 from .planar import PlanarIndex, QueryResult, QueryStats, WorkingQuery
@@ -109,6 +114,7 @@ class PlanarIndexCollection:
                 store,
                 translator,
                 precomputed=(ids, key_matrix[:, position]),
+                obs_label=str(position),
             )
             for position, row in enumerate(keep)
         ]
@@ -195,18 +201,62 @@ class PlanarIndexCollection:
         ``select_min_angle`` but evaluated as one ``(r, d')`` numpy
         expression.
         """
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
         if self._strategy is SelectionStrategy.MIN_STRETCH:
             thresholds = self._working_matrix * (wq.offset_w / wq.normal_w)
             scores = (
                 thresholds.max(axis=1) - thresholds.min(axis=1)
             ) / self._working_row_min
-            return int(np.argmin(scores))
-        if self._strategy is SelectionStrategy.MIN_ANGLE:
+            position = int(np.argmin(scores))
+        elif self._strategy is SelectionStrategy.MIN_ANGLE:
             cosines = np.abs(self._working_matrix @ wq.normal_w) / (
                 self._working_row_norm * np.linalg.norm(wq.normal_w)
             )
-            return int(np.argmax(cosines))
-        return self._selector(self._indices, wq)
+            position = int(np.argmax(cosines))
+        else:
+            position = self._selector(self._indices, wq)
+        if obs_on:
+            _osp.record("select", started, strategy=self._strategy.value, chosen=position)
+            _om.selection_total().inc(
+                strategy=self._strategy.value, index=str(position)
+            )
+        return position
+
+    def _scan_result(
+        self, wq: WorkingQuery, best: PlanarIndex, r_lo: int, r_hi: int, n: int
+    ) -> QueryResult:
+        """Cost-based scan fallback: exact answer by one streamed matmul.
+
+        Pruning statistics stay interval-based (``si``/``ii``/``li`` from
+        the chosen index's ranks) so Figures 9/10 metrics are unaffected by
+        the routing decision; ``n_verified`` reflects the scan.
+        """
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
+        ids, values = self._store.scan_values(wq.query.normal)
+        mask = wq.op.evaluate(values, wq.query.offset)
+        result_ids = ids[mask]
+        if obs_on:
+            _osp.record("scan", started, n=n)
+            best._record_partition("inequality", r_lo, r_hi - r_lo, n - r_hi, n)
+        stats = QueryStats(
+            n_total=n,
+            si_size=r_lo,
+            ii_size=r_hi - r_lo,
+            li_size=n - r_hi,
+            n_verified=n,
+            n_results=int(result_ids.size),
+        )
+        return QueryResult(result_ids, stats)
+
+    def _query_impl(self, wq: WorkingQuery) -> tuple[QueryResult, str]:
+        """Route one working query; returns the result and the route taken."""
+        best = self._indices[self._select_position(wq)]
+        r_lo, r_hi, n = best.interval_ranks(wq)
+        if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
+            return best.finish_query(wq, r_lo, r_hi), "intervals"
+        return self._scan_result(wq, best, r_lo, r_hi, n), "scan"
 
     def query(self, query: ScalarProductQuery) -> QueryResult:
         """Answer an inequality query via the best index (or a scan).
@@ -219,23 +269,18 @@ class PlanarIndexCollection:
         answer, better worst case (the paper's "query time gets close to
         the baseline" regime).  Pruning statistics stay interval-based.
         """
-        wq = self.working_query(query)
-        best = self._indices[self._select_position(wq)]
-        r_lo, r_hi, n = best.interval_ranks(wq)
-        if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
-            return best.query(wq)
-        ids, values = self._store.scan_values(wq.query.normal)
-        mask = wq.op.evaluate(values, wq.query.offset)
-        result_ids = ids[mask]
-        stats = QueryStats(
-            n_total=n,
-            si_size=r_lo,
-            ii_size=r_hi - r_lo,
-            li_size=n - r_hi,
-            n_verified=n,
-            n_results=int(result_ids.size),
+        if not _ort.ENABLED:
+            return self._query_impl(self.working_query(query))[0]
+        started = time.perf_counter()
+        with _osp.span("collection.query", strategy=self._strategy.value):
+            result, route = self._query_impl(self.working_query(query))
+        _om.queries_total().inc(
+            kind="inequality", route=route, strategy=self._strategy.value
         )
-        return QueryResult(result_ids, stats)
+        _om.query_latency().observe(
+            time.perf_counter() - started, kind="inequality", route=route
+        )
+        return result
 
     def query_batch(self, queries: Sequence[ScalarProductQuery]) -> list[QueryResult]:
         """Answer many inequality queries, batching the binary searches.
@@ -247,6 +292,10 @@ class PlanarIndexCollection:
         per-query :meth:`query` calls (including the cost-based scan
         routing).
         """
+        obs_on = _ort.ENABLED
+        batch_started = time.perf_counter() if obs_on else 0.0
+        n_intervals = 0
+        n_scans = 0
         working = [self.working_query(query) for query in queries]
         groups: dict[int, list[int]] = {}
         for position, wq in enumerate(working):
@@ -270,27 +319,103 @@ class PlanarIndexCollection:
                 r_lo, r_hi = int(rank_los[slot]), int(rank_his[slot])
                 if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
                     results[member] = index.finish_query(wq, r_lo, r_hi)
+                    n_intervals += 1
                     continue
-                ids, values = self._store.scan_values(wq.query.normal)
-                mask = wq.op.evaluate(values, wq.query.offset)
-                result_ids = ids[mask]
-                results[member] = QueryResult(
-                    result_ids,
-                    QueryStats(
-                        n_total=n,
-                        si_size=r_lo,
-                        ii_size=r_hi - r_lo,
-                        li_size=n - r_hi,
-                        n_verified=n,
-                        n_results=int(result_ids.size),
-                    ),
-                )
+                results[member] = self._scan_result(wq, index, r_lo, r_hi, n)
+                n_scans += 1
+        if obs_on:
+            strategy = self._strategy.value
+            counter = _om.queries_total()
+            if n_intervals:
+                counter.inc(n_intervals, kind="batch", route="intervals", strategy=strategy)
+            if n_scans:
+                counter.inc(n_scans, kind="batch", route="scan", strategy=strategy)
+            _osp.record("collection.query_batch", batch_started, n_queries=len(queries))
+            _om.query_latency().observe(
+                time.perf_counter() - batch_started, kind="batch", route="mixed"
+            )
         return results  # type: ignore[return-value]
 
     def topk(self, query: ScalarProductQuery, k: int) -> TopKResult:
         """Answer a top-k nearest neighbor query via the best index."""
+        if not _ort.ENABLED:
+            wq = self.working_query(query)
+            return self.select(wq).topk(wq, k)
+        started = time.perf_counter()
+        with _osp.span("collection.topk", strategy=self._strategy.value, k=k):
+            wq = self.working_query(query)
+            result = self.select(wq).topk(wq, k)
+        _om.queries_total().inc(
+            kind="topk", route="intervals", strategy=self._strategy.value
+        )
+        _om.query_latency().observe(
+            time.perf_counter() - started, kind="topk", route="intervals"
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN (see docs/observability.md)
+    # ------------------------------------------------------------------ #
+
+    def explain(self, query: ScalarProductQuery) -> ExplainReport:
+        """Execute ``query`` and report selection, partition, and pruning.
+
+        The report scores *every* candidate index (stretch, |cos| angle,
+        and the intermediate-interval size an ``interval_ranks`` probe
+        predicts), marks the one the configured strategy chose, then
+        executes the query through exactly the same routing as
+        :meth:`query` — so the reported SI/II/LI sizes, verification count
+        and result count are identical to what :meth:`query` returns for
+        the same query (deterministic strategies).  ``estimated_pruned``
+        is the interval promise ``(|SI|+|LI|)/n``; ``actual_pruned`` is
+        the measured fraction of points never verified (0 when the
+        cost-based router chose the scan).
+        """
         wq = self.working_query(query)
-        return self.select(wq).topk(wq, k)
+        chosen = self._select_position(wq)
+        candidates = []
+        ranks: list[tuple[int, int, int]] = []
+        for position, index in enumerate(self._indices):
+            r_lo_c, r_hi_c, n_c = index.interval_ranks(wq)
+            ranks.append((r_lo_c, r_hi_c, n_c))
+            candidates.append(
+                IndexCandidate(
+                    position=position,
+                    stretch=index.max_stretch(wq),
+                    angle_cos=index.angle_cosine(wq),
+                    expected_ii=r_hi_c - r_lo_c,
+                    chosen=position == chosen,
+                )
+            )
+        best = self._indices[chosen]
+        r_lo, r_hi, n = ranks[chosen]
+        if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
+            route = "intervals"
+            result = best.finish_query(wq, r_lo, r_hi)
+        else:
+            route = "scan"
+            result = self._scan_result(wq, best, r_lo, r_hi, n)
+        stats = result.stats
+        if _ort.ENABLED:
+            _om.explain_total().inc(route=route)
+        return ExplainReport(
+            kind="inequality",
+            route=route,
+            n_total=n,
+            strategy=self._strategy.value,
+            chosen_index=chosen,
+            index_normal=tuple(float(c) for c in best.normal),
+            candidates=tuple(candidates),
+            rank_lo=r_lo,
+            rank_hi=r_hi,
+            si_size=stats.si_size,
+            ii_size=stats.ii_size,
+            li_size=stats.li_size,
+            n_verified=stats.n_verified,
+            n_results=stats.n_results,
+            estimated_pruned=stats.pruned_fraction,
+            actual_pruned=1.0 - stats.verified_fraction if n else 1.0,
+        )
 
     # ------------------------------------------------------------------ #
     # Maintenance (Sections 4.2 and 4.4)
@@ -309,7 +434,14 @@ class PlanarIndexCollection:
         for index in self._indices:
             if angle_between(normal, index.normal) <= _PARALLEL_TOL:
                 return False
-        self._indices.append(PlanarIndex(normal, self._store, self._translator))
+        self._indices.append(
+            PlanarIndex(
+                normal,
+                self._store,
+                self._translator,
+                obs_label=str(len(self._indices)),
+            )
+        )
         self._refresh_selection_cache()
         return True
 

@@ -18,6 +18,8 @@ import numpy as np
 from .._util import as_2d_float
 from ..analysis.contracts import array_contract
 from ..exceptions import DimensionMismatchError
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
 
 __all__ = ["FeatureStore"]
 
@@ -93,6 +95,8 @@ class FeatureStore:
         several times faster than checked fancy indexing, which dominates
         query latency otherwise.
         """
+        if _ort.ENABLED:
+            _om.rows_gathered().inc(ids.size)
         return np.take(self._data, ids, axis=0)
 
     def get_all(self) -> tuple[np.ndarray, np.ndarray]:
@@ -108,6 +112,8 @@ class FeatureStore:
         collection's cost-based router uses it when an index's intermediate
         interval would be more expensive to verify than scanning.
         """
+        if _ort.ENABLED:
+            _om.store_scans().inc()
         values = self._data @ np.ascontiguousarray(normal, dtype=np.float64)
         if self._n_live == self.capacity:
             return np.arange(self.capacity, dtype=np.int64), values

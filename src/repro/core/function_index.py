@@ -19,6 +19,7 @@ scan (and are flagged as such in the answer) instead of failing.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,9 @@ import numpy as np
 from .._util import as_2d_float, as_rng
 from ..exceptions import DimensionMismatchError, InvalidQueryError
 from ..geometry.translation import Translator
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+from ..obs.explain import ExplainReport
 from .collection import PlanarIndexCollection
 from .domains import QueryModel
 from .feature_store import FeatureStore
@@ -221,8 +225,21 @@ class FunctionIndex:
         except InvalidQueryError:
             if not self._scan_fallback:
                 raise
-            return QueryAnswer(self._scan(spq), None, True)
+            return QueryAnswer(self._fallback_scan(spq, "inequality"), None, True)
         return QueryAnswer(result.ids, result.stats, False)
+
+    def _fallback_scan(self, query: ScalarProductQuery, kind: str) -> np.ndarray:
+        """Octant-fallback scan, reported under its own metric route."""
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
+        ids = self._scan(query)
+        if obs_on:
+            _om.queries_total().inc(kind=kind, route="octant-fallback", strategy="none")
+            _om.verified_points().inc(len(self), kind=kind)
+            _om.query_latency().observe(
+                time.perf_counter() - started, kind=kind, route="octant-fallback"
+            )
+        return ids
 
     def query_range(
         self,
@@ -250,9 +267,19 @@ class FunctionIndex:
         except InvalidQueryError:
             if not self._scan_fallback:
                 raise
+            obs_on = _ort.ENABLED
+            started = time.perf_counter() if obs_on else 0.0
             ids, rows = self._features.get_all()
             values = rows @ low_q.normal  # repro: noqa(REP001) — explicit opt-in scan fallback (guarded above)
             mask = (values >= low) & (values <= high)
+            if obs_on:
+                _om.queries_total().inc(
+                    kind="range", route="octant-fallback", strategy="none"
+                )
+                _om.verified_points().inc(len(self), kind="range")
+                _om.query_latency().observe(
+                    time.perf_counter() - started, kind="range", route="octant-fallback"
+                )
             return QueryAnswer(np.sort(ids[mask]), None, True)
         index = self._collection.select(wq_high)
         result = index.query_range(wq_low, wq_high)
@@ -289,7 +316,9 @@ class FunctionIndex:
             except InvalidQueryError:
                 if not self._scan_fallback:
                     raise
-                answers[position] = QueryAnswer(self._scan(spq), None, True)
+                answers[position] = QueryAnswer(
+                    self._fallback_scan(spq, "batch"), None, True
+                )
                 continue
             plannable.append(position)
         if plannable:
@@ -318,8 +347,18 @@ class FunctionIndex:
                 raise
             from ..scan.baseline import SequentialScan
 
+            obs_on = _ort.ENABLED
+            started = time.perf_counter() if obs_on else 0.0
             ids, rows = self._features.get_all()
-            return SequentialScan(rows, ids).topk(spq, k)
+            result = SequentialScan(rows, ids).topk(spq, k)
+            if obs_on:
+                _om.queries_total().inc(
+                    kind="topk", route="octant-fallback", strategy="none"
+                )
+                _om.query_latency().observe(
+                    time.perf_counter() - started, kind="topk", route="octant-fallback"
+                )
+            return result
 
     def explain(
         self,
@@ -364,6 +403,46 @@ class FunctionIndex:
             "n_total": n,
             "expected_verified": n if route == "scan" else intermediate,
         }
+
+    def explain_report(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> ExplainReport:
+        """Structured EXPLAIN report for a query, executing it once.
+
+        Unlike :meth:`explain`, which predicts the plan without running it,
+        this runs the query through the exact code path :meth:`query` takes
+        and reports measured interval sizes, verification counts, and the
+        pruning achieved.  Octant-incompatible queries produce a report for
+        the sequential-scan fallback route instead of raising (when
+        ``scan_fallback`` is set).
+        """
+        spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
+        if spq.dim != self._phi.out_dim:
+            raise DimensionMismatchError(
+                f"query has dimension {spq.dim}, feature space has {self._phi.out_dim}"
+            )
+        try:
+            return self._collection.explain(spq)
+        except InvalidQueryError as exc:
+            if not self._scan_fallback:
+                raise
+            ids = self._scan(spq)
+            if _ort.ENABLED:
+                _om.explain_total().inc(route="octant-fallback")
+            n = len(self)
+            return ExplainReport(
+                kind="inequality",
+                route="octant-fallback",
+                n_total=n,
+                n_verified=n,
+                n_results=int(ids.size),
+                estimated_pruned=0.0,
+                actual_pruned=0.0,
+                notes=(str(exc),),
+            )
 
     def query_disjunction(self, constraints) -> "ConstraintAnswer":
         """Exact disjunction (OR) of scalar product constraints.

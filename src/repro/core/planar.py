@@ -42,6 +42,7 @@ exceeds the current k-th best distance (Claim 3).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,9 +52,14 @@ from ..analysis.contracts import array_contract
 from ..exceptions import IndexBuildError, InvalidQueryError
 from ..geometry.octant import sign_vector
 from ..geometry.translation import Translator
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+from ..obs import spans as _osp
+from ..obs.explain import ExplainReport
 from .feature_store import FeatureStore
 from .query import Comparison, ScalarProductQuery
 from .sorted_keys import SortedKeyStore
+from .stats import QueryStats
 from .topk import TopKBuffer, TopKResult
 
 __all__ = ["WorkingQuery", "QueryStats", "QueryResult", "PlanarIndex"]
@@ -119,35 +125,6 @@ class WorkingQuery:
 
 
 @dataclass(frozen=True)
-class QueryStats:
-    """Per-query pruning diagnostics (the Figures 9/10 metric).
-
-    ``si_size``/``ii_size``/``li_size`` are the cardinalities of the three
-    intervals.  ``n_verified`` counts points whose scalar product was
-    actually evaluated — normally the intermediate interval, or the whole
-    dataset when the cost-based router preferred a scan.
-    """
-
-    n_total: int
-    si_size: int
-    ii_size: int
-    li_size: int
-    n_verified: int
-    n_results: int
-
-    @property
-    def pruned_fraction(self) -> float:
-        """Fraction of points the *intervals* decide without a scalar product.
-
-        Interval-based, exactly the paper's Figures 9/10 metric — it
-        reflects index quality even when the router chose to scan anyway.
-        """
-        if self.n_total == 0:
-            return 1.0
-        return (self.si_size + self.li_size) / self.n_total
-
-
-@dataclass(frozen=True)
 class QueryResult:
     """Result of an inequality query against one index."""
 
@@ -159,6 +136,10 @@ class QueryResult:
 
     def __len__(self) -> int:
         return int(self.ids.size)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (ids included as a list)."""
+        return {"ids": self.ids.tolist(), "stats": self.stats.to_dict()}
 
 
 class PlanarIndex:
@@ -177,6 +158,11 @@ class PlanarIndex:
         observed the indexed features.
     ids:
         Optional subset of store ids to index.
+    obs_label:
+        Label under which this index reports observability metrics
+        (``repro_interval_points_total{index=...}`` and friends).
+        Collections label their members by position; the default
+        ``"solo"`` marks standalone indices.
     """
 
     @array_contract("normal: (d,) float64 cast", "ids: ?(n,) int64 cast")
@@ -187,6 +173,7 @@ class PlanarIndex:
         translator: Translator,
         ids: np.ndarray | None = None,
         precomputed: tuple[np.ndarray, np.ndarray] | None = None,
+        obs_label: str = "solo",
     ) -> None:
         normal = as_1d_float(normal, "normal")
         if normal.size != store.dim:
@@ -224,6 +211,9 @@ class PlanarIndex:
                 rows = store.get(ids)
             # Build-time keying of the indexed rows: one deliberate matmul.
             self._keys = SortedKeyStore(rows @ self._normal, ids)  # repro: noqa(REP001)
+        self._obs_label = str(obs_label)
+        if _ort.ENABLED:
+            _om.indexed_points().set(len(self._keys), index=self._obs_label)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -324,9 +314,13 @@ class PlanarIndex:
         threshold is folded into the intermediate interval), so they are
         valid for the strict and non-strict operators alike.
         """
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
         t_lo, t_hi, tol = self._thresholds(wq)
         r_lo = self._keys.rank_le(t_lo - tol)
         r_hi = self._keys.rank_le(t_hi + tol)
+        if obs_on:
+            _osp.record("binary_search", started, index=self._obs_label)
         return r_lo, r_hi, len(self._keys)
 
     def max_stretch(self, wq: WorkingQuery) -> float:
@@ -362,8 +356,27 @@ class PlanarIndex:
         builds it once for all indices).
         """
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
-        r_lo, r_hi, n = self.interval_ranks(wq)
-        return self.finish_query(wq, r_lo, r_hi)
+        if not _ort.ENABLED:
+            r_lo, r_hi, _ = self.interval_ranks(wq)
+            return self.finish_query(wq, r_lo, r_hi)
+        started = time.perf_counter()
+        with _osp.span("index.query", index=self._obs_label):
+            r_lo, r_hi, _ = self.interval_ranks(wq)
+            result = self.finish_query(wq, r_lo, r_hi)
+        _om.queries_total().inc(kind="inequality", route="intervals", strategy="solo")
+        _om.query_latency().observe(
+            time.perf_counter() - started, kind="inequality", route="intervals"
+        )
+        return result
+
+    def _record_partition(self, kind: str, si: int, ii: int, li: int, n_verified: int) -> None:
+        """O(1) metric bookkeeping for one answered query (obs armed only)."""
+        counts = _om.interval_points()
+        label = self._obs_label
+        counts.inc(si, interval="si", index=label)
+        counts.inc(ii, interval="ii", index=label)
+        counts.inc(li, interval="li", index=label)
+        _om.verified_points().inc(n_verified, kind=kind)
 
     def finish_query(self, wq: WorkingQuery, r_lo: int, r_hi: int) -> QueryResult:
         """Complete an inequality query from precomputed interval ranks.
@@ -372,6 +385,7 @@ class PlanarIndex:
         ranks of many queries with one vectorized binary search and then
         finish each query individually.
         """
+        obs_on = _ort.ENABLED
         n = len(self._keys)
         if wq.op.is_upper_bound:
             accepted = [self._keys.ids_in_rank_range(0, r_lo)]
@@ -381,14 +395,23 @@ class PlanarIndex:
         # Sorting the candidate ids first makes the row gather largely
         # sequential (np.take over ascending ids), which is the dominant
         # cost of verification at numpy speeds.
+        started = time.perf_counter() if obs_on else 0.0
         verify_ids = np.sort(self._keys.ids_in_rank_range(r_lo, r_hi))
         n_verified = int(verify_ids.size)
         if n_verified:
             feats = self._store.take_rows(verify_ids)
             mask = wq.query.evaluate(feats)
             accepted.append(verify_ids[mask])
+        if obs_on:
+            _osp.record("verify_II", started, n_verified=n_verified)
+            started = time.perf_counter()
 
         result_ids = np.sort(np.concatenate(accepted))
+        if obs_on:
+            _osp.record("materialize", started, n_results=int(result_ids.size))
+            self._record_partition(
+                "inequality", r_lo, r_hi - r_lo, n - r_hi, n_verified
+            )
         stats = QueryStats(
             n_total=n,
             si_size=r_lo,
@@ -398,6 +421,37 @@ class PlanarIndex:
             n_results=int(result_ids.size),
         )
         return QueryResult(result_ids, stats)
+
+    def explain(self, query: ScalarProductQuery | WorkingQuery) -> ExplainReport:
+        """Execute ``query`` through this index and report how it went.
+
+        Unlike the collection-level EXPLAIN there is no candidate set — the
+        report covers the partition and verification work of *this* index.
+        The query is actually executed so ``actual_pruned`` (and the
+        reported sizes) are measured, not estimated; the report's
+        SI/II/LI sizes are therefore exactly :meth:`query`'s stats.
+        """
+        wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
+        r_lo, r_hi, n = self.interval_ranks(wq)
+        stats = self.finish_query(wq, r_lo, r_hi).stats
+        if _ort.ENABLED:
+            _om.explain_total().inc(route="intervals")
+        return ExplainReport(
+            kind="inequality",
+            route="intervals",
+            n_total=n,
+            chosen_index=None,
+            index_normal=tuple(float(c) for c in self._normal),
+            rank_lo=r_lo,
+            rank_hi=r_hi,
+            si_size=stats.si_size,
+            ii_size=stats.ii_size,
+            li_size=stats.li_size,
+            n_verified=stats.n_verified,
+            n_results=stats.n_results,
+            estimated_pruned=stats.pruned_fraction,
+            actual_pruned=1.0 - stats.verified_fraction if n else 1.0,
+        )
 
     def query_range(
         self,
@@ -414,6 +468,8 @@ class PlanarIndex:
         """
         if not np.array_equal(wq_low.query.normal, wq_high.query.normal):
             raise InvalidQueryError("range bounds must share one query normal")
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
         # Certain-satisfy rank range of each bound, by its own operator
         # (bounds may have been canonicalized with a negated normal, which
         # flips which side of the key order satisfies them).
@@ -459,6 +515,18 @@ class PlanarIndex:
             n_verified=n_verified,
             n_results=int(result_ids.size),
         )
+        if obs_on:
+            _osp.record(
+                "index.query_range", started, index=self._obs_label,
+                n_verified=n_verified,
+            )
+            self._record_partition(
+                "range", stats.si_size, stats.ii_size, stats.li_size, n_verified
+            )
+            _om.queries_total().inc(kind="range", route="intervals", strategy="solo")
+            _om.query_latency().observe(
+                time.perf_counter() - started, kind="range", route="intervals"
+            )
         return QueryResult(result_ids, stats)
 
     # ------------------------------------------------------------------ #
@@ -477,11 +545,13 @@ class PlanarIndex:
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
+        obs_on = _ort.ENABLED
         r_lo, r_hi, n = self.interval_ranks(wq)
         op = wq.op
         buffer = TopKBuffer(k)
         n_checked = 0
 
+        started = time.perf_counter() if obs_on else 0.0
         ids_ii = np.sort(self._keys.ids_in_rank_range(r_lo, r_hi))
         if ids_ii.size:
             n_checked += int(ids_ii.size)
@@ -490,6 +560,9 @@ class PlanarIndex:
             mask = op.evaluate(values, wq.query.offset)
             distances = np.abs(values[mask] - wq.query.offset) / wq.norm
             buffer.offer_many(distances, ids_ii[mask])
+        if obs_on:
+            _osp.record("verify_II", started, n_verified=int(ids_ii.size))
+            started = time.perf_counter()
 
         key_offset = self._translator.key_offset(self._working_normal)
         ratio = wq.normal_w / self._working_normal
@@ -536,8 +609,26 @@ class PlanarIndex:
                 buffer.offer_many(distances, ids_blk)
                 position = stop
 
+        stats = QueryStats(
+            n_total=n,
+            si_size=r_lo,
+            ii_size=r_hi - r_lo,
+            li_size=n - r_hi,
+            n_verified=n_checked,
+            n_results=len(buffer),
+        )
+        if obs_on:
+            # One span for the whole LBS cutoff scan (O(1) bookkeeping per
+            # query regardless of how many blocks the scan visited).
+            _osp.record(
+                "scan_LBS", started, index=self._obs_label,
+                n_scanned=n_checked - int(ids_ii.size),
+            )
+            self._record_partition("topk", r_lo, r_hi - r_lo, n - r_hi, n_checked)
         ids, distances = buffer.as_sorted()
-        return TopKResult(ids=ids, distances=distances, n_checked=n_checked, n_total=n)
+        return TopKResult(
+            ids=ids, distances=distances, n_checked=n_checked, n_total=n, stats=stats
+        )
 
     # ------------------------------------------------------------------ #
     # Dynamic maintenance (Section 4.4)
@@ -564,8 +655,12 @@ class PlanarIndex:
         self._keys.insert(
             np.ascontiguousarray(ids, dtype=np.int64), rows @ self._normal
         )
+        if _ort.ENABLED:
+            _om.indexed_points().set(len(self._keys), index=self._obs_label)
 
     @array_contract("ids: (m,) int64 cast")
     def delete(self, ids: np.ndarray) -> None:
         """Drop points from this index."""
         self._keys.delete(np.ascontiguousarray(ids, dtype=np.int64))
+        if _ort.ENABLED:
+            _om.indexed_points().set(len(self._keys), index=self._obs_label)

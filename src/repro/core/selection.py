@@ -20,12 +20,15 @@ Both paper heuristics pick the parallel index whenever one exists
 from __future__ import annotations
 
 import enum
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .._util import as_rng
 from ..exceptions import IndexBuildError
+from ..obs import runtime as _ort
+from ..obs import spans as _osp
 from .planar import PlanarIndex, WorkingQuery
 
 __all__ = [
@@ -55,15 +58,25 @@ def _require_indices(indices: Sequence[PlanarIndex]) -> None:
 def select_min_stretch(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
     """Index position minimizing the maximum intermediate-interval stretch."""
     _require_indices(indices)
+    obs_on = _ort.ENABLED
+    started = time.perf_counter() if obs_on else 0.0
     scores = [index.max_stretch(wq) for index in indices]
-    return int(np.argmin(scores))
+    position = int(np.argmin(scores))
+    if obs_on:
+        _osp.record("select.min_stretch", started, chosen=position)
+    return position
 
 
 def select_min_angle(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
     """Index position minimizing the angle to the query hyperplane."""
     _require_indices(indices)
+    obs_on = _ort.ENABLED
+    started = time.perf_counter() if obs_on else 0.0
     scores = [index.angle_cosine(wq) for index in indices]
-    return int(np.argmax(scores))
+    position = int(np.argmax(scores))
+    if obs_on:
+        _osp.record("select.min_angle", started, chosen=position)
+    return position
 
 
 def select_random(
@@ -73,7 +86,10 @@ def select_random(
 ) -> int:
     """Ablation baseline: uniformly random index, blind to the query."""
     _require_indices(indices)
-    return int(as_rng(rng).integers(0, len(indices)))
+    position = int(as_rng(rng).integers(0, len(indices)))
+    if _ort.ENABLED:
+        _osp.record("select.random", time.perf_counter(), chosen=position)
+    return position
 
 
 def make_selector(

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .stats import QueryStats
+
 __all__ = ["TopKBuffer", "TopKResult"]
 
 
@@ -119,12 +121,19 @@ class TopKResult:
         (the Table 3 "checked points" metric).
     n_total:
         Number of indexed points at query time.
+    stats:
+        Uniform pruning diagnostics (same shape as inequality queries'
+        :class:`~repro.core.planar.QueryResult.stats`).  ``None`` only for
+        producers predating the observability layer; the Planar index and
+        the scan baseline always populate it, with ``n_verified`` equal to
+        ``n_checked``.
     """
 
     ids: np.ndarray
     distances: np.ndarray
     n_checked: int
     n_total: int
+    stats: QueryStats | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ids", np.ascontiguousarray(self.ids, dtype=np.int64))
@@ -141,3 +150,13 @@ class TopKResult:
 
     def __len__(self) -> int:
         return int(self.ids.size)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (ids/distances included as lists)."""
+        return {
+            "ids": self.ids.tolist(),
+            "distances": self.distances.tolist(),
+            "n_checked": self.n_checked,
+            "n_total": self.n_total,
+            "stats": self.stats.to_dict() if self.stats is not None else None,
+        }

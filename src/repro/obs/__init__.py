@@ -1,0 +1,89 @@
+"""repro.obs — observability for the Planar index.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`~repro.obs.metrics` — a process-local registry of counters,
+  gauges, and log-bucket histograms covering pruning splits
+  (|SI|/|II|/|LI|), selection outcomes, verification counts, and
+  latencies.
+* :mod:`~repro.obs.spans` — tracing spans recording wall-time trees per
+  query (``collection.query`` → ``select`` → ``binary_search`` →
+  ``verify_II`` → ``materialize``) into a ring buffer of recent traces.
+* :mod:`~repro.obs.explain` — structured EXPLAIN reports produced by
+  ``PlanarIndex.explain`` / ``IndexCollection.explain``.
+
+Everything is **off by default**: the instrumented hot paths check one
+module global (:data:`runtime.ENABLED`) and skip all bookkeeping, with a
+measured cost under 2% on ``PlanarIndex.query``
+(``benchmarks/bench_obs_overhead.py``).  Arm with ``REPRO_OBS=1`` in the
+environment or :func:`enable` at runtime.
+
+This package never imports :mod:`repro.core` — the cores import *us*.
+"""
+
+from __future__ import annotations
+
+from .exporters import (
+    default_state_path,
+    load_state,
+    merge_into_file,
+    save_state,
+    to_json,
+    to_prometheus,
+)
+from .explain import ExplainReport, IndexCandidate, render_report
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from .metrics import reset as reset_metrics
+from .runtime import disable, enable, enabled
+from .spans import (
+    SpanRecord,
+    clear_traces,
+    current_span,
+    recent_traces,
+    record,
+    set_trace_capacity,
+    span,
+    traced,
+)
+
+__all__ = [
+    # runtime switch
+    "enable",
+    "disable",
+    "enabled",
+    # metrics
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "reset_metrics",
+    # spans
+    "SpanRecord",
+    "span",
+    "record",
+    "traced",
+    "current_span",
+    "recent_traces",
+    "clear_traces",
+    "set_trace_capacity",
+    # explain
+    "ExplainReport",
+    "IndexCandidate",
+    "render_report",
+    # exporters
+    "to_json",
+    "to_prometheus",
+    "default_state_path",
+    "save_state",
+    "load_state",
+    "merge_into_file",
+]

@@ -1,0 +1,185 @@
+"""Exporters: JSON and Prometheus exposition text, plus state files.
+
+Two serialisations of the same :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot:
+
+``to_json``
+    The registry's native snapshot (families → series → cells), pretty or
+    compact.  Lossless — ``MetricsRegistry.restore`` round-trips it.
+
+``to_prometheus``
+    The Prometheus text exposition format (version 0.0.4): ``# HELP`` /
+    ``# TYPE`` headers, one line per sample, histograms expanded into
+    cumulative ``_bucket{le="..."}`` series plus ``_sum`` / ``_count``.
+    Label values are escaped per the spec (backslash, double-quote,
+    newline).
+
+State files let the CLI aggregate across processes: every instrumented
+process merges its registry into ``.repro-obs.json`` (override with
+``REPRO_OBS_STATE``) on exit, and ``python -m repro obs export`` reads it
+back.  Counters and histogram cells *add* on merge, so repeated runs
+accumulate exactly like a scrape target would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import registry as _default_registry
+
+__all__ = [
+    "to_json",
+    "to_prometheus",
+    "default_state_path",
+    "save_state",
+    "load_state",
+    "merge_into_file",
+]
+
+#: Environment variable overriding the default state-file location.
+STATE_ENV = "REPRO_OBS_STATE"
+
+#: Default state-file name (in the current working directory).
+DEFAULT_STATE_FILE = ".repro-obs.json"
+
+
+def to_json(registry: Optional[MetricsRegistry] = None, *, indent: Optional[int] = 2) -> str:
+    """Serialise the registry snapshot as JSON text."""
+    reg = registry if registry is not None else _default_registry()
+    return json.dumps(reg.snapshot(), indent=indent, sort_keys=True)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    """Bucket upper bound for the ``le`` label (trim float noise)."""
+    text = f"{bound:.12g}"
+    return text
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    """``{a="x",b="y"}`` fragment (empty string when no labels)."""
+    parts = [
+        f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    reg = registry if registry is not None else _default_registry()
+    lines: list[str] = []
+    for metric in reg:
+        help_text = metric.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {metric.name} {help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in sorted(metric.series().items()):
+                labels = _labels_text(metric.labelnames, key)
+                lines.append(f"{metric.name}{labels} {_format_value(value)}")
+        elif isinstance(metric, Histogram):
+            for key, series in sorted(metric.series().items()):
+                cumulative = series.cumulative()
+                for bound, running in zip(metric.buckets, cumulative):
+                    le = f'le="{_format_le(bound)}"'
+                    labels = _labels_text(metric.labelnames, key, extra=le)
+                    lines.append(f"{metric.name}_bucket{labels} {running}")
+                inf_labels = _labels_text(metric.labelnames, key, extra='le="+Inf"')
+                lines.append(f"{metric.name}_bucket{inf_labels} {cumulative[-1]}")
+                plain = _labels_text(metric.labelnames, key)
+                lines.append(f"{metric.name}_sum{plain} {_format_value(series.total)}")
+                lines.append(f"{metric.name}_count{plain} {series.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------- #
+# State files (cross-process aggregation for the CLI)
+# --------------------------------------------------------------------- #
+
+
+def default_state_path() -> Path:
+    """State-file path: ``$REPRO_OBS_STATE`` or ``./.repro-obs.json``."""
+    override = os.environ.get(STATE_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path.cwd() / DEFAULT_STATE_FILE
+
+
+def save_state(
+    path: Union[str, Path, None] = None, registry: Optional[MetricsRegistry] = None
+) -> Path:
+    """Write the registry snapshot to ``path`` (atomic replace)."""
+    reg = registry if registry is not None else _default_registry()
+    target = Path(path) if path is not None else default_state_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(reg.snapshot(), sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:  # repro: noqa(REP005) — cleanup-and-reraise of the temp file
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def load_state(
+    path: Union[str, Path, None] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Load a state file into ``registry`` (a fresh one by default).
+
+    Missing files yield the registry unchanged, so callers can treat
+    "no state yet" and "empty state" identically.
+    """
+    target = Path(path) if path is not None else default_state_path()
+    reg = registry if registry is not None else MetricsRegistry()
+    if not target.exists():
+        return reg
+    snapshot: Mapping = json.loads(target.read_text(encoding="utf-8"))
+    reg.restore(snapshot)
+    return reg
+
+
+def merge_into_file(
+    path: Union[str, Path, None] = None, registry: Optional[MetricsRegistry] = None
+) -> Path:
+    """Fold the registry into the state file (add counters/histograms).
+
+    This is the per-process exit hook: load whatever previous runs wrote,
+    merge this process's samples on top, and atomically rewrite.
+    """
+    reg = registry if registry is not None else _default_registry()
+    target = Path(path) if path is not None else default_state_path()
+    merged = MetricsRegistry()
+    if target.exists():
+        merged.restore(json.loads(target.read_text(encoding="utf-8")))
+    merged.restore(reg.snapshot())
+    return save_state(target, merged)

@@ -1,0 +1,514 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The registry is the single sink for every quantitative signal the Planar
+index emits — pruning splits (|SI|/|LI|/|II|), best-index selection
+choices, verification counts, and query/span/bench latencies.  It is
+deliberately dependency-free (stdlib only) and Prometheus-shaped so the
+exporters in :mod:`repro.obs.exporters` can emit standard exposition text
+without translation.
+
+Design constraints, in order:
+
+1. **O(1) per query.**  Every recording call is a dict update keyed by a
+   label tuple; sizes are added as scalars, never per point.  This is the
+   REP006 discipline applied to bookkeeping.
+2. **Labels are declared up front.**  A metric family fixes its label
+   names at creation; every sample must bind exactly those names.  This
+   catches label drift at the recording site instead of producing a
+   corrupt exposition later.
+3. **Histograms use fixed log-scale latency buckets** (three per decade
+   from 1 µs to 10 s by default) so latency distributions from different
+   runs and hosts are directly comparable and mergeable.
+
+Thread safety: every mutation holds the family's lock.  The layer is
+armed explicitly (``REPRO_OBS=1`` / ``obs.enable()``), so the lock cost
+is never paid on the default path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSeries",
+    "MetricsRegistry",
+    "registry",
+    "reset",
+    "queries_total",
+    "query_latency",
+    "interval_points",
+    "verified_points",
+    "selection_total",
+    "rows_gathered",
+    "store_scans",
+    "indexed_points",
+    "span_seconds",
+    "bench_seconds",
+    "explain_total",
+]
+
+#: Fixed log-scale latency buckets (seconds): three per decade, 1 µs – 10 s.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 3.0), 12) for exponent in range(-18, 4)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class _MetricBase:
+    """Shared plumbing: name/help/label validation and the series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        """Label values as a tuple in declared order; strict name check."""
+        if len(labels) != len(self.labelnames) or any(
+            name not in labels for name in self.labelnames
+        ):
+            raise ValueError(
+                f"metric {self.name!r} requires labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_MetricBase):
+    """Monotonically increasing sum, one series per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        amount = float(amount)
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labelled series (0.0 if never incremented)."""
+        return self._series.get(self._key(labels), 0.0)
+
+    def series(self) -> dict[tuple[str, ...], float]:
+        """Copy of all series, keyed by label-value tuple."""
+        with self._lock:
+            return dict(self._series)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": value}
+                for key, value in sorted(self.series().items())
+            ],
+        }
+
+
+class Gauge(_MetricBase):
+    """Point-in-time value (index sizes, ring-buffer occupancy, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the labelled series to ``value``."""
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labelled series (0.0 if never set)."""
+        return self._series.get(self._key(labels), 0.0)
+
+    def series(self) -> dict[tuple[str, ...], float]:
+        """Copy of all series, keyed by label-value tuple."""
+        with self._lock:
+            return dict(self._series)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": value}
+                for key, value in sorted(self.series().items())
+            ],
+        }
+
+
+class HistogramSeries:
+    """One labelled histogram series: per-bucket counts plus sum/count."""
+
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        # counts[i] holds observations in (bucket[i-1], bucket[i]];
+        # counts[n_buckets] is the +Inf overflow cell.
+        self.counts = [0] * (n_buckets + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def cumulative(self) -> list[int]:
+        """Cumulative bucket counts in Prometheus ``le`` semantics."""
+        running = 0
+        out = []
+        for cell in self.counts:
+            running += cell
+            out.append(running)
+        return out
+
+
+class Histogram(_MetricBase):
+    """Fixed-bucket histogram (log-scale latency buckets by default)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} buckets must be non-empty and strictly increasing"
+            )
+        self.buckets = bounds
+        self._series: dict[tuple[str, ...], HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labelled series."""
+        value = float(value)
+        key = self._key(labels)
+        position = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = HistogramSeries(len(self.buckets))
+            series.counts[position] += 1
+            series.total += value
+            series.count += 1
+
+    def series(self) -> dict[tuple[str, ...], HistogramSeries]:
+        """Live series map (read-only by convention)."""
+        with self._lock:
+            return dict(self._series)
+
+    def count(self, **labels: object) -> int:
+        """Number of observations in the labelled series."""
+        series = self._series.get(self._key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations in the labelled series."""
+        series = self._series.get(self._key(labels))
+        return series.total if series is not None else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "buckets": list(self.buckets),
+            "series": [
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "counts": list(series.counts),
+                    "sum": series.total,
+                    "count": series.count,
+                }
+                for key, series in sorted(self.series().items())
+            ],
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families, snapshot/restore-able."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _MetricBase] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Family management
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: Sequence[str], **kwargs
+    ) -> _MetricBase:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {list(existing.labelnames)}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get or create a histogram family (latency buckets by default)."""
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, labelnames, buckets=buckets or LATENCY_BUCKETS
+        )
+
+    def get(self, name: str) -> _MetricBase | None:
+        """The registered family called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_MetricBase]:
+        with self._lock:
+            families = sorted(self._metrics.items())
+        return iter([metric for _, metric in families])
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every family and all recorded samples."""
+        with self._lock:
+            self._metrics.clear()
+
+    def n_samples(self) -> int:
+        """Total recorded samples across all families (0 means pristine)."""
+        total = 0
+        for metric in self:
+            if isinstance(metric, Histogram):
+                total += sum(series.count for series in metric.series().values())
+            else:
+                total += len(metric.series())  # type: ignore[union-attr]
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every family and series."""
+        return {"metrics": [metric.snapshot() for metric in self]}
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Merge a :meth:`snapshot` dump into this registry.
+
+        Counters and histogram cells are *added* (so restore composes
+        across runs); gauges are overwritten with the stored value.
+        """
+        for entry in snapshot.get("metrics", []):
+            kind = entry.get("type")
+            if kind not in _KINDS:
+                raise ValueError(f"unknown metric type {kind!r} in snapshot")
+            name = entry["name"]
+            labelnames = tuple(entry.get("labelnames", ()))
+            help_text = entry.get("help", "")
+            if kind == "counter":
+                counter = self.counter(name, help_text, labelnames)
+                for row in entry.get("series", []):
+                    counter.inc(float(row["value"]), **row.get("labels", {}))
+            elif kind == "gauge":
+                gauge = self.gauge(name, help_text, labelnames)
+                for row in entry.get("series", []):
+                    gauge.set(float(row["value"]), **row.get("labels", {}))
+            else:
+                buckets = tuple(entry.get("buckets", LATENCY_BUCKETS))
+                histogram = self.histogram(name, help_text, labelnames, buckets)
+                if histogram.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket layout differs from snapshot"
+                    )
+                for row in entry.get("series", []):
+                    key = histogram._key(row.get("labels", {}))
+                    counts = [int(cell) for cell in row["counts"]]
+                    if len(counts) != len(histogram.buckets) + 1:
+                        raise ValueError(
+                            f"histogram {name!r} series has {len(counts)} cells, "
+                            f"expected {len(histogram.buckets) + 1}"
+                        )
+                    with histogram._lock:
+                        series = histogram._series.get(key)
+                        if series is None:
+                            series = histogram._series[key] = HistogramSeries(
+                                len(histogram.buckets)
+                            )
+                        for position, cell in enumerate(counts):
+                            series.counts[position] += cell
+                        series.total += float(row.get("sum", 0.0))
+                        series.count += int(row.get("count", 0))
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry every instrument records into."""
+    return _DEFAULT
+
+
+def reset() -> None:
+    """Clear the default registry (CLI ``repro obs reset`` and tests)."""
+    _DEFAULT.reset()
+
+
+# --------------------------------------------------------------------- #
+# Standard instrument catalogue (see docs/observability.md)
+# --------------------------------------------------------------------- #
+
+
+def queries_total() -> Counter:
+    """Queries answered, by kind / route / selection strategy."""
+    return _DEFAULT.counter(
+        "repro_queries_total",
+        "Queries answered, by kind (inequality/topk/range/batch/scan/scan_topk), "
+        "route (intervals/scan/octant-fallback/baseline), and selection strategy.",
+        ("kind", "route", "strategy"),
+    )
+
+
+def query_latency() -> Histogram:
+    """End-to-end query wall time in seconds, by kind and route."""
+    return _DEFAULT.histogram(
+        "repro_query_latency_seconds",
+        "End-to-end query wall time (seconds).",
+        ("kind", "route"),
+    )
+
+
+def interval_points() -> Counter:
+    """SI/II/LI cardinalities accumulated per index position."""
+    return _DEFAULT.counter(
+        "repro_interval_points_total",
+        "Points classified into each interval (si/ii/li) per index position.",
+        ("interval", "index"),
+    )
+
+
+def verified_points() -> Counter:
+    """Points whose scalar product was actually evaluated."""
+    return _DEFAULT.counter(
+        "repro_verified_points_total",
+        "Points whose scalar product was evaluated, by query kind.",
+        ("kind",),
+    )
+
+
+def selection_total() -> Counter:
+    """Best-index selection outcomes per strategy and chosen position."""
+    return _DEFAULT.counter(
+        "repro_selection_total",
+        "Best-index selections, by strategy and chosen index position.",
+        ("strategy", "index"),
+    )
+
+
+def rows_gathered() -> Counter:
+    """Feature rows gathered for verification (FeatureStore.take_rows)."""
+    return _DEFAULT.counter(
+        "repro_store_rows_gathered_total",
+        "Feature rows gathered for verification via FeatureStore.take_rows.",
+    )
+
+
+def store_scans() -> Counter:
+    """Full feature-matrix scans issued by the cost-based router."""
+    return _DEFAULT.counter(
+        "repro_store_scans_total",
+        "Full feature-matrix scans issued (FeatureStore.scan_values).",
+    )
+
+
+def indexed_points() -> Gauge:
+    """Live key count per Planar index."""
+    return _DEFAULT.gauge(
+        "repro_indexed_points",
+        "Live keys per Planar index position.",
+        ("index",),
+    )
+
+
+def span_seconds() -> Histogram:
+    """Span durations by span name (populated by repro.obs.spans)."""
+    return _DEFAULT.histogram(
+        "repro_span_seconds",
+        "Tracing span durations (seconds), by span name.",
+        ("name",),
+    )
+
+
+def bench_seconds() -> Histogram:
+    """Benchmark harness timings (repro.bench.harness.time_call)."""
+    return _DEFAULT.histogram(
+        "repro_bench_seconds",
+        "Benchmark harness call timings (seconds), by bench label.",
+        ("bench",),
+    )
+
+
+def explain_total() -> Counter:
+    """EXPLAIN reports produced, by planned route."""
+    return _DEFAULT.counter(
+        "repro_explain_total",
+        "EXPLAIN reports produced, by planned route.",
+        ("route",),
+    )

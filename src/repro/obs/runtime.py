@@ -1,0 +1,54 @@
+"""Global on/off switch for the observability layer.
+
+The switch mirrors the sanitizer's design philosophy (PR 1) with one
+deliberate difference: where ``REPRO_SANITIZE`` is read once at import
+time (so the no-op path can return the undecorated function object), the
+observability flag is a *runtime* global so metrics can be armed
+programmatically mid-process (``obs.enable()``) — e.g. around a single
+benchmark, or from a REPL while diagnosing a live index.
+
+Hot paths read the module global directly::
+
+    from ..obs import runtime as _rt
+    ...
+    if _rt.ENABLED:
+        <record metrics / spans>
+
+One module-attribute read plus a branch costs a few tens of nanoseconds
+against queries measured in tens of microseconds; the acceptance gate for
+the disabled path (<2% on ``PlanarIndex.query``) is enforced by
+``benchmarks/bench_obs_overhead.py``.
+
+``REPRO_OBS=1`` (or ``true``/``yes``/``on``) in the environment arms the
+layer from process start, which is how CI runs the tier-1 suite fully
+instrumented.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ENABLED", "enabled", "enable", "disable"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Whether instrumentation records anything.  Mutated only through
+#: :func:`enable` / :func:`disable`; hot paths read it directly.
+ENABLED: bool = os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+
+
+def enabled() -> bool:
+    """Whether the observability layer is currently recording."""
+    return ENABLED
+
+
+def enable() -> None:
+    """Arm metrics, spans, and EXPLAIN counters for this process."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Return the instrumentation to its zero-cost no-op mode."""
+    global ENABLED
+    ENABLED = False

@@ -7,13 +7,19 @@ and ``O(n d' + n log k)`` per top-k query, independent of any index.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .._util import as_2d_float
 from ..analysis.contracts import array_contract
 from ..core.query import ScalarProductQuery
+from ..core.stats import QueryStats
 from ..core.topk import TopKResult
 from ..exceptions import DimensionMismatchError, InvalidQueryError
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+from ..obs import spans as _osp
 
 __all__ = ["SequentialScan"]
 
@@ -61,14 +67,26 @@ class SequentialScan:
     def query(self, query: ScalarProductQuery) -> np.ndarray:
         """All point ids satisfying the inequality, ascending."""
         self._check(query)
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
         mask = query.evaluate(self._features)
-        return np.sort(self._ids[mask])
+        result = np.sort(self._ids[mask])
+        if obs_on:
+            _osp.record("baseline.query", started, n=len(self))
+            _om.queries_total().inc(kind="scan", route="baseline", strategy="none")
+            _om.verified_points().inc(len(self), kind="scan")
+            _om.query_latency().observe(
+                time.perf_counter() - started, kind="scan", route="baseline"
+            )
+        return result
 
     def topk(self, query: ScalarProductQuery, k: int) -> TopKResult:
         """Exact top-k satisfying points by hyperplane distance."""
         self._check(query)
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
         values = self._features @ query.normal
         mask = query.op.evaluate(values, query.offset)
         ids = self._ids[mask]
@@ -81,9 +99,27 @@ class SequentialScan:
             chosen = part[order]
         else:
             chosen = np.lexsort((ids, distances))
+        if obs_on:
+            _osp.record("baseline.topk", started, n=len(self), k=k)
+            _om.queries_total().inc(kind="scan_topk", route="baseline", strategy="none")
+            _om.verified_points().inc(len(self), kind="scan_topk")
+            _om.query_latency().observe(
+                time.perf_counter() - started, kind="scan_topk", route="baseline"
+            )
+        # The scan has no intervals: everything is "intermediate" and every
+        # point's scalar product is evaluated.
+        stats = QueryStats(
+            n_total=len(self),
+            si_size=0,
+            ii_size=len(self),
+            li_size=0,
+            n_verified=len(self),
+            n_results=int(chosen.size),
+        )
         return TopKResult(
             ids=ids[chosen],
             distances=distances[chosen],
             n_checked=len(self),
             n_total=len(self),
+            stats=stats,
         )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import Timer, format_table, print_table, time_call
+from repro.bench import Timer, TimingResult, format_table, print_table, time_call
 
 
 class TestTimer:
@@ -17,15 +17,45 @@ class TestTimer:
 
 
 class TestTimeCall:
-    def test_returns_best(self):
+    def test_returns_distribution(self):
         calls = []
-        value = time_call(lambda: calls.append(1), repeat=4)
+        result = time_call(lambda: calls.append(1), repeat=4)
         assert len(calls) == 4
-        assert value >= 0.0
+        assert isinstance(result, TimingResult)
+        assert result.repeat == 4
+        assert 0.0 <= result.min <= result.median <= result.max
+        assert float(result) == result.min
+
+    def test_to_dict(self):
+        result = time_call(lambda: None, repeat=3)
+        payload = result.to_dict()
+        assert set(payload) == {"min", "median", "max", "repeat"}
+        assert payload["repeat"] == 3.0
 
     def test_repeat_validation(self):
         with pytest.raises(ValueError):
             time_call(lambda: None, repeat=0)
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(ValueError):
+            TimingResult(())
+
+    def test_routes_into_bench_histogram(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import runtime as obs_runtime
+
+        registry = obs_metrics.registry()
+        was_enabled = obs_runtime.ENABLED
+        before = registry.n_samples()
+        obs_runtime.enable()
+        try:
+            time_call(lambda: None, repeat=2, name="harness-test")
+        finally:
+            if not was_enabled:
+                obs_runtime.disable()
+        histogram = obs_metrics.bench_seconds()
+        assert histogram.count(bench="harness-test") >= 2
+        assert registry.n_samples() >= before + 2
 
 
 class TestFormatTable:

@@ -8,6 +8,17 @@ import pytest
 from repro import ParameterDomain, QueryModel, ScalarProductQuery
 
 
+@pytest.fixture(autouse=True)
+def _obs_state_isolation(tmp_path, monkeypatch):
+    """Keep obs state files out of the working tree during armed runs.
+
+    With ``REPRO_OBS=1`` the CLI merges metric samples into a state file on
+    exit; pointing it at a per-test temp path keeps test invocations from
+    writing ``.repro-obs.json`` into the repository root.
+    """
+    monkeypatch.setenv("REPRO_OBS_STATE", str(tmp_path / "obs-state.json"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests that need other seeds build their own."""

@@ -1,0 +1,34 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import clear_traces
+from repro.obs import runtime as obs_runtime
+
+
+@pytest.fixture
+def obs_enabled():
+    """Arm observability for one test, restoring the prior state after.
+
+    The suite may itself run with ``REPRO_OBS=1`` (the armed CI job), so
+    the fixture restores whatever was set rather than blindly disabling.
+    """
+    was_enabled = obs_runtime.ENABLED
+    obs_runtime.enable()
+    clear_traces()
+    yield
+    clear_traces()
+    if not was_enabled:
+        obs_runtime.disable()
+
+
+@pytest.fixture
+def obs_disabled():
+    """Force the disabled path for one test, restoring the prior state."""
+    was_enabled = obs_runtime.ENABLED
+    obs_runtime.disable()
+    yield
+    if was_enabled:
+        obs_runtime.enable()

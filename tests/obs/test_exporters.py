@@ -1,0 +1,115 @@
+"""Exporter tests: JSON round-trip, Prometheus exposition, state files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    DEFAULT_STATE_FILE,
+    STATE_ENV,
+    default_state_path,
+    load_state,
+    merge_into_file,
+    save_state,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("demo_total", "a counter", ("kind",))
+    counter.inc(3.0, kind="x")
+    counter.inc(kind='we"ird\nlabel\\')
+    registry.gauge("demo_points", "a gauge").set(12.0)
+    histogram = registry.histogram("demo_seconds", "a histogram", ("route",))
+    histogram.observe(2e-6, route="fast")
+    histogram.observe(0.5, route="fast")
+    return registry
+
+
+class TestJson:
+    def test_round_trip(self, sample_registry):
+        text = to_json(sample_registry)
+        restored = MetricsRegistry()
+        restored.restore(json.loads(text))
+        assert restored.counter("demo_total", labelnames=("kind",)).value(
+            kind="x"
+        ) == pytest.approx(3.0)
+        assert restored.histogram(
+            "demo_seconds", labelnames=("route",)
+        ).count(route="fast") == 2
+
+
+class TestPrometheus:
+    def test_headers_and_samples(self, sample_registry):
+        text = to_prometheus(sample_registry)
+        assert "# HELP demo_total a counter" in text
+        assert "# TYPE demo_total counter" in text
+        assert "# TYPE demo_points gauge" in text
+        assert "# TYPE demo_seconds histogram" in text
+        assert 'demo_total{kind="x"} 3' in text
+        assert "demo_points 12" in text
+
+    def test_label_escaping(self, sample_registry):
+        text = to_prometheus(sample_registry)
+        assert 'kind="we\\"ird\\nlabel\\\\"' in text
+
+    def test_histogram_is_cumulative_with_inf(self, sample_registry):
+        text = to_prometheus(sample_registry)
+        bucket_lines = [
+            line for line in text.splitlines() if line.startswith("demo_seconds_bucket")
+        ]
+        assert any('le="+Inf"' in line for line in bucket_lines)
+        # cumulative counts never decrease
+        values = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert values == sorted(values)
+        assert values[-1] == 2
+        assert 'demo_seconds_count{route="fast"} 2' in text
+        assert 'demo_seconds_sum{route="fast"}' in text
+
+    def test_every_line_well_formed(self, sample_registry):
+        for line in to_prometheus(sample_registry).splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestStateFiles:
+    def test_default_path_env_override(self, monkeypatch, tmp_path):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv(STATE_ENV, str(target))
+        assert default_state_path() == target
+        monkeypatch.delenv(STATE_ENV)
+        assert default_state_path().name == DEFAULT_STATE_FILE
+
+    def test_save_load(self, tmp_path, sample_registry):
+        target = tmp_path / "state.json"
+        assert save_state(target, sample_registry) == target
+        loaded = load_state(target)
+        assert loaded.counter("demo_total", labelnames=("kind",)).value(
+            kind="x"
+        ) == pytest.approx(3.0)
+
+    def test_load_missing_is_empty(self, tmp_path):
+        loaded = load_state(tmp_path / "absent.json")
+        assert loaded.n_samples() == 0
+
+    def test_merge_accumulates(self, tmp_path, sample_registry):
+        target = tmp_path / "state.json"
+        merge_into_file(target, sample_registry)
+        merge_into_file(target, sample_registry)
+        merged = load_state(target)
+        assert merged.counter("demo_total", labelnames=("kind",)).value(
+            kind="x"
+        ) == pytest.approx(6.0)
+        assert merged.histogram(
+            "demo_seconds", labelnames=("route",)
+        ).count(route="fast") == 4
+        # gauges overwrite rather than add
+        assert merged.gauge("demo_points").value() == pytest.approx(12.0)

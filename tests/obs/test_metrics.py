@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestNaming:
+    def test_invalid_metric_name(self):
+        with pytest.raises(ValueError):
+            Counter("0bad")
+
+    def test_invalid_label_name(self):
+        with pytest.raises(ValueError):
+            Counter("ok_name", labelnames=("bad-label",))
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", labelnames=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2.5, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == pytest.approx(3.5)
+        assert counter.value(kind="b") == pytest.approx(1.0)
+        assert counter.value(kind="never") == 0.0
+
+    def test_rejects_negative(self):
+        counter = Counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_strict_labels(self):
+        counter = Counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc()  # missing
+        with pytest.raises(ValueError):
+            counter.inc(kind="a", extra="x")  # surplus
+        with pytest.raises(ValueError):
+            counter.inc(other="a")  # wrong name
+
+    def test_label_values_stringified(self):
+        counter = Counter("c_total", labelnames=("index",))
+        counter.inc(index=3)
+        assert counter.value(index="3") == 1.0
+
+
+class TestGauge:
+    def test_set_inc(self):
+        gauge = Gauge("g", labelnames=("index",))
+        gauge.set(10.0, index="0")
+        gauge.inc(-3.0, index="0")
+        assert gauge.value(index="0") == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert LATENCY_BUCKETS[-1] == pytest.approx(1e1)
+        ratios = [
+            b2 / b1 for b1, b2 in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:])
+        ]
+        for ratio in ratios:
+            assert ratio == pytest.approx(10.0 ** (1.0 / 3.0), rel=1e-6)
+
+    def test_observe_le_semantics(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1.0)  # boundary lands in its own bucket (le=1)
+        histogram.observe(1.5)
+        histogram.observe(100.0)  # overflow cell
+        (series,) = histogram.series().values()
+        assert series.counts == [1, 1, 0, 1]
+        assert series.cumulative() == [1, 2, 2, 3]
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(102.5)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", labelnames=("kind",))
+        second = registry.counter("c_total", labelnames=("kind",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        with pytest.raises(ValueError):
+            registry.gauge("c_total")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", labelnames=("other",))
+
+    def test_reset_and_n_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.histogram("h_seconds").observe(0.001)
+        assert registry.n_samples() == 2
+        registry.reset()
+        assert registry.n_samples() == 0
+        assert len(registry) == 0
+
+    def test_snapshot_restore_roundtrip_adds(self):
+        source = MetricsRegistry()
+        source.counter("c_total", labelnames=("kind",)).inc(2.0, kind="x")
+        source.gauge("g", labelnames=()).set(5.0)
+        source.histogram("h_seconds").observe(0.01)
+        dump = source.snapshot()
+
+        target = MetricsRegistry()
+        target.restore(dump)
+        target.restore(dump)  # merge semantics: counters/histograms add
+        counter = target.counter("c_total", labelnames=("kind",))
+        assert counter.value(kind="x") == pytest.approx(4.0)
+        assert target.gauge("g").value() == pytest.approx(5.0)  # overwrite
+        assert target.histogram("h_seconds").count() == 2
+
+    def test_restore_bucket_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        dump = source.snapshot()
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            target.restore(dump)
+
+    def test_restore_unknown_type(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.restore({"metrics": [{"name": "x", "type": "summary"}]})
+
+    def test_iteration_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total")
+        registry.counter("a_total")
+        assert [metric.name for metric in registry] == ["a_total", "z_total"]

@@ -1,0 +1,143 @@
+"""Unit tests for tracing spans: nesting, ring buffer, disabled no-op."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import (
+    DEFAULT_TRACE_CAPACITY,
+    SpanRecord,
+    clear_traces,
+    current_span,
+    recent_traces,
+    record,
+    set_trace_capacity,
+    span,
+    trace_capacity,
+    traced,
+)
+
+
+class TestDisabledPath:
+    def test_span_is_shared_null_singleton(self, obs_disabled):
+        first = span("a")
+        second = span("b", attr=1)
+        assert first is second
+        with first:
+            assert current_span() is None
+        assert recent_traces() == []
+
+    def test_traced_bypasses(self, obs_disabled):
+        calls = []
+
+        @traced("named")
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        assert work(3) == 6
+        assert calls == [3]
+        assert recent_traces() == []
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, obs_enabled):
+        with span("root", kind="test"):
+            with span("child_a"):
+                pass
+            started = time.perf_counter()
+            record("child_b", started, n=7)
+        (trace,) = recent_traces()
+        assert trace.name == "root"
+        assert trace.attrs == {"kind": "test"}
+        assert [child.name for child in trace.children] == ["child_a", "child_b"]
+        assert trace.children[1].attrs == {"n": 7}
+        assert trace.duration >= 0.0
+
+    def test_record_without_parent_is_root(self, obs_enabled):
+        record("lonely", time.perf_counter())
+        (trace,) = recent_traces()
+        assert trace.name == "lonely" and trace.children == []
+
+    def test_current_span_inside(self, obs_enabled):
+        with span("outer"):
+            assert current_span() is not None
+            assert current_span().name == "outer"
+            with span("inner"):
+                assert current_span().name == "inner"
+        assert current_span() is None
+
+    def test_annotate(self, obs_enabled):
+        with span("root") as open_span:
+            open_span.annotate(n_results=5)
+        (trace,) = recent_traces()
+        assert trace.attrs == {"n_results": 5}
+
+    def test_traced_decorator_records(self, obs_enabled):
+        @traced()
+        def busy_work():
+            return 42
+
+        assert busy_work() == 42
+        (trace,) = recent_traces()
+        assert trace.name.endswith("busy_work")
+
+    def test_exception_still_closes_span(self, obs_enabled):
+        with pytest.raises(RuntimeError):
+            with span("root"):
+                with span("child"):
+                    raise RuntimeError("boom")
+        (trace,) = recent_traces()
+        assert trace.name == "root"
+        assert [child.name for child in trace.children] == ["child"]
+        assert current_span() is None
+
+    def test_spans_feed_histogram(self, obs_enabled):
+        histogram = obs_metrics.span_seconds()
+        before = histogram.count(name="hist_probe")
+        with span("hist_probe"):
+            pass
+        assert histogram.count(name="hist_probe") == before + 1
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory(self, obs_enabled):
+        set_trace_capacity(4)
+        try:
+            for position in range(10):
+                with span(f"s{position}"):
+                    pass
+            traces = recent_traces()
+            assert len(traces) == 4
+            assert [trace.name for trace in traces] == ["s6", "s7", "s8", "s9"]
+            assert trace_capacity() == 4
+        finally:
+            set_trace_capacity(DEFAULT_TRACE_CAPACITY)
+
+    def test_limit_and_clear(self, obs_enabled):
+        for position in range(3):
+            with span(f"s{position}"):
+                pass
+        assert len(recent_traces(limit=2)) == 2
+        clear_traces()
+        assert recent_traces() == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            set_trace_capacity(0)
+
+
+class TestSpanRecord:
+    def test_to_dict_and_render(self):
+        root = SpanRecord(name="root", start=0.0, duration=1e-3, attrs={"k": 1})
+        root.children.append(SpanRecord(name="leaf", start=0.0, duration=5e-4))
+        payload = root.to_dict()
+        assert payload["name"] == "root"
+        assert payload["duration_us"] == pytest.approx(1000.0)
+        assert payload["children"][0]["name"] == "leaf"
+        text = root.render()
+        assert "root" in text and "leaf" in text and "us" in text
+        assert [rec.name for rec in root.walk()] == ["root", "leaf"]

@@ -58,3 +58,70 @@ class TestCommands:
         assert target.exists()
         header = target.read_text().splitlines()[0]
         assert header.startswith("attr_0")
+
+    def test_demo_quickstart_explain(self, capsys):
+        assert main(["demo", "quickstart", "--n", "2000", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "candidates:" in out
+        assert "pruning:" in out
+
+
+class TestObsCommand:
+    def test_dump_empty(self, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        assert main(["obs", "dump", "--state", str(state)]) == 0
+        # a pristine process may or may not have samples depending on the
+        # armed CI mode; the command must succeed either way
+        assert capsys.readouterr().out
+
+    def test_export_prometheus_demo(self, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        assert main(
+            ["obs", "export", "--format", "prometheus", "--demo", "--state", str(state)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "# TYPE repro_query_latency_seconds histogram" in out
+        assert "repro_query_latency_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+        assert 'repro_interval_points_total{interval="si"' in out
+
+    def test_export_json_demo(self, tmp_path, capsys):
+        import json
+
+        state = tmp_path / "state.json"
+        assert main(
+            ["obs", "export", "--format", "json", "--demo", "--state", str(state)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in payload["metrics"]}
+        assert "repro_queries_total" in names
+
+    def test_reset_clears_state_file(self, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        state.write_text('{"metrics": []}')
+        assert main(["obs", "reset", "--state", str(state)]) == 0
+        assert not state.exists()
+        assert "cleared" in capsys.readouterr().out
+
+    def test_state_accumulates_across_cli_runs(self, tmp_path, monkeypatch, capsys):
+        """Armed CLI invocations merge metrics into the state file."""
+        import json
+
+        state = tmp_path / "state.json"
+        monkeypatch.setenv("REPRO_OBS_STATE", str(state))
+        from repro.obs import runtime as obs_runtime
+
+        was_enabled = obs_runtime.ENABLED
+        obs_runtime.enable()
+        try:
+            assert main(["demo", "quickstart", "--n", "2000"]) == 0
+        finally:
+            if not was_enabled:
+                obs_runtime.disable()
+        capsys.readouterr()
+        assert state.exists()
+        payload = json.loads(state.read_text())
+        names = {entry["name"] for entry in payload["metrics"]}
+        assert "repro_queries_total" in names

@@ -28,6 +28,7 @@ def run_example(name: str, capsys) -> str:
         ("quickstart.py", "exactness : identical to sequential scan"),
         ("active_learning.py", "fewer scalar products"),
         ("constraint_regions.py", "round trip OK"),
+        ("observability.py", "exposition complete:"),
     ],
 )
 def test_example_runs(script, needle, capsys):
@@ -43,6 +44,7 @@ def test_examples_directory_complete():
         "air_traffic.py",
         "active_learning.py",
         "constraint_regions.py",
+        "observability.py",
     }
     present = {path.name for path in EXAMPLES.glob("*.py")}
     assert advertised <= present
