@@ -61,6 +61,7 @@ from .exceptions import (
     ReproError,
     UnknownColumnError,
 )
+from .parallel import ShardedFunctionIndex
 from .scan import SequentialScan
 
 __version__ = "1.0.0"
@@ -91,6 +92,7 @@ __all__ = [
     "ScalarProductQuery",
     "SelectionStrategy",
     "SequentialScan",
+    "ShardedFunctionIndex",
     "SortedKeyStore",
     "TopKBuffer",
     "TopKQuery",

@@ -711,6 +711,7 @@ REGISTRY: dict[str, Rule] = {
                 "scan",
                 "moving",
                 "obs",
+                "parallel",
                 exempt_modules=("repro.core.feature_store", "repro.scan.baseline"),
             ),
             check=_check_rep001,
@@ -719,7 +720,9 @@ REGISTRY: dict[str, Rule] = {
             id="REP002",
             name="dtype-drift",
             summary="numeric dtype other than float64/int64 on the hot path",
-            applies=_scope_packages("core", "scan", "geometry", "moving", "obs"),
+            applies=_scope_packages(
+                "core", "scan", "geometry", "moving", "obs", "parallel"
+            ),
             check=_check_rep002,
         ),
         Rule(
@@ -747,7 +750,7 @@ REGISTRY: dict[str, Rule] = {
             id="REP006",
             name="python-loop-over-array",
             summary="Python-level loop over a numpy array in core/scan",
-            applies=_scope_packages("core", "scan", "obs"),
+            applies=_scope_packages("core", "scan", "obs", "parallel"),
             check=_check_rep006,
         ),
         Rule(

@@ -33,6 +33,7 @@ from ..moving.simulate import (
 )
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
+from ..parallel.engine import ShardedFunctionIndex
 from ..scan.baseline import SequentialScan
 
 __all__ = [
@@ -46,6 +47,43 @@ __all__ = [
     "run_moving_experiment",
     "run_topk_experiment",
 ]
+
+
+def _make_index(
+    points: np.ndarray,
+    model,
+    n_indices: int,
+    strategy: SelectionStrategy | str,
+    rng,
+    n_shards: int,
+    workers: int | None,
+    feature_map=None,
+):
+    """Monolithic facade for one shard, the sharded engine otherwise.
+
+    Experiment runners accept ``n_shards``/``workers`` so the parallel
+    engine can be measured through the exact same workloads as the
+    monolithic path (``repro bench --shards 4``).
+    """
+    if n_shards <= 1:
+        return FunctionIndex(
+            points,
+            model,
+            feature_map=feature_map,
+            n_indices=n_indices,
+            strategy=strategy,
+            rng=rng,
+        )
+    return ShardedFunctionIndex(
+        points,
+        model,
+        feature_map=feature_map,
+        n_indices=n_indices,
+        strategy=strategy,
+        rng=rng,
+        n_shards=n_shards,
+        max_workers=workers,
+    )
 
 
 def _observe_bench(label: str, mean_ms: float) -> None:
@@ -82,14 +120,16 @@ def run_query_experiment(
     inequality_parameter: float = 0.25,
     strategy: SelectionStrategy | str = SelectionStrategy.MIN_STRETCH,
     rng: np.random.Generator | int | None = None,
+    n_shards: int = 1,
+    workers: int | None = None,
 ) -> dict[str, float]:
     """One cell of Figures 6–10: query time and pruning for one config."""
     generator = as_rng(rng)
     workload = Workload.for_points(
         points, rq=rq, inequality_parameter=inequality_parameter
     )
-    index = FunctionIndex(
-        points, workload.model, n_indices=n_indices, strategy=strategy, rng=generator
+    index = _make_index(
+        points, workload.model, n_indices, strategy, generator, n_shards, workers
     )
     scan = SequentialScan(points)
     queries = workload.sample_queries(n_queries, generator)
@@ -194,6 +234,8 @@ def run_scalability_experiment(
     n_indices: int = 50,
     n_queries: int = 15,
     rng: np.random.Generator | int | None = None,
+    n_shards: int = 1,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Figure 12: index build time and query time vs dataset cardinality."""
     generator = as_rng(rng)
@@ -202,8 +244,14 @@ def run_scalability_experiment(
         points = load(dataset_name, size, dim, rng=generator).points
         workload = Workload.for_points(points, rq=rq)
         start = time.perf_counter()
-        index = FunctionIndex(
-            points, workload.model, n_indices=n_indices, rng=generator
+        index = _make_index(
+            points,
+            workload.model,
+            n_indices,
+            SelectionStrategy.MIN_STRETCH,
+            generator,
+            n_shards,
+            workers,
         )
         build_s = time.perf_counter() - start
         scan = SequentialScan(points)
@@ -366,11 +414,21 @@ def run_topk_experiment(
     n_indices: int = 100,
     n_queries: int = 15,
     rng: np.random.Generator | int | None = None,
+    n_shards: int = 1,
+    workers: int | None = None,
 ) -> list[dict[str, object]]:
     """Table 3: top-k time and checked-point fraction vs k."""
     generator = as_rng(rng)
     workload = Workload.for_points(points, rq=rq)
-    index = FunctionIndex(points, workload.model, n_indices=n_indices, rng=generator)
+    index = _make_index(
+        points,
+        workload.model,
+        n_indices,
+        SelectionStrategy.MIN_STRETCH,
+        generator,
+        n_shards,
+        workers,
+    )
     scan = SequentialScan(points)
     queries = workload.sample_queries(n_queries, generator)
     rows: list[dict[str, object]] = []

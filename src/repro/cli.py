@@ -27,12 +27,38 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _default_shards() -> int:
+    """Default shard count, overridable via the ``REPRO_SHARDS`` env var."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SHARDS", "1")))
+    except ValueError:
+        return 1
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=_default_shards(),
+        help="partition the data across S shards and fan queries out on a "
+        "thread pool (default: $REPRO_SHARDS or 1 = monolithic)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size for the sharded engine "
+        "(default: min(shards, cpu count))",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an EXPLAIN report for the demo query (quickstart only)",
     )
+    _add_parallel_args(demo)
 
     bench = sub.add_parser("bench", help="run one experiment family")
     bench.add_argument(
@@ -70,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rq", type=int, default=4, help="randomness of query")
     bench.add_argument("--indices", type=int, default=100, help="index budget")
     bench.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_parallel_args(bench)
 
     datasets = sub.add_parser("datasets", help="generate / describe a dataset")
     datasets.add_argument(
@@ -114,21 +142,43 @@ def _cmd_info() -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     if args.name == "quickstart":
-        from repro import FunctionIndex, QueryModel
+        from repro import FunctionIndex, QueryModel, ShardedFunctionIndex
         from repro.datasets import independent
 
         points = independent(args.n, 6, rng=args.seed).points
         model = QueryModel.uniform(dim=6, low=1.0, high=5.0, rq=4)
-        index = FunctionIndex(points, model, n_indices=100, rng=args.seed)
+        if args.shards > 1:
+            index = ShardedFunctionIndex(
+                points,
+                model,
+                n_indices=100,
+                rng=args.seed,
+                n_shards=args.shards,
+                max_workers=args.workers,
+            )
+        else:
+            index = FunctionIndex(points, model, n_indices=100, rng=args.seed)
         normal = model.sample_normal(args.seed)
         offset = 0.25 * float(normal @ points.max(axis=0))
         answer = index.query(normal, offset)
         print(f"indexed {len(index):,} points with {index.n_indices} Planar indices")
+        if args.shards > 1:
+            sizes = ", ".join(f"{s:,}" for s in index.shard_sizes())
+            print(f"sharded across {index.n_shards} shards ({sizes} points)")
         print(f"query matched {len(answer):,} points; "
               f"pruned {answer.stats.pruned_fraction:.1%}")
         if args.explain:
             print()
-            print(index.explain_report(normal, offset).render())
+            if args.shards > 1:
+                from repro import ScalarProductQuery
+
+                spq = ScalarProductQuery(normal, offset)
+                for shard, collection in enumerate(index.collections):
+                    print(f"shard {shard}:")
+                    print(collection.explain(spq).render())
+                    print()
+            else:
+                print(index.explain_report(normal, offset).render())
         return 0
     if args.name == "consumption":
         from repro import ParameterDomain
@@ -184,13 +234,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment == "query":
         points = load("indp", args.n, args.dim, rng=args.seed).points
         cell = run_query_experiment(
-            points, rq=args.rq, n_indices=args.indices, rng=args.seed
+            points, rq=args.rq, n_indices=args.indices, rng=args.seed,
+            n_shards=args.shards, workers=args.workers,
         )
         print_table("query experiment", [cell])
     elif args.experiment == "topk":
         points = load("indp", args.n, args.dim, rng=args.seed).points
         rows = run_topk_experiment(
-            points, (50, 1000), n_indices=args.indices, rng=args.seed
+            points, (50, 1000), n_indices=args.indices, rng=args.seed,
+            n_shards=args.shards, workers=args.workers,
         )
         print_table("top-k experiment (Table 3)", rows)
     elif args.experiment == "selectivity":
@@ -210,6 +262,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows = run_scalability_experiment(
             "indp", sizes, dim=args.dim, rq=args.rq,
             n_indices=args.indices, rng=args.seed,
+            n_shards=args.shards, workers=args.workers,
         )
         print_table("scalability (Fig 12)", rows)
     return 0

@@ -23,7 +23,7 @@ from .selection import (
     select_random,
 )
 from .sorted_keys import SortedKeyStore
-from .topk import TopKBuffer, TopKResult
+from .topk import SharedCutoff, TopKBuffer, TopKResult
 
 __all__ = [
     "Comparison",
@@ -43,6 +43,7 @@ __all__ = [
     "QueryStats",
     "ScalarProductQuery",
     "SelectionStrategy",
+    "SharedCutoff",
     "SortedKeyStore",
     "TopKBuffer",
     "TopKQuery",

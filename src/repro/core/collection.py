@@ -18,7 +18,6 @@ import numpy as np
 from .._util import as_rng
 from ..analysis.contracts import array_contract
 from ..exceptions import IndexBuildError
-from ..geometry.hyperplane import angle_between
 from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
@@ -53,11 +52,25 @@ def dedupe_parallel_normals(normals: np.ndarray, tol: float = _PARALLEL_TOL) -> 
 
     Returns the row indices of the kept normals, preserving order.  The
     check is vectorized: each candidate is compared against all kept unit
-    normals at once (|cos| within float resolution of 1 means parallel).
+    normals at once.  Two normals are *parallel* iff
+    ``|cos(angle)| >= cos(tol)`` — the same rule :meth:`add_index` applies,
+    evaluated directly on cosines (the arccos round trip loses resolution
+    exactly where it matters, near angle 0).
+
+    Zero rows are rejected up front with a clear error: a zero normal can
+    never index anything, and letting it through only to fail deep inside
+    ``PlanarIndex`` construction with an octant-sign message is a
+    diagnosis trap.
     """
     normals = np.ascontiguousarray(normals, dtype=np.float64)
     lengths = np.linalg.norm(normals, axis=1, keepdims=True)
-    units = normals / np.where(lengths == 0.0, 1.0, lengths)
+    zero_rows = np.nonzero(lengths[:, 0] == 0.0)[0]
+    if zero_rows.size:
+        raise IndexBuildError(
+            "index normals must be nonzero: "
+            f"zero rows at positions {zero_rows[:5].tolist()}"
+        )
+    units = normals / lengths
     cos_tol = np.cos(tol)
     kept: list[int] = []
     for row in range(normals.shape[0]):
@@ -85,6 +98,11 @@ class PlanarIndexCollection:
     strategy:
         Best-index selection strategy (paper default: min-stretch, the
         volume heuristic used in all its experiments).
+    obs_prefix:
+        Prefix prepended to every member's positional observability label
+        (``repro_indexed_points{index=...}`` and friends).  The sharded
+        engine passes ``"s<shard>:"`` so sibling shards' indices never
+        collide in the metric label space.
     """
 
     @array_contract("normals: (r, d) float64 cast")
@@ -95,6 +113,7 @@ class PlanarIndexCollection:
         normals: np.ndarray,
         strategy: SelectionStrategy | str = SelectionStrategy.MIN_STRETCH,
         rng: np.random.Generator | int | None = None,
+        obs_prefix: str = "",
     ) -> None:
         normals = np.ascontiguousarray(normals, dtype=np.float64)
         if normals.ndim != 2 or normals.shape[0] == 0:
@@ -104,6 +123,7 @@ class PlanarIndexCollection:
         keep = dedupe_parallel_normals(normals)
         self._store = store
         self._translator = translator
+        self._obs_prefix = str(obs_prefix)
         # One matrix product computes every index's keys (Section 4.2's
         # <c, phi(x)> for all c at once); each index then only sorts.
         ids, rows = store.get_all()
@@ -114,13 +134,32 @@ class PlanarIndexCollection:
                 store,
                 translator,
                 precomputed=(ids, key_matrix[:, position]),
-                obs_label=str(position),
+                obs_label=self._label(position),
             )
             for position, row in enumerate(keep)
         ]
         self._selector: Selector = make_selector(strategy, rng)
         self._strategy = SelectionStrategy(strategy)
         self._refresh_selection_cache()
+
+    def _label(self, position: int) -> str:
+        """Observability label of the index at ``position``."""
+        return f"{self._obs_prefix}{position}"
+
+    def _relabel(self) -> None:
+        """Re-align every member's obs label with its current position.
+
+        Lifecycle mutations shift positions: dropping index 0 of three
+        left survivors labelled {"1", "2"} while a subsequent
+        ``add_index`` labelled the newcomer ``str(len)`` — which collides
+        with a survivor and aliases two distinct indices in
+        ``repro_interval_points_total`` / ``repro_indexed_points``.
+        Relabelling after every mutation (carrying the gauges, see
+        :meth:`PlanarIndex.set_obs_label`) keeps label == position as an
+        invariant.
+        """
+        for position, index in enumerate(self._indices):
+            index.set_obs_label(self._label(position))
 
     def _refresh_selection_cache(self) -> None:
         """Precompute per-index normal matrices for O(r d') vectorized
@@ -336,20 +375,55 @@ class PlanarIndexCollection:
             )
         return results  # type: ignore[return-value]
 
-    def topk(self, query: ScalarProductQuery, k: int) -> TopKResult:
-        """Answer a top-k nearest neighbor query via the best index."""
+    def topk(
+        self,
+        query: ScalarProductQuery,
+        k: int,
+        cutoff: "SharedCutoff | None" = None,
+    ) -> TopKResult:
+        """Answer a top-k nearest neighbor query via the best index.
+
+        ``cutoff`` threads a :class:`~repro.core.topk.SharedCutoff` into
+        Algorithm 2's LBS termination test — the sharded engine shares one
+        across sibling shards so the globally best k-th distance prunes
+        every shard's scan (see :meth:`PlanarIndex.topk`).
+        """
         if not _ort.ENABLED:
             wq = self.working_query(query)
-            return self.select(wq).topk(wq, k)
+            return self.select(wq).topk(wq, k, cutoff=cutoff)
         started = time.perf_counter()
         with _osp.span("collection.topk", strategy=self._strategy.value, k=k):
             wq = self.working_query(query)
-            result = self.select(wq).topk(wq, k)
+            result = self.select(wq).topk(wq, k, cutoff=cutoff)
         _om.queries_total().inc(
             kind="topk", route="intervals", strategy=self._strategy.value
         )
         _om.query_latency().observe(
             time.perf_counter() - started, kind="topk", route="intervals"
+        )
+        return result
+
+    def query_range(self, wq_low: WorkingQuery, wq_high: WorkingQuery) -> QueryResult:
+        """Exact BETWEEN query routed through best-index selection.
+
+        ``wq_low`` / ``wq_high`` are the ``>= low`` / ``<= high`` working
+        queries over one shared normal (the facade builds them once for
+        octant validation).  Selection uses the high bound; metrics are
+        recorded here under the collection's real strategy label —
+        matching how :meth:`query` and :meth:`topk` label — instead of
+        the ``strategy="solo"`` series the standalone
+        :meth:`PlanarIndex.query_range` entry point reports.
+        """
+        if not _ort.ENABLED:
+            return self.select(wq_high)._query_range_impl(wq_low, wq_high)
+        started = time.perf_counter()
+        with _osp.span("collection.query_range", strategy=self._strategy.value):
+            result = self.select(wq_high)._query_range_impl(wq_low, wq_high)
+        _om.queries_total().inc(
+            kind="range", route="intervals", strategy=self._strategy.value
+        )
+        _om.query_latency().observe(
+            time.perf_counter() - started, kind="range", route="intervals"
         )
         return result
 
@@ -429,27 +503,50 @@ class PlanarIndexCollection:
         the paper recommends for adapting to drifting query domains
         ("deletion of old indices as well as inclusion of new indices",
         Section 4.2).
+
+        Redundancy uses the *same* rule as construction
+        (:func:`dedupe_parallel_normals`): parallel iff
+        ``|cos(angle)| >= cos(_PARALLEL_TOL)``, compared directly on
+        cosines.  The previous ``angle_between(...) <= tol`` formulation
+        round-tripped through ``arccos``, whose float64 resolution near 0
+        (~``sqrt(2 eps)``) classified near-threshold normals differently
+        from the construction path.
         """
         normal = np.ascontiguousarray(normal, dtype=np.float64)
-        for index in self._indices:
-            if angle_between(normal, index.normal) <= _PARALLEL_TOL:
-                return False
+        length = float(np.linalg.norm(normal))
+        if length == 0.0:
+            raise IndexBuildError("index normals must be nonzero")
+        unit = normal / length
+        existing = self.normals
+        existing_units = existing / np.linalg.norm(existing, axis=1, keepdims=True)
+        cosines = np.abs(existing_units @ unit)
+        if float(cosines.max()) >= np.cos(_PARALLEL_TOL):
+            return False
         self._indices.append(
             PlanarIndex(
                 normal,
                 self._store,
                 self._translator,
-                obs_label=str(len(self._indices)),
+                obs_label=self._label(len(self._indices)),
             )
         )
+        self._relabel()
         self._refresh_selection_cache()
         return True
 
     def drop_index(self, position: int) -> None:
-        """Remove the index at ``position``; at least one index must remain."""
+        """Remove the index at ``position``; at least one index must remain.
+
+        Survivors are relabelled to their new positions (gauges carried,
+        the dropped index's gauge series retired) so observability labels
+        always equal positions — see :meth:`_relabel`.
+        """
         if len(self._indices) <= 1:
             raise IndexBuildError("cannot drop the last index of a collection")
+        dropped = self._indices[position]
         del self._indices[position]
+        dropped.release_obs_label()
+        self._relabel()
         self._refresh_selection_cache()
 
     @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")

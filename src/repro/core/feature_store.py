@@ -37,6 +37,10 @@ class FeatureStore:
         self._data = data.copy()
         self._live = np.ones(data.shape[0], dtype=bool)
         self._n_live = int(data.shape[0])
+        # Bumped by every mutation (update/append/delete) so read-side
+        # caches — e.g. a shard view's materialized row slice — can
+        # invalidate with one integer comparison.
+        self._version = 0
 
     # ------------------------------------------------------------------ #
 
@@ -53,6 +57,11 @@ class FeatureStore:
     def capacity(self) -> int:
         """Total allocated rows (live + deleted)."""
         return int(self._data.shape[0])
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever rows or liveness change."""
+        return self._version
 
     def live_ids(self) -> np.ndarray:
         """Ids of all live rows, ascending."""
@@ -132,6 +141,7 @@ class FeatureStore:
         if not np.all(np.isfinite(rows)):
             raise ValueError("feature values must be finite")
         self._data[ids] = rows
+        self._version += 1
 
     @array_contract("rows: (m, d) float64 cast promote", returns="(m,) int64")
     def append(self, rows: np.ndarray) -> np.ndarray:
@@ -149,6 +159,7 @@ class FeatureStore:
         self._data = np.vstack([self._data, rows])
         self._live = np.concatenate([self._live, np.ones(rows.shape[0], dtype=bool)])
         self._n_live += rows.shape[0]
+        self._version += 1
         return np.arange(start, start + rows.shape[0], dtype=np.int64)
 
     @array_contract("ids: (m,) int64 cast")
@@ -160,3 +171,4 @@ class FeatureStore:
             raise ValueError("delete ids must be unique")
         self._live[ids] = False
         self._n_live -= int(ids.size)
+        self._version += 1

@@ -281,8 +281,7 @@ class FunctionIndex:
                     time.perf_counter() - started, kind="range", route="octant-fallback"
                 )
             return QueryAnswer(np.sort(ids[mask]), None, True)
-        index = self._collection.select(wq_high)
-        result = index.query_range(wq_low, wq_high)
+        result = self._collection.query_range(wq_low, wq_high)
         return QueryAnswer(result.ids, result.stats, False)
 
     def query_batch(

@@ -60,7 +60,7 @@ from .feature_store import FeatureStore
 from .query import Comparison, ScalarProductQuery
 from .sorted_keys import SortedKeyStore
 from .stats import QueryStats
-from .topk import TopKBuffer, TopKResult
+from .topk import SharedCutoff, TopKBuffer, TopKResult
 
 __all__ = ["WorkingQuery", "QueryStats", "QueryResult", "PlanarIndex"]
 
@@ -229,6 +229,37 @@ class PlanarIndex:
     def normal(self) -> np.ndarray:
         """Index normal ``c`` in original coordinates (read-only)."""
         return self._normal
+
+    @property
+    def obs_label(self) -> str:
+        """Label under which this index reports observability metrics."""
+        return self._obs_label
+
+    def set_obs_label(self, label: str) -> None:
+        """Relabel this index's observability series.
+
+        Collections call this after lifecycle mutations (``drop_index`` /
+        ``add_index``) so labels always equal current positions.  The
+        ``repro_indexed_points`` gauge is *carried*: the stale series is
+        removed and the new label set to the live key count, so two
+        distinct indices can never alias one label.  Counter history
+        (``repro_interval_points_total``) stays under the old label —
+        counters record what happened, and what happened was attributed
+        correctly at the time.
+        """
+        label = str(label)
+        if label == self._obs_label:
+            return
+        if _ort.ENABLED:
+            gauge = _om.indexed_points()
+            gauge.remove(index=self._obs_label)
+            gauge.set(len(self._keys), index=label)
+        self._obs_label = label
+
+    def release_obs_label(self) -> None:
+        """Retire this index's gauge series (called when it is dropped)."""
+        if _ort.ENABLED:
+            _om.indexed_points().remove(index=self._obs_label)
 
     @property
     def working_normal(self) -> np.ndarray:
@@ -465,6 +496,34 @@ class PlanarIndex:
         bounds: keys certainly above ``low`` *and* certainly below ``high``
         are accepted outright; the two guard bands around the thresholds
         are verified against the exact conjunction.
+
+        This is the *standalone* entry point and reports query metrics
+        under ``strategy="solo"``; collection-routed range queries go
+        through :meth:`PlanarIndexCollection.query_range`, which labels
+        them with the real selection strategy (matching how ``query`` and
+        ``topk`` label).
+        """
+        if not _ort.ENABLED:
+            return self._query_range_impl(wq_low, wq_high)
+        started = time.perf_counter()
+        result = self._query_range_impl(wq_low, wq_high)
+        _om.queries_total().inc(kind="range", route="intervals", strategy="solo")
+        _om.query_latency().observe(
+            time.perf_counter() - started, kind="range", route="intervals"
+        )
+        return result
+
+    def _query_range_impl(
+        self,
+        wq_low: WorkingQuery,
+        wq_high: WorkingQuery,
+    ) -> QueryResult:
+        """Range evaluation shared by the solo and collection routes.
+
+        Records the per-index span and partition counters but *not*
+        ``repro_queries_total`` / latency — the caller owns those labels
+        (``strategy="solo"`` standalone, the collection's strategy when
+        routed), so one executed range query is counted exactly once.
         """
         if not np.array_equal(wq_low.query.normal, wq_high.query.normal):
             raise InvalidQueryError("range bounds must share one query normal")
@@ -523,17 +582,18 @@ class PlanarIndex:
             self._record_partition(
                 "range", stats.si_size, stats.ii_size, stats.li_size, n_verified
             )
-            _om.queries_total().inc(kind="range", route="intervals", strategy="solo")
-            _om.query_latency().observe(
-                time.perf_counter() - started, kind="range", route="intervals"
-            )
         return QueryResult(result_ids, stats)
 
     # ------------------------------------------------------------------ #
     # Problem 2: top-k nearest neighbors (Algorithm 2)
     # ------------------------------------------------------------------ #
 
-    def topk(self, query: ScalarProductQuery | WorkingQuery, k: int) -> TopKResult:
+    def topk(
+        self,
+        query: ScalarProductQuery | WorkingQuery,
+        k: int,
+        cutoff: SharedCutoff | None = None,
+    ) -> TopKResult:
         """Exact top-k points satisfying the query, closest to ``H(q)`` first.
 
         Implements Algorithm 2: verify the intermediate interval into a
@@ -541,6 +601,15 @@ class PlanarIndex:
         operators, LI for lower-bound ones) moving away from the query
         hyperplane, stopping once the lower-bound distance ``LBS``
         (Definition 5 / its LI mirror) exceeds the buffered k-th distance.
+
+        ``cutoff`` (optional) is a :class:`~repro.core.topk.SharedCutoff`
+        published to and read by sibling shard scans of the sharded
+        engine: the effective pruning threshold becomes the minimum of
+        the local k-th distance and the best bound any shard has
+        published.  Because the bound is always a valid upper bound on
+        the *global* k-th distance and the cutoff test stays strict, the
+        merged result is still exact — a shard may merely stop scanning
+        points that can no longer make the global top-k.
         """
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
@@ -560,6 +629,8 @@ class PlanarIndex:
             mask = op.evaluate(values, wq.query.offset)
             distances = np.abs(values[mask] - wq.query.offset) / wq.norm
             buffer.offer_many(distances, ids_ii[mask])
+            if cutoff is not None and buffer.is_full:
+                cutoff.publish(buffer.max_distance)
         if obs_on:
             _osp.record("verify_II", started, n_verified=int(ids_ii.size))
             started = time.perf_counter()
@@ -581,7 +652,10 @@ class PlanarIndex:
                 # distance of this point and of every point below it
                 # (Claim 3).
                 lbs_head = (wq.offset_w - (float(keys[0]) + key_offset) * max_ratio) / wq.norm
-                if buffer.is_full and lbs_head > buffer.max_distance:
+                limit = buffer.max_distance
+                if cutoff is not None:
+                    limit = min(limit, cutoff.get())
+                if lbs_head > limit:
                     break
                 n_checked += int(ids_blk.size)
                 ids_blk = np.sort(ids_blk)
@@ -589,6 +663,8 @@ class PlanarIndex:
                 values = feats @ wq.query.normal
                 distances = np.abs(values - wq.query.offset) / wq.norm
                 buffer.offer_many(distances, ids_blk)
+                if cutoff is not None and buffer.is_full:
+                    cutoff.publish(buffer.max_distance)
                 position = start
         else:
             # Certain interval is LI: every point satisfies > b, scan ascending.
@@ -599,7 +675,10 @@ class PlanarIndex:
                 keys = self._keys.keys_in_rank_range(position, stop)
                 ids_blk = self._keys.ids_in_rank_range(position, stop)
                 lbs_head = ((float(keys[0]) + key_offset) * min_ratio - wq.offset_w) / wq.norm
-                if buffer.is_full and lbs_head > buffer.max_distance:
+                limit = buffer.max_distance
+                if cutoff is not None:
+                    limit = min(limit, cutoff.get())
+                if lbs_head > limit:
                     break
                 n_checked += int(ids_blk.size)
                 ids_blk = np.sort(ids_blk)
@@ -607,6 +686,8 @@ class PlanarIndex:
                 values = feats @ wq.query.normal
                 distances = np.abs(values - wq.query.offset) / wq.norm
                 buffer.offer_many(distances, ids_blk)
+                if cutoff is not None and buffer.is_full:
+                    cutoff.publish(buffer.max_distance)
                 position = stop
 
         stats = QueryStats(

@@ -12,13 +12,52 @@ operations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from .stats import QueryStats
 
-__all__ = ["TopKBuffer", "TopKResult"]
+__all__ = ["SharedCutoff", "TopKBuffer", "TopKResult"]
+
+
+class SharedCutoff:
+    """Monotonically decreasing distance bound shared across top-k scans.
+
+    The sharded engine runs Algorithm 2 once per shard; each shard's
+    buffered k-th distance is an *upper bound* on the global k-th best
+    distance (the shard exhibits ``k`` real points at or below it), so
+    the minimum over all published bounds is too.  Every shard folds this
+    shared bound into its LBS cutoff test, which lets one shard's good
+    candidates terminate another shard's scan early — exactly the
+    cross-partition pruning a single monolithic scan would have had.
+
+    Exactness is preserved because Claim 3's cutoff test stays *strict*
+    (``LBS > bound``): points at distance equal to the bound are still
+    scanned, so ties broken by id come out identical to the monolithic
+    path.
+
+    ``publish`` is atomic (one lock-protected min); ``get`` is a bare
+    read — stale reads only delay pruning, never break it.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = float("inf")
+
+    def publish(self, value: float) -> None:
+        """Lower the shared bound to ``value`` if it improves it."""
+        value = float(value)
+        with self._lock:
+            if value < self._value:
+                self._value = value
+
+    def get(self) -> float:
+        """Current bound (``inf`` until any scan has ``k`` candidates)."""
+        return self._value
 
 
 class TopKBuffer:

@@ -49,6 +49,8 @@ __all__ = [
     "rows_gathered",
     "store_scans",
     "indexed_points",
+    "shard_queries_total",
+    "shard_points",
     "span_seconds",
     "bench_seconds",
     "explain_total",
@@ -152,6 +154,19 @@ class Gauge(_MetricBase):
         key = self._key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def remove(self, **labels: object) -> None:
+        """Drop the labelled series entirely (no-op when absent).
+
+        Gauges describe *current* state, so when the entity behind a label
+        disappears (an index is dropped, a shard is retired) the series
+        must go with it — otherwise a relabelled survivor aliases the
+        stale value.  Counters deliberately have no ``remove``: their
+        history stays valid under relabelling.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._series.pop(key, None)
 
     def value(self, **labels: object) -> float:
         """Current value of the labelled series (0.0 if never set)."""
@@ -484,6 +499,25 @@ def indexed_points() -> Gauge:
         "repro_indexed_points",
         "Live keys per Planar index position.",
         ("index",),
+    )
+
+
+def shard_queries_total() -> Counter:
+    """Per-shard query executions of the sharded engine."""
+    return _DEFAULT.counter(
+        "repro_shard_queries_total",
+        "Shard-local query executions of the sharded engine, by query kind "
+        "(inequality/range/topk/batch) and shard.",
+        ("kind", "shard"),
+    )
+
+
+def shard_points() -> Gauge:
+    """Live points owned by each shard of a sharded engine."""
+    return _DEFAULT.gauge(
+        "repro_shard_points",
+        "Live points owned per shard of the sharded execution engine.",
+        ("shard",),
     )
 
 

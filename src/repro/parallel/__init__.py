@@ -1,0 +1,20 @@
+"""Sharded parallel query execution (see ``docs/parallel.md``).
+
+The engine partitions the indexed points into ``S`` shards — membership a
+pure function of the point id — and fans queries out across per-shard
+:class:`~repro.core.collection.PlanarIndexCollection` instances on a
+thread pool, merging exact per-shard answers into results bit-identical
+to the monolithic :class:`~repro.core.function_index.FunctionIndex`.
+"""
+
+from .engine import ShardedFunctionIndex
+from .sharding import SHARD_POLICIES, assign_shards, shard_ids
+from .view import FeatureStoreView
+
+__all__ = [
+    "ShardedFunctionIndex",
+    "FeatureStoreView",
+    "SHARD_POLICIES",
+    "assign_shards",
+    "shard_ids",
+]

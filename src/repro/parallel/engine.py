@@ -1,0 +1,593 @@
+"""Sharded parallel query execution over the Planar index machinery.
+
+:class:`ShardedFunctionIndex` mirrors the
+:class:`~repro.core.function_index.FunctionIndex` facade but partitions the
+data into ``S`` shards, each owning its own
+:class:`~repro.core.collection.PlanarIndexCollection` over a
+:class:`~repro.parallel.view.FeatureStoreView` of one shared feature store.
+Queries fan out across shards on a thread pool — numpy releases the GIL
+inside ``matmul`` and ``searchsorted``, so the per-shard interval splits and
+verification products genuinely overlap without process-level parallelism.
+
+Exactness
+---------
+Results are *bit-identical* to the monolithic path:
+
+* Point ids are global (the shared store assigns them); each shard answers
+  over a disjoint id subset, so inequality/range answers merge by one
+  ``sort(concatenate(...))`` into exactly the monolithic sorted id array.
+* All shards share one translator and the same index normals, so octant
+  validation, query canonicalization, and per-point scalar products are
+  the same floating-point computations as the monolithic path.
+* Top-k runs Algorithm 2 once per shard against a *shared* pruning
+  threshold (:class:`~repro.core.topk.SharedCutoff`): each shard's
+  buffered k-th distance is an upper bound on the global k-th best (the
+  shard exhibits ``k`` real points at or below it), so folding the
+  minimum of all published bounds into every shard's LBS cutoff preserves
+  Claim 3 while letting one shard's good candidates terminate another
+  shard's scan.  The strict cutoff comparison keeps boundary candidates,
+  so tie-breaks by id survive the merge through
+  :class:`~repro.core.topk.TopKBuffer` unchanged.
+
+The single-shard configuration bypasses both the view and the executor —
+shard 0 *is* the monolithic collection — so ``n_shards=1`` costs only the
+facade indirection.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from .._util import as_2d_float, as_rng
+from ..core.collection import PlanarIndexCollection
+from ..core.domains import QueryModel
+from ..core.feature_store import FeatureStore
+from ..core.function_index import QueryAnswer
+from ..core.phi import FeatureMap, identity_map
+from ..core.planar import QueryResult, WorkingQuery
+from ..core.query import Comparison, ScalarProductQuery
+from ..core.selection import SelectionStrategy
+from ..core.stats import QueryStats
+from ..core.topk import SharedCutoff, TopKBuffer, TopKResult
+from ..exceptions import DimensionMismatchError, IndexBuildError, InvalidQueryError
+from ..geometry.translation import Translator
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+from ..obs import spans as _osp
+from .sharding import SHARD_POLICIES, assign_shards
+from .view import FeatureStoreView
+
+__all__ = ["ShardedFunctionIndex"]
+
+_T = TypeVar("_T")
+
+
+def _merge_stats(parts: Sequence[QueryStats]) -> QueryStats:
+    """Sum per-shard pruning diagnostics into one global view.
+
+    Every field is additive over a disjoint partition of the points, so
+    the merged fractions (pruned/verified) are the point-weighted means of
+    the shard fractions.
+    """
+    return QueryStats(
+        n_total=sum(p.n_total for p in parts),
+        si_size=sum(p.si_size for p in parts),
+        ii_size=sum(p.ii_size for p in parts),
+        li_size=sum(p.li_size for p in parts),
+        n_verified=sum(p.n_verified for p in parts),
+        n_results=sum(p.n_results for p in parts),
+    )
+
+
+class ShardedFunctionIndex:
+    """Sharded drop-in for :class:`~repro.core.function_index.FunctionIndex`.
+
+    Parameters follow the monolithic facade, plus:
+
+    n_shards:
+        Number of data partitions ``S``.  ``1`` (the default) keeps the
+        monolithic layout and executes inline.
+    policy:
+        Shard-membership policy, ``"round_robin"`` or ``"hash"``
+        (:mod:`repro.parallel.sharding`).
+    max_workers:
+        Thread-pool size for the fan-out; defaults to
+        ``min(n_shards, cpu_count)``.
+
+    The engine is also a context manager; :meth:`close` shuts the pool
+    down.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        query_model: QueryModel,
+        feature_map: FeatureMap | None = None,
+        n_indices: int = 10,
+        normals: np.ndarray | None = None,
+        strategy: SelectionStrategy | str = SelectionStrategy.MIN_STRETCH,
+        scan_fallback: bool = True,
+        margin: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+        n_shards: int = 1,
+        policy: str = "round_robin",
+        max_workers: int | None = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {policy!r}; choose from {SHARD_POLICIES}"
+            )
+        pts = as_2d_float(points, "points")
+        if feature_map is None:
+            feature_map = identity_map(pts.shape[1])
+        if feature_map.in_dim != pts.shape[1]:
+            raise DimensionMismatchError(
+                f"points have dimension {pts.shape[1]}, feature map expects "
+                f"{feature_map.in_dim}"
+            )
+        if query_model.dim != feature_map.out_dim:
+            raise DimensionMismatchError(
+                f"query model has dimension {query_model.dim}, feature map "
+                f"produces {feature_map.out_dim}"
+            )
+        self._phi = feature_map
+        self._model = query_model
+        self._scan_fallback = bool(scan_fallback)
+        self._rng = as_rng(rng)
+        self._n_shards = int(n_shards)
+        self._policy = str(policy)
+        self._max_workers = (
+            min(self._n_shards, os.cpu_count() or 1)
+            if max_workers is None
+            else int(max_workers)
+        )
+        self._executor: ThreadPoolExecutor | None = None
+
+        self._points = FeatureStore(pts)
+        features = feature_map(pts)
+        self._features = FeatureStore(features)
+        self._translator = Translator(query_model.octant(), margin=margin)
+        self._translator.observe(features)
+
+        if normals is None:
+            if n_indices <= 0:
+                raise IndexBuildError(
+                    f"index budget must be positive, got {n_indices}"
+                )
+            normals = query_model.sample_normals(n_indices, self._rng)
+        normals = np.ascontiguousarray(normals, dtype=np.float64)
+
+        # Every shard indexes the same normals over its own slice of the
+        # shared store; the single-shard layout *is* the monolithic one.
+        self._stores: list[FeatureStore | FeatureStoreView] = []
+        self._collections: list[PlanarIndexCollection] = []
+        for shard in range(self._n_shards):
+            store: FeatureStore | FeatureStoreView
+            if self._n_shards == 1:
+                store = self._features
+                prefix = ""
+            else:
+                store = FeatureStoreView(
+                    self._features, shard, self._n_shards, self._policy
+                )
+                prefix = f"s{shard}:"
+            self._stores.append(store)
+            self._collections.append(
+                PlanarIndexCollection(
+                    store,
+                    self._translator,
+                    normals,
+                    strategy,
+                    self._rng,
+                    obs_prefix=prefix,
+                )
+            )
+        self._record_shard_sizes()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedFunctionIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of live indexed points (across all shards)."""
+        return len(self._features)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedFunctionIndex(n={len(self)}, shards={self._n_shards}, "
+            f"policy={self._policy!r}, r={self.n_indices})"
+        )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of data partitions."""
+        return self._n_shards
+
+    @property
+    def policy(self) -> str:
+        """Shard-membership policy."""
+        return self._policy
+
+    @property
+    def feature_map(self) -> FeatureMap:
+        """The indexed function ``phi``."""
+        return self._phi
+
+    @property
+    def query_model(self) -> QueryModel:
+        """The configured query-parameter domains."""
+        return self._model
+
+    @property
+    def translator(self) -> Translator:
+        """The octant translator shared by every shard."""
+        return self._translator
+
+    @property
+    def collections(self) -> tuple[PlanarIndexCollection, ...]:
+        """Per-shard Planar index collections."""
+        return tuple(self._collections)
+
+    @property
+    def n_indices(self) -> int:
+        """Number of live Planar indices per shard."""
+        return len(self._collections[0])
+
+    def shard_sizes(self) -> list[int]:
+        """Live point count owned by each shard."""
+        return [len(store) for store in self._stores]
+
+    def live_ids(self) -> np.ndarray:
+        """All live point ids (global, ascending)."""
+        return self._features.live_ids()
+
+    def get_points(self, ids: np.ndarray) -> np.ndarray:
+        """Raw data points for the given ids."""
+        return self._points.get(ids)
+
+    def get_features(self, ids: np.ndarray) -> np.ndarray:
+        """Feature vectors ``phi(x)`` for the given ids."""
+        return self._features.get(ids)
+
+    def memory_bytes(self) -> int:
+        """Footprint of features, raw points, and all shard key structures."""
+        return (
+            self._features.memory_bytes()
+            + self._points.memory_bytes()
+            + sum(collection.memory_bytes() for collection in self._collections)
+        )
+
+    def _record_shard_sizes(self) -> None:
+        if not _ort.ENABLED:
+            return
+        gauge = _om.shard_points()
+        for shard, store in enumerate(self._stores):
+            gauge.set(len(store), shard=str(shard))
+
+    # ------------------------------------------------------------------ #
+    # Fan-out machinery
+    # ------------------------------------------------------------------ #
+
+    def _run_shard(
+        self, kind: str, shard: int, fn: Callable[[PlanarIndexCollection], _T]
+    ) -> _T:
+        """Execute one shard's slice of a query, with per-shard telemetry.
+
+        Span recording uses thread-local stacks, so emitting from pool
+        workers is safe; counters take one lock per increment.
+        """
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
+        result = fn(self._collections[shard])
+        if obs_on:
+            _osp.record(f"shard.{kind}", started, shard=shard)
+            _om.shard_queries_total().inc(kind=kind, shard=str(shard))
+        return result
+
+    def _map_shards(
+        self, kind: str, fn: Callable[[PlanarIndexCollection], _T]
+    ) -> list[_T]:
+        """Run ``fn`` against every shard collection; inline when ``S == 1``."""
+        if self._n_shards == 1:
+            return [self._run_shard(kind, 0, fn)]
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(self._run_shard, kind, shard, fn)
+            for shard in range(self._n_shards)
+        ]
+        return [future.result() for future in futures]
+
+    def _owned(self, ids: np.ndarray) -> list[np.ndarray]:
+        """Boolean ownership masks of ``ids`` for every shard."""
+        assignment = assign_shards(ids, self._n_shards, self._policy)
+        return [assignment == shard for shard in range(self._n_shards)]
+
+    def _working_or_raise(self, spq: ScalarProductQuery) -> WorkingQuery:
+        """Octant-validate once (the translator is shared by all shards)."""
+        return WorkingQuery.build(spq, self._translator)
+
+    def _check_dim(self, spq: ScalarProductQuery) -> None:
+        if spq.dim != self._phi.out_dim:
+            raise DimensionMismatchError(
+                f"query has dimension {spq.dim}, feature space has {self._phi.out_dim}"
+            )
+
+    def _fallback_scan(self, spq: ScalarProductQuery, kind: str) -> np.ndarray:
+        """Octant-fallback: one scan over the shared store (all shards)."""
+        obs_on = _ort.ENABLED
+        started = time.perf_counter() if obs_on else 0.0
+        ids, rows = self._features.get_all()
+        mask = spq.evaluate(rows)
+        result = np.sort(ids[mask])
+        if obs_on:
+            _om.queries_total().inc(kind=kind, route="octant-fallback", strategy="none")
+            _om.verified_points().inc(len(self), kind=kind)
+            _om.query_latency().observe(
+                time.perf_counter() - started, kind=kind, route="octant-fallback"
+            )
+        return result
+
+    @staticmethod
+    def _merge_inequality(results: Sequence[QueryResult]) -> QueryAnswer:
+        """Disjoint sorted id sets merge into the monolithic sorted array."""
+        if len(results) == 1:
+            # Single shard: already the monolithic answer, nothing to merge.
+            return QueryAnswer(results[0].ids, results[0].stats, False)
+        ids = np.sort(np.concatenate([result.ids for result in results]))
+        return QueryAnswer(ids, _merge_stats([result.stats for result in results]), False)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> QueryAnswer:
+        """Answer ``<normal, phi(x)> OP offset`` exactly, fanned across shards."""
+        spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
+        self._check_dim(spq)
+        try:
+            self._working_or_raise(spq)
+        except InvalidQueryError:
+            if not self._scan_fallback:
+                raise
+            return QueryAnswer(self._fallback_scan(spq, "inequality"), None, True)
+        results = self._map_shards(
+            "inequality", lambda collection: collection.query(spq)
+        )
+        return self._merge_inequality(results)
+
+    def query_batch(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[QueryAnswer]:
+        """Answer a batch of inequality queries sharing one operator.
+
+        The whole plannable batch is shipped to every shard as *one* task
+        (each shard batches its own binary searches per selected index),
+        so fan-out overhead is per shard, not per query.
+        """
+        normals = as_2d_float(normals, "normals")
+        offsets = np.ascontiguousarray(offsets, dtype=np.float64)
+        if offsets.ndim != 1 or offsets.size != normals.shape[0]:
+            raise DimensionMismatchError(
+                f"{offsets.size} offsets for {normals.shape[0]} normals"
+            )
+        queries = [
+            ScalarProductQuery(normals[row], float(offsets[row]), op)
+            for row in range(normals.shape[0])
+        ]
+        plannable: list[int] = []
+        answers: list[QueryAnswer | None] = [None] * len(queries)
+        for position, spq in enumerate(queries):
+            self._check_dim(spq)
+            try:
+                self._working_or_raise(spq)
+            except InvalidQueryError:
+                if not self._scan_fallback:
+                    raise
+                answers[position] = QueryAnswer(
+                    self._fallback_scan(spq, "batch"), None, True
+                )
+                continue
+            plannable.append(position)
+        if plannable:
+            subset = [queries[position] for position in plannable]
+            per_shard = self._map_shards(
+                "batch", lambda collection: collection.query_batch(subset)
+            )
+            for slot, position in enumerate(plannable):
+                answers[position] = self._merge_inequality(
+                    [shard_results[slot] for shard_results in per_shard]
+                )
+        return answers  # type: ignore[return-value]
+
+    def query_range(
+        self,
+        normal: np.ndarray,
+        low: float,
+        high: float,
+    ) -> QueryAnswer:
+        """Exact BETWEEN query: ``low <= <normal, phi(x)> <= high``."""
+        if not low <= high:
+            raise InvalidQueryError(f"empty range ({low}, {high})")
+        low_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), low, ">=")
+        high_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), high, "<=")
+        self._check_dim(low_q)
+        try:
+            wq_low = self._working_or_raise(low_q)
+            wq_high = self._working_or_raise(high_q)
+        except InvalidQueryError:
+            if not self._scan_fallback:
+                raise
+            obs_on = _ort.ENABLED
+            started = time.perf_counter() if obs_on else 0.0
+            ids, rows = self._features.get_all()
+            values = rows @ low_q.normal  # repro: noqa(REP001) — explicit opt-in scan fallback (guarded above)
+            mask = (values >= low) & (values <= high)
+            if obs_on:
+                _om.queries_total().inc(
+                    kind="range", route="octant-fallback", strategy="none"
+                )
+                _om.verified_points().inc(len(self), kind="range")
+                _om.query_latency().observe(
+                    time.perf_counter() - started, kind="range", route="octant-fallback"
+                )
+            return QueryAnswer(np.sort(ids[mask]), None, True)
+        results = self._map_shards(
+            "range", lambda collection: collection.query_range(wq_low, wq_high)
+        )
+        return self._merge_inequality(results)
+
+    def topk(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> TopKResult:
+        """Top-k satisfying points nearest the query hyperplane (Problem 2).
+
+        Each shard runs Algorithm 2 over its slice; a shared cutoff
+        publishes the best k-th distance seen by *any* shard into every
+        shard's LBS termination test, and the per-shard top-k sets merge
+        through one :class:`~repro.core.topk.TopKBuffer` — identical ids,
+        distances, and tie-breaks as the monolithic scan.
+        """
+        spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
+        self._check_dim(spq)
+        try:
+            self._working_or_raise(spq)
+        except InvalidQueryError:
+            if not self._scan_fallback:
+                raise
+            from ..scan.baseline import SequentialScan
+
+            obs_on = _ort.ENABLED
+            started = time.perf_counter() if obs_on else 0.0
+            ids, rows = self._features.get_all()
+            result = SequentialScan(rows, ids).topk(spq, k)
+            if obs_on:
+                _om.queries_total().inc(
+                    kind="topk", route="octant-fallback", strategy="none"
+                )
+                _om.query_latency().observe(
+                    time.perf_counter() - started, kind="topk", route="octant-fallback"
+                )
+            return result
+        cutoff = SharedCutoff()
+        results = self._map_shards(
+            "topk", lambda collection: collection.topk(spq, k, cutoff=cutoff)
+        )
+        if len(results) == 1:
+            return results[0]
+        buffer = TopKBuffer(k)
+        for result in results:
+            buffer.offer_many(result.distances, result.ids)
+        ids, distances = buffer.as_sorted()
+        stats_parts = [result.stats for result in results]
+        merged_stats = (
+            _merge_stats(stats_parts) if all(p is not None for p in stats_parts) else None
+        )
+        return TopKResult(
+            ids=ids,
+            distances=distances,
+            n_checked=sum(result.n_checked for result in results),
+            n_total=len(self._features),
+            stats=merged_stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dynamic maintenance (fans out to owning shards)
+    # ------------------------------------------------------------------ #
+
+    def insert_points(self, new_points: np.ndarray) -> np.ndarray:
+        """Add new data points; returns their assigned (global) ids."""
+        new_points = as_2d_float(new_points, "new_points")
+        features = self._phi(new_points)
+        self._translator.observe(features)
+        point_ids = self._points.append(new_points)
+        feature_ids = self._features.append(features)
+        if not np.array_equal(point_ids, feature_ids):  # pragma: no cover
+            raise RuntimeError("point/feature stores diverged")
+        for shard, mask in enumerate(self._owned(feature_ids)):
+            if np.any(mask):
+                self._collections[shard].insert(feature_ids[mask], features[mask])
+        self._record_shard_sizes()
+        return feature_ids
+
+    def delete_points(self, ids: np.ndarray) -> None:
+        """Remove points from the engine."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        for shard, mask in enumerate(self._owned(ids)):
+            if np.any(mask):
+                self._collections[shard].delete(ids[mask])
+        self._features.delete(ids)
+        self._points.delete(ids)
+        self._record_shard_sizes()
+
+    def update_points(self, ids: np.ndarray, new_points: np.ndarray) -> None:
+        """Change the raw values of existing points; re-key owning shards."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        new_points = as_2d_float(new_points, "new_points")
+        features = self._phi(new_points)
+        self._translator.observe(features)
+        self._points.update(ids, new_points)
+        self._features.update(ids, features)
+        for shard, mask in enumerate(self._owned(ids)):
+            if np.any(mask):
+                self._collections[shard].rekey(ids[mask], features[mask])
+
+    def add_index(self, normal: np.ndarray) -> bool:
+        """Add one Planar index to *every* shard (or none, when redundant).
+
+        All shards share the same normals and the same cosine redundancy
+        rule, so their verdicts agree; the common verdict is returned.
+        """
+        verdicts = [
+            collection.add_index(normal) for collection in self._collections
+        ]
+        if len(set(verdicts)) != 1:  # pragma: no cover - shards share normals
+            raise RuntimeError("shards diverged on add_index redundancy verdict")
+        return verdicts[0]
+
+    def drop_index(self, position: int) -> None:
+        """Drop the index at ``position`` from every shard."""
+        for collection in self._collections:
+            collection.drop_index(position)

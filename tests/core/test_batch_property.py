@@ -1,0 +1,109 @@
+"""Property tests: ``query_batch`` is exactly the loop of single queries.
+
+Satellite regression for the batch path: hypothesis drives dataset size,
+dimension, operator, and query geometry, and every example asserts that
+``index.query_batch(normals, offsets, op)`` returns *bit-identical* ids
+and stats to ``[index.query(n, o, op) for ...]``.  The suite pins the
+``_SCAN_FALLBACK_FRACTION`` router boundary explicitly — forcing the
+all-scan and all-interval extremes must not change a single id — and
+the degenerate empty batch.
+"""
+
+from __future__ import annotations
+
+from unittest import mock
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FunctionIndex, QueryModel
+
+
+@st.composite
+def batch_cases(draw):
+    dim = draw(st.integers(min_value=2, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=200))
+    m = draw(st.integers(min_value=0, max_value=8))
+    n_indices = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    op = draw(st.sampled_from(["<=", "<", ">=", ">"]))
+    offset_scale = draw(st.floats(min_value=0.0, max_value=1.5))
+    return dim, n, m, n_indices, seed, op, offset_scale
+
+
+def _build(case):
+    dim, n, m, n_indices, seed, op, offset_scale = case
+    rng = np.random.default_rng(seed)
+    # Integer-valued inputs keep every scalar product exact in float64,
+    # so "identical" includes tie-breaks and boundary membership.
+    points = rng.integers(1, 30, size=(n, dim)).astype(np.float64)
+    model = QueryModel.uniform(dim=dim, low=1.0, high=5.0, rq=4)
+    index = FunctionIndex(points, model, n_indices=n_indices, rng=seed)
+    normals = rng.integers(1, 6, size=(m, dim)).astype(np.float64)
+    column_max = points.max(axis=0)
+    offsets = np.asarray(
+        [float(np.round(offset_scale * normal @ column_max)) for normal in normals]
+    )
+    return index, normals, offsets, op
+
+
+def _assert_batch_equals_singles(index, normals, offsets, op):
+    batch = index.query_batch(normals, offsets, op)
+    assert len(batch) == normals.shape[0]
+    for row, answer in enumerate(batch):
+        single = index.query(normals[row], float(offsets[row]), op)
+        assert np.array_equal(answer.ids, single.ids)
+        assert answer.used_fallback == single.used_fallback
+        if answer.stats is not None:
+            assert answer.stats == single.stats
+
+
+class TestBatchEqualsSingles:
+    @settings(max_examples=60, deadline=None)
+    @given(case=batch_cases())
+    def test_batch_is_loop_of_singles(self, case):
+        index, normals, offsets, op = _build(case)
+        _assert_batch_equals_singles(index, normals, offsets, op)
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=batch_cases())
+    def test_router_forced_to_scan(self, case):
+        """With the fallback fraction at 1.0 every plannable query routes
+        to the interval-scan arm; batch and singles must still agree."""
+        index, normals, offsets, op = _build(case)
+        with mock.patch("repro.core.collection._SCAN_FALLBACK_FRACTION", 1.0):
+            _assert_batch_equals_singles(index, normals, offsets, op)
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=batch_cases())
+    def test_router_forced_to_intervals(self, case):
+        """With the fallback fraction at 0.0 every plannable query takes
+        the three-interval path; batch and singles must still agree."""
+        index, normals, offsets, op = _build(case)
+        with mock.patch("repro.core.collection._SCAN_FALLBACK_FRACTION", 0.0):
+            _assert_batch_equals_singles(index, normals, offsets, op)
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=batch_cases())
+    def test_router_split_matches_either_route(self, case):
+        """At the boundary the router's choice is an implementation detail;
+        the *answer* must match both forced routes bit for bit."""
+        index, normals, offsets, op = _build(case)
+        default = index.query_batch(normals, offsets, op)
+        with mock.patch("repro.core.collection._SCAN_FALLBACK_FRACTION", 1.0):
+            scanned = index.query_batch(normals, offsets, op)
+        with mock.patch("repro.core.collection._SCAN_FALLBACK_FRACTION", 0.0):
+            intervals = index.query_batch(normals, offsets, op)
+        for chosen, scan_side, interval_side in zip(default, scanned, intervals):
+            assert np.array_equal(chosen.ids, scan_side.ids)
+            assert np.array_equal(chosen.ids, interval_side.ids)
+
+
+class TestEmptyBatch:
+    def test_empty_batch_returns_empty_list(self):
+        rng = np.random.default_rng(0)
+        points = rng.integers(1, 30, size=(50, 3)).astype(np.float64)
+        model = QueryModel.uniform(dim=3, low=1.0, high=5.0, rq=4)
+        index = FunctionIndex(points, model, n_indices=2, rng=0)
+        assert index.query_batch(np.empty((0, 3)), np.empty(0)) == []

@@ -166,3 +166,86 @@ class TestMaintenance:
             assert np.array_equal(
                 index.query(query).ids, brute_force_ids(features, query)
             )
+
+
+def _tiny_collection(rng, normals):
+    features = rng.uniform(1, 100, size=(50, 2))
+    store = FeatureStore(features)
+    translator = Translator(np.ones(2))
+    translator.observe(features)
+    return PlanarIndexCollection(store, translator, np.asarray(normals), rng=0)
+
+
+class TestZeroNormalRejection:
+    """A zero normal can never index anything; it must fail loudly up
+    front, not deep inside ``PlanarIndex`` with an octant-sign error."""
+
+    def test_dedupe_rejects_zero_rows(self):
+        normals = np.array([[1.0, 2.0], [0.0, 0.0], [2.0, 1.0]])
+        with pytest.raises(IndexBuildError, match="nonzero"):
+            dedupe_parallel_normals(normals)
+
+    def test_dedupe_error_names_the_offending_rows(self):
+        normals = np.array([[1.0, 2.0], [0.0, 0.0], [2.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(IndexBuildError, match=r"\[1, 3\]"):
+            dedupe_parallel_normals(normals)
+
+    def test_constructor_rejects_zero_normal(self, rng):
+        with pytest.raises(IndexBuildError, match="nonzero"):
+            _tiny_collection(rng, [[1.0, 2.0], [0.0, 0.0]])
+
+    def test_add_index_rejects_zero_normal(self, rng):
+        collection = _tiny_collection(rng, [[1.0, 2.0]])
+        with pytest.raises(IndexBuildError, match="nonzero"):
+            collection.add_index(np.zeros(2))
+
+
+class TestRedundancyRuleConsistency:
+    """``add_index`` and ``dedupe_parallel_normals`` must apply the *same*
+    parallel test (``|cos| >= cos(tol)`` on cosines).  The old
+    ``angle_between(...) <= tol`` formulation round-tripped through
+    ``arccos``, whose resolution collapses near angle 0, so
+    near-threshold normals were classified differently at construction
+    and at ``add_index`` time."""
+
+    @staticmethod
+    def _rotated(angle):
+        base_angle = np.pi / 4.0
+        base = np.array([np.cos(base_angle), np.sin(base_angle)])
+        turned = np.array(
+            [np.cos(base_angle + angle), np.sin(base_angle + angle)]
+        )
+        return base, turned
+
+    @pytest.mark.parametrize(
+        "angle_factor, expect_kept",
+        [
+            (0.25, False),  # well inside the parallel cone
+            (0.5, False),  # inside
+            (2.0, True),  # outside
+            (8.0, True),  # well outside
+        ],
+    )
+    def test_both_paths_agree_near_the_boundary(
+        self, rng, angle_factor, expect_kept
+    ):
+        from repro.core.collection import _PARALLEL_TOL
+
+        base, turned = self._rotated(angle_factor * _PARALLEL_TOL)
+        kept_by_dedupe = (
+            dedupe_parallel_normals(np.vstack([base, turned])).size == 2
+        )
+        collection = _tiny_collection(rng, [base])
+        added = collection.add_index(turned)
+        assert kept_by_dedupe == added == expect_kept
+
+    def test_scale_invariance_at_the_boundary(self, rng):
+        """The rule compares unit normals, so scaling must not flip the
+        verdict on either path."""
+        from repro.core.collection import _PARALLEL_TOL
+
+        base, turned = self._rotated(0.5 * _PARALLEL_TOL)
+        scaled = 1_000.0 * turned
+        assert dedupe_parallel_normals(np.vstack([base, scaled])).size == 1
+        collection = _tiny_collection(rng, [base])
+        assert collection.add_index(scaled) is False

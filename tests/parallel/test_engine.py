@@ -1,0 +1,241 @@
+"""Integration tests: the sharded engine against the monolithic facade.
+
+The acceptance bar is *bit-identical* results: same ids, same distances,
+same tie-breaks as :class:`repro.core.function_index.FunctionIndex` for
+inequality, range, and top-k queries, through maintenance and index
+lifecycle mutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FunctionIndex,
+    InvalidQueryError,
+    QueryModel,
+    ShardedFunctionIndex,
+)
+from repro.obs import metrics as obs_metrics
+from repro.parallel import SHARD_POLICIES
+
+
+def _pair(points, model, n_shards, policy="round_robin", **kwargs):
+    mono = FunctionIndex(points, model, n_indices=6, rng=0, **kwargs)
+    sharded = ShardedFunctionIndex(
+        points, model, n_indices=6, rng=0, n_shards=n_shards, policy=policy, **kwargs
+    )
+    return mono, sharded
+
+
+def _sample_queries(model, count, seed=42):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        normal = model.sample_normal(rng)
+        offset = float(rng.uniform(50.0, 900.0))
+        queries.append((normal, offset))
+    return queries
+
+
+@pytest.mark.parametrize("policy", SHARD_POLICIES)
+class TestBitIdenticalResults:
+    def test_inequality(self, uniform_points, uniform_model, n_shards, policy):
+        mono, sharded = _pair(uniform_points, uniform_model, n_shards, policy)
+        with sharded:
+            for normal, offset in _sample_queries(uniform_model, 10):
+                expected = mono.query(normal, offset)
+                got = sharded.query(normal, offset)
+                assert np.array_equal(expected.ids, got.ids)
+                assert not got.used_fallback
+
+    def test_range(self, uniform_points, uniform_model, n_shards, policy):
+        mono, sharded = _pair(uniform_points, uniform_model, n_shards, policy)
+        with sharded:
+            for normal, offset in _sample_queries(uniform_model, 10):
+                expected = mono.query_range(normal, 0.4 * offset, offset)
+                got = sharded.query_range(normal, 0.4 * offset, offset)
+                assert np.array_equal(expected.ids, got.ids)
+
+    @pytest.mark.parametrize("k", [1, 7, 50])
+    def test_topk(self, uniform_points, uniform_model, n_shards, policy, k):
+        mono, sharded = _pair(uniform_points, uniform_model, n_shards, policy)
+        with sharded:
+            for normal, offset in _sample_queries(uniform_model, 8):
+                expected = mono.topk(normal, offset, k)
+                got = sharded.topk(normal, offset, k)
+                assert np.array_equal(expected.ids, got.ids)
+                assert np.array_equal(expected.distances, got.distances)
+                assert got.n_total == len(sharded)
+
+    def test_batch(self, uniform_points, uniform_model, n_shards, policy):
+        mono, sharded = _pair(uniform_points, uniform_model, n_shards, policy)
+        queries = _sample_queries(uniform_model, 12)
+        normals = np.vstack([normal for normal, _ in queries])
+        offsets = np.asarray([offset for _, offset in queries])
+        with sharded:
+            expected = mono.query_batch(normals, offsets)
+            got = sharded.query_batch(normals, offsets)
+            assert len(expected) == len(got)
+            for one, other in zip(expected, got):
+                assert np.array_equal(one.ids, other.ids)
+
+
+class TestMergedStats:
+    def test_stats_partition_the_data(self, uniform_points, uniform_model, n_shards):
+        _, sharded = _pair(uniform_points, uniform_model, n_shards)
+        with sharded:
+            normal, offset = _sample_queries(uniform_model, 1)[0]
+            answer = sharded.query(normal, offset)
+            stats = answer.stats
+            assert stats.n_total == len(sharded)
+            assert stats.si_size + stats.ii_size + stats.li_size == stats.n_total
+            assert stats.n_results == len(answer)
+
+
+class TestOctantFallback:
+    def test_fallback_matches_monolithic(
+        self, mixed_sign_points, mixed_sign_model, n_shards
+    ):
+        mono, sharded = _pair(mixed_sign_points, mixed_sign_model, n_shards)
+        # Signs incompatible with the (+, -, +) octant in either form.
+        bad_normal = np.asarray([1.0, 1.0, 1.0])
+        with sharded:
+            expected = mono.query(bad_normal, 5.0)
+            got = sharded.query(bad_normal, 5.0)
+            assert expected.used_fallback and got.used_fallback
+            assert np.array_equal(expected.ids, got.ids)
+            expected_k = mono.topk(bad_normal, 5.0, 5)
+            got_k = sharded.topk(bad_normal, 5.0, 5)
+            assert np.array_equal(expected_k.ids, got_k.ids)
+            expected_r = mono.query_range(bad_normal, -5.0, 5.0)
+            got_r = sharded.query_range(bad_normal, -5.0, 5.0)
+            assert np.array_equal(expected_r.ids, got_r.ids)
+
+    def test_fallback_disabled_raises(
+        self, mixed_sign_points, mixed_sign_model, n_shards
+    ):
+        _, sharded = _pair(
+            mixed_sign_points, mixed_sign_model, n_shards, scan_fallback=False
+        )
+        with sharded, pytest.raises(InvalidQueryError):
+            sharded.query(np.asarray([1.0, 1.0, 1.0]), 5.0)
+
+
+class TestMaintenance:
+    def test_equality_through_mutations(self, uniform_points, uniform_model, n_shards):
+        mono, sharded = _pair(uniform_points, uniform_model, n_shards)
+        rng = np.random.default_rng(9)
+        with sharded:
+            new_points = rng.uniform(1.0, 100.0, size=(64, 4))
+            mono_ids = mono.insert_points(new_points)
+            shard_ids_ = sharded.insert_points(new_points)
+            assert np.array_equal(mono_ids, shard_ids_)
+
+            doomed = np.concatenate([mono_ids[::5], np.asarray([3, 17], dtype=np.int64)])
+            mono.delete_points(doomed)
+            sharded.delete_points(doomed)
+
+            changed = mono_ids[1::5]
+            new_values = rng.uniform(1.0, 100.0, size=(changed.size, 4))
+            mono.update_points(changed, new_values)
+            sharded.update_points(changed, new_values)
+
+            assert len(mono) == len(sharded)
+            assert sum(sharded.shard_sizes()) == len(sharded)
+            for normal, offset in _sample_queries(uniform_model, 8):
+                assert np.array_equal(
+                    mono.query(normal, offset).ids, sharded.query(normal, offset).ids
+                )
+                expected_k = mono.topk(normal, offset, 9)
+                got_k = sharded.topk(normal, offset, 9)
+                assert np.array_equal(expected_k.ids, got_k.ids)
+                assert np.array_equal(expected_k.distances, got_k.distances)
+
+    def test_index_lifecycle_fans_out(self, uniform_points, uniform_model, n_shards):
+        mono, sharded = _pair(uniform_points, uniform_model, n_shards)
+        with sharded:
+            fresh = np.asarray([3.0, 1.0, 4.0, 1.0])
+            assert mono.add_index(fresh) == sharded.add_index(fresh) is True
+            # Re-adding the same normal is redundant everywhere.
+            assert sharded.add_index(fresh) is False
+            assert all(
+                len(collection) == sharded.n_indices
+                for collection in sharded.collections
+            )
+            before = sharded.n_indices
+            sharded.drop_index(0)
+            mono.collection.drop_index(0)
+            assert sharded.n_indices == before - 1
+            for normal, offset in _sample_queries(uniform_model, 5):
+                assert np.array_equal(
+                    mono.query(normal, offset).ids, sharded.query(normal, offset).ids
+                )
+
+
+class TestShardLayout:
+    def test_more_shards_than_points(self, uniform_model):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(1.0, 100.0, size=(3, 4))
+        mono = FunctionIndex(points, uniform_model, n_indices=3, rng=0)
+        with ShardedFunctionIndex(
+            points, uniform_model, n_indices=3, rng=0, n_shards=5
+        ) as sharded:
+            sizes = sharded.shard_sizes()
+            assert sum(sizes) == 3 and len(sizes) == 5 and 0 in sizes
+            normal = uniform_model.sample_normal(rng)
+            assert np.array_equal(
+                mono.query(normal, 200.0).ids, sharded.query(normal, 200.0).ids
+            )
+            expected_k = mono.topk(normal, 200.0, 2)
+            got_k = sharded.topk(normal, 200.0, 2)
+            assert np.array_equal(expected_k.ids, got_k.ids)
+
+    def test_single_shard_is_monolithic_layout(self, uniform_points, uniform_model):
+        with ShardedFunctionIndex(
+            uniform_points, uniform_model, n_indices=4, rng=0, n_shards=1
+        ) as sharded:
+            assert sharded.shard_sizes() == [len(uniform_points)]
+            # One shard means no view indirection and no thread pool.
+            assert sharded._stores[0] is sharded._features
+            assert sharded._executor is None
+            normal = uniform_model.sample_normal(0)
+            sharded.query(normal, 300.0)
+            assert sharded._executor is None
+
+    def test_rejects_bad_configuration(self, uniform_points, uniform_model):
+        with pytest.raises(ValueError):
+            ShardedFunctionIndex(uniform_points, uniform_model, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedFunctionIndex(uniform_points, uniform_model, policy="nope")
+
+    def test_close_is_idempotent(self, uniform_points, uniform_model, n_shards):
+        sharded = ShardedFunctionIndex(
+            uniform_points, uniform_model, n_indices=4, rng=0, n_shards=n_shards
+        )
+        normal = uniform_model.sample_normal(0)
+        sharded.query(normal, 300.0)
+        sharded.close()
+        sharded.close()
+
+
+class TestShardObservability:
+    def test_per_shard_series(
+        self, uniform_points, uniform_model, n_shards, obs_enabled
+    ):
+        with ShardedFunctionIndex(
+            uniform_points, uniform_model, n_indices=4, rng=0, n_shards=n_shards
+        ) as sharded:
+            normal = uniform_model.sample_normal(0)
+            sharded.query(normal, 300.0)
+            sharded.topk(normal, 300.0, 3)
+            counter = obs_metrics.shard_queries_total()
+            gauge = obs_metrics.shard_points()
+            for shard in range(n_shards):
+                assert counter.value(kind="inequality", shard=str(shard)) >= 1
+                assert counter.value(kind="topk", shard=str(shard)) >= 1
+            total = sum(
+                gauge.value(shard=str(shard)) for shard in range(n_shards)
+            )
+            assert total == len(sharded)
