@@ -1,0 +1,109 @@
+"""Workload-adaptive tuning tour: record -> advise -> apply.
+
+The paper picks its index normals before the first query arrives
+(Section 5.2); the ``repro.tuning`` subsystem closes the loop.  This
+walkthrough:
+
+1. builds a :class:`~repro.FunctionIndex` with a *blind* portfolio
+   (normals sampled uniformly from the query domain),
+2. arms the workload recorder (the CLI equivalent is
+   ``REPRO_TUNE_RECORD=1``) and runs a *skewed* workload — every query
+   clusters around one anchor direction the blind portfolio wastes most
+   of its budget ignoring,
+3. persists the workload and asks the :class:`~repro.Advisor` for a
+   :class:`~repro.TuningPlan`, dry-runs it, round-trips it through JSON
+   (see ``docs/persistence.md``), applies it,
+4. re-runs the same workload and compares the measured mean
+   intermediate-interval size — the number of points the index must
+   verify exactly — before and after, checking the answers stayed
+   bit-identical.
+
+Run:  python examples/tuning.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Advisor, FunctionIndex, QueryModel, apply_plan
+from repro.datasets.workloads import eq18_offset, skewed_normals
+from repro.tuning import (
+    disable_recording,
+    enable_recording,
+    global_recorder,
+    load_plan,
+    recording_enabled,
+    save_plan,
+)
+
+
+def run_workload(index: FunctionIndex, queries) -> tuple[list, float]:
+    """Answer every query; return (sorted id arrays, mean measured |II|)."""
+    ids, ii_sizes = [], []
+    for normal, offset in queries:
+        answer = index.query(normal, offset)
+        ids.append(np.sort(answer.ids))
+        if answer.stats is not None:
+            ii_sizes.append(answer.stats.ii_size)
+    return ids, float(np.mean(ii_sizes))
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    points = rng.uniform(1.0, 100.0, size=(30_000, 6))
+    model = QueryModel.uniform(dim=6, low=1.0, high=5.0, rq=4)
+    index = FunctionIndex(points, model, n_indices=12, rng=0)
+
+    # A skewed workload: 48 queries concentrated around one direction.
+    maxima = points.max(axis=0)
+    normals = skewed_normals(model, 48, concentration=0.9, rng=7)
+    queries = [(n, eq18_offset(n, maxima, 0.25)) for n in normals]
+
+    # --- 1. Record the workload (same switch as REPRO_TUNE_RECORD=1) - #
+    was_recording = recording_enabled()
+    enable_recording()
+    global_recorder().clear()
+    before_ids, before_ii = run_workload(index, queries)
+    if not was_recording:
+        disable_recording()
+    print(f"recorded sketches : {len(global_recorder())}")
+    print(f"mean |II| before  : {before_ii:8.1f} points verified per query")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # --- 2. Persist, advise, dry-run, round-trip, apply ---------- #
+        workload_path = global_recorder().save(Path(tmp) / "workload.npz")
+        print(f"workload archive  : {workload_path.name} "
+              "(format in docs/persistence.md)")
+
+        plan = Advisor(index).advise(budget=12, n_candidates=64, seed=0)
+        print()
+        print(plan.render())
+
+        dry = apply_plan(index, plan, dry_run=True)
+        assert not dry["applied"], "dry-run must never mutate"
+
+        plan_path = save_plan(plan, Path(tmp) / "plan.json")
+        plan = load_plan(plan_path)  # what `repro tune apply` does
+        summary = apply_plan(index, plan)
+        print(f"\napplied           : +{summary['added']} / "
+              f"-{summary['dropped']} normals "
+              f"({summary['n_indices']} total)")
+
+    # --- 3. Same workload, tuned portfolio --------------------------- #
+    after_ids, after_ii = run_workload(index, queries)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(before_ids, after_ids)
+    )
+    assert identical, "tuning must never change query answers"
+    reduction = 100.0 * (1.0 - after_ii / before_ii)
+    print(f"mean |II| after   : {after_ii:8.1f}")
+    print(f"answers identical : {identical}")
+    print(f"tuning complete: answers bit-identical, "
+          f"mean |II| cut by {reduction:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,14 +59,17 @@ from .exceptions import (
     InvalidQueryError,
     NonScalarProductError,
     ReproError,
+    TuningError,
     UnknownColumnError,
 )
 from .parallel import ShardedFunctionIndex
 from .scan import SequentialScan
+from .tuning import Advisor, TuningPlan, WorkloadRecorder, apply_plan
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Advisor",
     "Comparison",
     "ConjunctiveQuery",
     "ConstraintAnswer",
@@ -97,9 +100,13 @@ __all__ = [
     "TopKBuffer",
     "TopKQuery",
     "TopKResult",
+    "TuningError",
+    "TuningPlan",
     "UnknownColumnError",
     "WorkingQuery",
+    "WorkloadRecorder",
     "answer_conjunction",
+    "apply_plan",
     "answer_disjunction",
     "identity_map",
     "load_index",

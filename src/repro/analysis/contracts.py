@@ -244,6 +244,7 @@ class Contract:
 
     @classmethod
     def parse(cls, param_specs: tuple[str, ...], returns: str | None) -> "Contract":
+        """Parse decorator arguments, rejecting duplicate parameter specs."""
         params = tuple(parse_param_spec(text) for text in param_specs)
         seen: set[str] = set()
         for spec in params:

@@ -68,6 +68,7 @@ class LintReport:
 
     @property
     def exit_code(self) -> int:
+        """``1`` when any finding (or REP000 parse failure) survived, else ``0``."""
         return 1 if self.diagnostics else 0
 
 
@@ -261,6 +262,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Standalone ``repro lint`` parser (the main CLI nests the same flags)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="repo-specific AST linter for the Planar index invariants",

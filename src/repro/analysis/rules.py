@@ -47,6 +47,7 @@ class Diagnostic:
     message: str
 
     def render(self) -> str:
+        """Format as the conventional ``path:line:col: RULE message`` line."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
@@ -94,9 +95,11 @@ class ModuleContext:
     # ------------------------------------------------------------------ #
 
     def is_numpy(self, node: ast.expr) -> bool:
+        """True when ``node`` names the numpy module (under any alias)."""
         return isinstance(node, ast.Name) and node.id in self.numpy_aliases
 
     def is_numpy_random(self, node: ast.expr) -> bool:
+        """True when ``node`` names ``numpy.random`` (directly or aliased)."""
         if isinstance(node, ast.Name) and node.id in self.numpy_random_aliases:
             return True
         return (
@@ -106,6 +109,7 @@ class ModuleContext:
         )
 
     def diag(self, rule_id: str, node: ast.AST, message: str) -> Diagnostic:
+        """Build a :class:`Diagnostic` located at ``node`` (1-based column)."""
         return Diagnostic(
             path=self.path,
             line=getattr(node, "lineno", 1),
@@ -696,6 +700,69 @@ def _check_rep008(ctx: ModuleContext) -> Iterable[Diagnostic]:
 
 
 # --------------------------------------------------------------------- #
+# REP009 — public API without docstrings
+# --------------------------------------------------------------------- #
+
+
+def _is_property_companion(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """``@x.setter`` / ``@x.deleter``: the docstring lives on the getter."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Attribute) and decorator.attr in {
+            "setter",
+            "deleter",
+        }:
+            return True
+    return False
+
+
+def _check_rep009(ctx: ModuleContext) -> Iterable[Diagnostic]:
+    """Public functions, classes, and methods must carry a docstring.
+
+    The reproduction's API is its documentation contract: ``__all__`` (REP004)
+    says *what* is public, the docstring says what the public thing *does* —
+    in particular which invariants of ``docs/algorithms.md`` it relies on.
+    Names with a leading underscore (including dunders) are exempt, as are
+    ``@x.setter``/``@x.deleter`` companions whose docstring belongs on the
+    getter.
+    """
+
+    def public(name: str) -> bool:
+        return not name.startswith("_")
+
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if (
+                public(stmt.name)
+                and not _is_property_companion(stmt)
+                and ast.get_docstring(stmt) is None
+            ):
+                yield ctx.diag(
+                    "REP009",
+                    stmt,
+                    f"public function {stmt.name!r} has no docstring",
+                )
+        elif isinstance(stmt, ast.ClassDef) and public(stmt.name):
+            if ast.get_docstring(stmt) is None:
+                yield ctx.diag(
+                    "REP009",
+                    stmt,
+                    f"public class {stmt.name!r} has no docstring",
+                )
+            for sub in stmt.body:
+                if (
+                    isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and public(sub.name)
+                    and not _is_property_companion(sub)
+                    and ast.get_docstring(sub) is None
+                ):
+                    yield ctx.diag(
+                        "REP009",
+                        sub,
+                        f"public method {stmt.name}.{sub.name}() has no docstring",
+                    )
+
+
+# --------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------- #
 
@@ -766,6 +833,13 @@ REGISTRY: dict[str, Rule] = {
             summary="@array_contract string disagrees with the function signature",
             applies=_everywhere,
             check=_check_rep008,
+        ),
+        Rule(
+            id="REP009",
+            name="public-missing-docstring",
+            summary="public function/class/method without a docstring",
+            applies=_everywhere,
+            check=_check_rep009,
         ),
     )
 }

@@ -22,6 +22,11 @@ Commands
     registry (see ``docs/observability.md``).  Instrumented commands merge
     their samples into a state file when ``REPRO_OBS=1`` is set, so metrics
     accumulate across CLI runs.
+``tune``
+    The workload-adaptive tuning loop (see ``docs/tuning.md``): ``record``
+    captures a query workload to a ``.npz`` archive, ``advise`` plans a
+    better index-normal portfolio against it, ``apply`` executes (or
+    ``--dry-run`` previews) the plan and reports measured |II| deltas.
 """
 
 from __future__ import annotations
@@ -127,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="observability registry tools; see docs/observability.md",
     )
     obs_module.configure_parser(obs)
+
+    from repro.tuning import cli as tune_module
+
+    tune = sub.add_parser(
+        "tune",
+        help="record a workload / advise / apply an index tuning plan",
+        description="workload-adaptive index tuning; see docs/tuning.md",
+    )
+    tune_module.configure_parser(tune)
     return parser
 
 
@@ -322,6 +336,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis.lint import run_from_args
 
         code = run_from_args(args)
+    elif args.command == "tune":
+        from repro.tuning.cli import run_from_args as tune_run
+
+        code = tune_run(args)
     else:
         code = _cmd_datasets(args)
     _save_obs_state()

@@ -27,7 +27,13 @@ from .domains import QueryModel
 from .feature_store import FeatureStore
 from .planar import PlanarIndex, QueryResult, QueryStats, WorkingQuery
 from .query import ScalarProductQuery
-from .selection import Selector, SelectionStrategy, make_selector
+from .selection import (
+    Selector,
+    SelectionStrategy,
+    angle_cosines,
+    make_selector,
+    stretch_scores,
+)
 from .topk import TopKResult
 
 __all__ = ["PlanarIndexCollection", "dedupe_parallel_normals"]
@@ -80,6 +86,29 @@ def dedupe_parallel_normals(normals: np.ndarray, tol: float = _PARALLEL_TOL) -> 
                 continue
         kept.append(row)
     return np.asarray(kept, dtype=np.int64)
+
+
+class _SelectionCache:
+    """Immutable snapshot of the member list plus its selection matrices.
+
+    Best-index selection needs the stacked working normals and two derived
+    row statistics; bundling them *with the member tuple they were computed
+    from* into one object that is rebound atomically (a single attribute
+    store) means a query thread that snapshots the cache once can never see
+    a matrix from one index generation paired with the member list of
+    another — the invariant that makes ``add_index``/``drop_index`` safe to
+    run concurrently with queries (a racing query may route through the
+    just-retired generation, but every generation answers exactly).
+    """
+
+    __slots__ = ("indices", "matrix", "row_min", "row_norm")
+
+    def __init__(self, indices: Sequence[PlanarIndex]) -> None:
+        self.indices: tuple[PlanarIndex, ...] = tuple(indices)
+        matrix = np.vstack([index.working_normal for index in self.indices])
+        self.matrix = matrix
+        self.row_min = matrix.min(axis=1)
+        self.row_norm = np.linalg.norm(matrix, axis=1)
 
 
 class PlanarIndexCollection:
@@ -165,11 +194,10 @@ class PlanarIndexCollection:
         """Precompute per-index normal matrices for O(r d') vectorized
         selection — one numpy expression instead of a Python loop over
         indices (Section 5.1 requires selection to be dataset-independent
-        and cheap; at Python speeds it must also be loop-free)."""
-        matrix = np.vstack([index.working_normal for index in self._indices])
-        self._working_matrix = matrix
-        self._working_row_min = matrix.min(axis=1)
-        self._working_row_norm = np.linalg.norm(matrix, axis=1)
+        and cheap; at Python speeds it must also be loop-free).  The
+        snapshot is rebound atomically (see :class:`_SelectionCache`) so
+        queries racing a lifecycle mutation stay consistent."""
+        self._cache = _SelectionCache(self._indices)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -231,30 +259,35 @@ class PlanarIndexCollection:
     def select(self, query: ScalarProductQuery | WorkingQuery) -> PlanarIndex:
         """The best index for ``query`` under the configured strategy."""
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
-        return self._indices[self._select_position(wq)]
+        cache = self._cache
+        return cache.indices[self._select_position(wq, cache)]
 
-    def _select_position(self, wq: WorkingQuery) -> int:
+    def _select_position(
+        self, wq: WorkingQuery, cache: "_SelectionCache | None" = None
+    ) -> int:
         """Vectorized fast paths for the two paper heuristics.
 
         Equivalent to :func:`~repro.core.selection.select_min_stretch` /
         ``select_min_angle`` but evaluated as one ``(r, d')`` numpy
-        expression.
+        expression over the (snapshotted) selection cache.  Callers that
+        will look the position up must pass the same ``cache`` snapshot
+        they index into, so a concurrent lifecycle mutation cannot shift
+        positions under them.
         """
+        if cache is None:
+            cache = self._cache
         obs_on = _ort.ENABLED
         started = time.perf_counter() if obs_on else 0.0
         if self._strategy is SelectionStrategy.MIN_STRETCH:
-            thresholds = self._working_matrix * (wq.offset_w / wq.normal_w)
-            scores = (
-                thresholds.max(axis=1) - thresholds.min(axis=1)
-            ) / self._working_row_min
-            position = int(np.argmin(scores))
-        elif self._strategy is SelectionStrategy.MIN_ANGLE:
-            cosines = np.abs(self._working_matrix @ wq.normal_w) / (
-                self._working_row_norm * np.linalg.norm(wq.normal_w)
+            position = int(
+                np.argmin(stretch_scores(cache.matrix, cache.row_min, wq))
             )
-            position = int(np.argmax(cosines))
+        elif self._strategy is SelectionStrategy.MIN_ANGLE:
+            position = int(
+                np.argmax(angle_cosines(cache.matrix, cache.row_norm, wq))
+            )
         else:
-            position = self._selector(self._indices, wq)
+            position = self._selector(cache.indices, wq)
         if obs_on:
             _osp.record("select", started, strategy=self._strategy.value, chosen=position)
             _om.selection_total().inc(
@@ -291,7 +324,8 @@ class PlanarIndexCollection:
 
     def _query_impl(self, wq: WorkingQuery) -> tuple[QueryResult, str]:
         """Route one working query; returns the result and the route taken."""
-        best = self._indices[self._select_position(wq)]
+        cache = self._cache
+        best = cache.indices[self._select_position(wq, cache)]
         r_lo, r_hi, n = best.interval_ranks(wq)
         if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
             return best.finish_query(wq, r_lo, r_hi), "intervals"
@@ -336,13 +370,14 @@ class PlanarIndexCollection:
         n_intervals = 0
         n_scans = 0
         working = [self.working_query(query) for query in queries]
+        cache = self._cache
         groups: dict[int, list[int]] = {}
         for position, wq in enumerate(working):
-            groups.setdefault(self._select_position(wq), []).append(position)
+            groups.setdefault(self._select_position(wq, cache), []).append(position)
 
         results: list[QueryResult | None] = [None] * len(queries)
         for index_position, members in groups.items():
-            index = self._indices[index_position]
+            index = cache.indices[index_position]
             lows = np.empty(len(members))
             highs = np.empty(len(members))
             for slot, member in enumerate(members):
@@ -446,10 +481,11 @@ class PlanarIndexCollection:
         cost-based router chose the scan).
         """
         wq = self.working_query(query)
-        chosen = self._select_position(wq)
+        cache = self._cache
+        chosen = self._select_position(wq, cache)
         candidates = []
         ranks: list[tuple[int, int, int]] = []
-        for position, index in enumerate(self._indices):
+        for position, index in enumerate(cache.indices):
             r_lo_c, r_hi_c, n_c = index.interval_ranks(wq)
             ranks.append((r_lo_c, r_hi_c, n_c))
             candidates.append(
@@ -461,7 +497,7 @@ class PlanarIndexCollection:
                     chosen=position == chosen,
                 )
             )
-        best = self._indices[chosen]
+        best = cache.indices[chosen]
         r_lo, r_hi, n = ranks[chosen]
         if r_hi - r_lo <= _SCAN_FALLBACK_FRACTION * n:
             route = "intervals"
@@ -522,14 +558,15 @@ class PlanarIndexCollection:
         cosines = np.abs(existing_units @ unit)
         if float(cosines.max()) >= np.cos(_PARALLEL_TOL):
             return False
-        self._indices.append(
-            PlanarIndex(
-                normal,
-                self._store,
-                self._translator,
-                obs_label=self._label(len(self._indices)),
-            )
+        newcomer = PlanarIndex(
+            normal,
+            self._store,
+            self._translator,
+            obs_label=self._label(len(self._indices)),
         )
+        # Rebind rather than append in place: a query thread holding the
+        # previous member list (via its cache snapshot) keeps a stable view.
+        self._indices = [*self._indices, newcomer]
         self._relabel()
         self._refresh_selection_cache()
         return True
@@ -544,7 +581,11 @@ class PlanarIndexCollection:
         if len(self._indices) <= 1:
             raise IndexBuildError("cannot drop the last index of a collection")
         dropped = self._indices[position]
-        del self._indices[position]
+        # Rebind to a survivor list (never `del` in place) so concurrent
+        # query threads keep the generation their cache snapshot names.
+        self._indices = [
+            index for index in self._indices if index is not dropped
+        ]
         dropped.release_obs_label()
         self._relabel()
         self._refresh_selection_cache()

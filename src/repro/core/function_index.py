@@ -39,6 +39,14 @@ from .query import Comparison, ScalarProductQuery
 from .selection import SelectionStrategy
 from .topk import TopKResult
 
+# Workload recording hook (repro.tuning).  Import-order safe: the recorder
+# module itself depends only on repro.exceptions / repro.obs, and the
+# advisor (pulled in by the tuning package) imports only core submodules
+# that are fully initialized before this module (collection, planar, query,
+# selection).  The hot-path guard is one module-attribute read when
+# recording is disarmed.
+from ..tuning import recorder as _tnr
+
 __all__ = ["FunctionIndex", "QueryAnswer"]
 
 
@@ -220,6 +228,8 @@ class FunctionIndex:
             raise DimensionMismatchError(
                 f"query has dimension {spq.dim}, feature space has {self._phi.out_dim}"
             )
+        if _tnr.RECORDING:
+            _tnr.record_query(spq.normal, spq.offset, spq.op.value, "inequality")
         try:
             result = self._collection.query(spq)
         except InvalidQueryError:
@@ -261,6 +271,10 @@ class FunctionIndex:
             raise DimensionMismatchError(
                 f"query has dimension {low_q.dim}, feature space has {self._phi.out_dim}"
             )
+        if _tnr.RECORDING:
+            # One sketch per bound (same normal, both operators).
+            _tnr.record_query(low_q.normal, low, ">=", "range")
+            _tnr.record_query(high_q.normal, high, "<=", "range")
         try:
             wq_low = self._collection.working_query(low_q)
             wq_high = self._collection.working_query(high_q)
@@ -307,6 +321,9 @@ class FunctionIndex:
             ScalarProductQuery(normals[row], float(offsets[row]), op)
             for row in range(normals.shape[0])
         ]
+        if _tnr.RECORDING:
+            for spq in queries:
+                _tnr.record_query(spq.normal, spq.offset, spq.op.value, "batch")
         plannable: list[int] = []
         answers: list[QueryAnswer | None] = [None] * len(queries)
         for position, spq in enumerate(queries):
@@ -339,6 +356,8 @@ class FunctionIndex:
             raise DimensionMismatchError(
                 f"query has dimension {spq.dim}, feature space has {self._phi.out_dim}"
             )
+        if _tnr.RECORDING:
+            _tnr.record_query(spq.normal, spq.offset, spq.op.value, "topk", k)
         try:
             return self._collection.topk(spq, k)
         except InvalidQueryError:
@@ -518,3 +537,13 @@ class FunctionIndex:
     def add_index(self, normal: np.ndarray) -> bool:
         """Dynamically add one more Planar index (Section 4.2 adaptation)."""
         return self._collection.add_index(normal)
+
+    def drop_index(self, position: int) -> None:
+        """Drop the Planar index at ``position`` (Section 4.2 adaptation).
+
+        At least one index must remain; see
+        :meth:`~repro.core.collection.PlanarIndexCollection.drop_index`.
+        The tuning advisor's :func:`~repro.tuning.advisor.apply_plan`
+        retires workload-mismatched normals through this hook.
+        """
+        self._collection.drop_index(position)

@@ -37,6 +37,8 @@ __all__ = [
     "select_min_angle",
     "select_random",
     "make_selector",
+    "stretch_scores",
+    "angle_cosines",
 ]
 
 Selector = Callable[[Sequence[PlanarIndex], WorkingQuery], int]
@@ -53,6 +55,37 @@ class SelectionStrategy(enum.Enum):
 def _require_indices(indices: Sequence[PlanarIndex]) -> None:
     if not indices:
         raise IndexBuildError("cannot select from an empty index collection")
+
+
+def stretch_scores(
+    working_matrix: np.ndarray, row_min: np.ndarray, wq: WorkingQuery
+) -> np.ndarray:
+    """Vectorized min-stretch scores of many index normals for one query.
+
+    ``working_matrix`` is the ``(r, d')`` stack of working normals and
+    ``row_min`` its per-row minimum (precomputable because it is
+    query-independent).  Row ``i`` equals
+    :meth:`~repro.core.planar.PlanarIndex.max_stretch` of index ``i`` —
+    the same expression evaluated as one numpy broadcast, which is what
+    both the collection's query-time router and the tuning advisor's
+    workload simulation use, keeping their routing decisions identical.
+    """
+    thresholds = working_matrix * (wq.offset_w / wq.normal_w)
+    return (thresholds.max(axis=1) - thresholds.min(axis=1)) / row_min
+
+
+def angle_cosines(
+    working_matrix: np.ndarray, row_norm: np.ndarray, wq: WorkingQuery
+) -> np.ndarray:
+    """Vectorized ``|cos(angle)|`` of many index normals against one query.
+
+    Row ``i`` equals
+    :meth:`~repro.core.planar.PlanarIndex.angle_cosine` of index ``i``;
+    ``row_norm`` holds the precomputed per-row norms.
+    """
+    return np.abs(working_matrix @ wq.normal_w) / (
+        row_norm * np.linalg.norm(wq.normal_w)
+    )
 
 
 def select_min_stretch(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:

@@ -16,6 +16,7 @@ __all__ = [
     "InvalidQueryError",
     "InvalidDomainError",
     "IndexBuildError",
+    "TuningError",
     "ExpressionError",
     "ExpressionSyntaxError",
     "NonScalarProductError",
@@ -60,6 +61,12 @@ class InvalidDomainError(ReproError, ValueError):
 
 class IndexBuildError(ReproError, RuntimeError):
     """A Planar index (or a collection of them) could not be constructed."""
+
+
+class TuningError(ReproError, RuntimeError):
+    """A tuning artifact is unusable: empty/malformed recorded workload,
+    corrupted plan file, or a plan applied against an index whose normals
+    no longer match the plan's recorded baseline."""
 
 
 class ExpressionError(ReproError):

@@ -60,6 +60,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Standalone ``repro obs`` parser (the main CLI nests the same flags)."""
     parser = argparse.ArgumentParser(
         prog="repro obs",
         description="inspect / export / reset the repro metrics registry",

@@ -54,6 +54,10 @@ __all__ = [
     "span_seconds",
     "bench_seconds",
     "explain_total",
+    "tuning_recorded_total",
+    "tuning_workload_size",
+    "tuning_plans_total",
+    "tuning_predicted_ii_mean",
 ]
 
 #: Fixed log-scale latency buckets (seconds): three per decade, 1 µs – 10 s.
@@ -122,6 +126,7 @@ class Counter(_MetricBase):
             return dict(self._series)
 
     def snapshot(self) -> dict:
+        """JSON-serialisable dump of every series (merge/export format)."""
         return {
             "name": self.name,
             "type": self.kind,
@@ -178,6 +183,7 @@ class Gauge(_MetricBase):
             return dict(self._series)
 
     def snapshot(self) -> dict:
+        """JSON-serialisable dump of every series (merge/export format)."""
         return {
             "name": self.name,
             "type": self.kind,
@@ -262,6 +268,7 @@ class Histogram(_MetricBase):
         return series.total if series is not None else 0.0
 
     def snapshot(self) -> dict:
+        """JSON-serialisable dump of every series, including bucket counts."""
         return {
             "name": self.name,
             "type": self.kind,
@@ -545,4 +552,41 @@ def explain_total() -> Counter:
         "repro_explain_total",
         "EXPLAIN reports produced, by planned route.",
         ("route",),
+    )
+
+
+def tuning_recorded_total() -> Counter:
+    """Workload sketches recorded, by query kind."""
+    return _DEFAULT.counter(
+        "repro_tuning_recorded_total",
+        "Query sketches recorded into the workload ring buffer, by kind "
+        "(inequality/range/topk/batch).",
+        ("kind",),
+    )
+
+
+def tuning_workload_size() -> Gauge:
+    """Sketches currently retained by the global workload recorder."""
+    return _DEFAULT.gauge(
+        "repro_tuning_workload_size",
+        "Query sketches currently retained in the workload ring buffer.",
+    )
+
+
+def tuning_plans_total() -> Counter:
+    """Tuning-plan lifecycle events, by action (advise/dry_run/apply)."""
+    return _DEFAULT.counter(
+        "repro_tuning_plans_total",
+        "Tuning plan lifecycle events, by action (advise/dry_run/apply).",
+        ("action",),
+    )
+
+
+def tuning_predicted_ii_mean() -> Gauge:
+    """Advisor-predicted mean |II| before/after the proposed portfolio."""
+    return _DEFAULT.gauge(
+        "repro_tuning_predicted_ii_mean",
+        "Advisor-predicted mean intermediate-interval size over the recorded "
+        "workload, by stage (baseline/proposed).",
+        ("stage",),
     )

@@ -59,6 +59,7 @@ from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
 from ..obs import spans as _osp
+from ..tuning import recorder as _tnr
 from .sharding import SHARD_POLICIES, assign_shards
 from .view import FeatureStoreView
 
@@ -380,6 +381,8 @@ class ShardedFunctionIndex:
         """Answer ``<normal, phi(x)> OP offset`` exactly, fanned across shards."""
         spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
         self._check_dim(spq)
+        if _tnr.RECORDING:
+            _tnr.record_query(spq.normal, spq.offset, spq.op.value, "inequality")
         try:
             self._working_or_raise(spq)
         except InvalidQueryError:
@@ -413,6 +416,9 @@ class ShardedFunctionIndex:
             ScalarProductQuery(normals[row], float(offsets[row]), op)
             for row in range(normals.shape[0])
         ]
+        if _tnr.RECORDING:
+            for spq in queries:
+                _tnr.record_query(spq.normal, spq.offset, spq.op.value, "batch")
         plannable: list[int] = []
         answers: list[QueryAnswer | None] = [None] * len(queries)
         for position, spq in enumerate(queries):
@@ -450,6 +456,10 @@ class ShardedFunctionIndex:
         low_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), low, ">=")
         high_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), high, "<=")
         self._check_dim(low_q)
+        if _tnr.RECORDING:
+            # One sketch per bound (same normal, both operators).
+            _tnr.record_query(low_q.normal, low, ">=", "range")
+            _tnr.record_query(high_q.normal, high, "<=", "range")
         try:
             wq_low = self._working_or_raise(low_q)
             wq_high = self._working_or_raise(high_q)
@@ -492,6 +502,8 @@ class ShardedFunctionIndex:
         """
         spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
         self._check_dim(spq)
+        if _tnr.RECORDING:
+            _tnr.record_query(spq.normal, spq.offset, spq.op.value, "topk", k)
         try:
             self._working_or_raise(spq)
         except InvalidQueryError:

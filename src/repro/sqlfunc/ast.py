@@ -72,15 +72,18 @@ class Column(Expr):
     name: str
 
     def evaluate(self, env, params=()):
+        """Look the column up in ``env`` (vectorized: values may be arrays)."""
         try:
             return env[self.name]
         except KeyError:
             raise UnknownColumnError(self.name) from None
 
     def columns(self):
+        """The singleton set of this column's name."""
         return frozenset({self.name})
 
     def params(self):
+        """Columns bind no placeholders."""
         return frozenset()
 
     def __str__(self) -> str:
@@ -94,12 +97,15 @@ class Number(Expr):
     value: float
 
     def evaluate(self, env, params=()):
+        """The literal's value, as a float."""
         return float(self.value)
 
     def columns(self):
+        """Literals reference no columns."""
         return frozenset()
 
     def params(self):
+        """Literals bind no placeholders."""
         return frozenset()
 
     def __str__(self) -> str:
@@ -113,6 +119,7 @@ class Param(Expr):
     position: int
 
     def evaluate(self, env, params=()):
+        """The bound value of this placeholder; raises when unbound."""
         if self.position >= len(params):
             raise ExpressionError(
                 f"parameter ?{self.position} unbound: only {len(params)} value(s) given"
@@ -120,9 +127,11 @@ class Param(Expr):
         return float(params[self.position])
 
     def columns(self):
+        """Placeholders reference no columns."""
         return frozenset()
 
     def params(self):
+        """The singleton set of this placeholder's position."""
         return frozenset({self.position})
 
     def __str__(self) -> str:
@@ -144,12 +153,15 @@ class BinOp(Expr):
             raise ExpressionError(f"unknown operator {self.op!r}")
 
     def evaluate(self, env, params=()):
+        """Apply the operator to both evaluated operands."""
         return _OPS[self.op](self.left.evaluate(env, params), self.right.evaluate(env, params))
 
     def columns(self):
+        """Union of both operands' column references."""
         return self.left.columns() | self.right.columns()
 
     def params(self):
+        """Union of both operands' placeholder positions."""
         return self.left.params() | self.right.params()
 
     def __str__(self) -> str:
@@ -163,12 +175,15 @@ class Neg(Expr):
     operand: Expr
 
     def evaluate(self, env, params=()):
+        """The evaluated operand, negated."""
         return -self.operand.evaluate(env, params)
 
     def columns(self):
+        """The operand's column references."""
         return self.operand.columns()
 
     def params(self):
+        """The operand's placeholder positions."""
         return self.operand.params()
 
     def __str__(self) -> str:

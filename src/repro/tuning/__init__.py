@@ -1,0 +1,60 @@
+"""Workload-adaptive index tuning (recorder + advisor).
+
+The paper fixes its index normals before the first query arrives
+(Section 5.2); this subsystem closes the loop.  A
+:class:`~repro.tuning.recorder.WorkloadRecorder` captures O(d') sketches
+of answered queries (armed via ``REPRO_TUNE_RECORD=1``), and an
+:class:`~repro.tuning.advisor.Advisor` replays them through the paper's
+own selection and interval estimators to plan a better normal portfolio,
+emitted as a dry-runnable, persistable
+:class:`~repro.tuning.advisor.TuningPlan`.
+
+See ``docs/tuning.md`` for the workflow and ``examples/tuning.py`` for a
+record -> advise -> apply walkthrough.
+"""
+
+from .recorder import (
+    DEFAULT_CAPACITY,
+    WORKLOAD_FORMAT_VERSION,
+    QuerySketch,
+    WorkloadRecorder,
+    disable_recording,
+    enable_recording,
+    global_recorder,
+    load_workload,
+    record_query,
+    record_sketches,
+    recording_enabled,
+    save_workload,
+)
+from .advisor import (
+    PLAN_FORMAT_VERSION,
+    Advisor,
+    PlanAction,
+    TuningPlan,
+    apply_plan,
+    load_plan,
+    save_plan,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "PLAN_FORMAT_VERSION",
+    "WORKLOAD_FORMAT_VERSION",
+    "Advisor",
+    "PlanAction",
+    "QuerySketch",
+    "TuningPlan",
+    "WorkloadRecorder",
+    "apply_plan",
+    "disable_recording",
+    "enable_recording",
+    "global_recorder",
+    "load_plan",
+    "load_workload",
+    "record_query",
+    "record_sketches",
+    "recording_enabled",
+    "save_plan",
+    "save_workload",
+]

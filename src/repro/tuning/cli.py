@@ -1,0 +1,237 @@
+"""CLI for the tuning loop: ``python -m repro tune <action>``.
+
+Actions
+-------
+``record``
+    Build a deterministic synthetic index, arm workload recording, answer a
+    skewed Eq. 18 workload through the query facade, and save the captured
+    sketches to a ``.npz`` workload archive.
+``advise``
+    Load a workload archive, rebuild the same index from the same seed
+    arguments, run the :class:`~repro.tuning.advisor.Advisor`, print the
+    resulting :class:`~repro.tuning.advisor.TuningPlan`, and optionally
+    persist it as JSON.
+``apply``
+    Load a workload archive and a plan, rebuild the index, apply the plan
+    (or ``--dry-run``), and report the measured mean |II| over the recorded
+    workload before and after — closing the record -> advise -> apply loop.
+
+All three actions rebuild the index deterministically from ``--n/--dim/
+--rq/--indices/--seed``, so a plan advised in one process can be validated
+and applied in another: the plan's baseline fingerprint matches because the
+construction is bit-reproducible.  Against a live application the same
+flow uses :func:`repro.tuning.enable_recording` and
+:func:`repro.tuning.apply_plan` in process (see ``docs/tuning.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from ..exceptions import ReproError, TuningError
+
+__all__ = ["configure_parser", "build_parser", "run_from_args", "main"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the tune options to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "action",
+        choices=["record", "advise", "apply"],
+        help="record (capture a workload), advise (plan a portfolio), "
+        "apply (execute a plan)",
+    )
+    parser.add_argument(
+        "--workload",
+        type=str,
+        default=".repro-workload.npz",
+        help="workload archive path (written by record, read by advise/apply)",
+    )
+    parser.add_argument(
+        "--plan",
+        type=str,
+        default=".repro-plan.json",
+        help="tuning plan path (written by advise, read by apply)",
+    )
+    parser.add_argument("--n", type=int, default=20_000, help="dataset size")
+    parser.add_argument("--dim", type=int, default=6, help="dimensionality")
+    parser.add_argument("--rq", type=int, default=4, help="randomness of query")
+    parser.add_argument(
+        "--indices", type=int, default=8, help="index budget r of the baseline"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--queries", type=int, default=200, help="workload size (record action)"
+    )
+    parser.add_argument(
+        "--concentration",
+        type=float,
+        default=0.9,
+        help="workload skew in [0, 1]; 0 ~ uniform domain sampling (record)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="portfolio budget for advise (default: baseline index count)",
+    )
+    parser.add_argument(
+        "--candidates",
+        type=int,
+        default=64,
+        help="random candidate normals the advisor considers (advise)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate and summarize the plan without mutating (apply)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Standalone ``repro tune`` parser (the main CLI nests the same flags)."""
+    parser = argparse.ArgumentParser(
+        prog="repro tune",
+        description="record a workload, advise an index portfolio, apply a plan",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def _build_index(args: argparse.Namespace):
+    """The deterministic synthetic index all three actions operate on.
+
+    Returns ``(index, points, model)`` so callers can derive the Eq. 18
+    maxima without re-materializing the dataset.
+    """
+    from ..core.domains import QueryModel
+    from ..core.function_index import FunctionIndex
+    from ..datasets import independent
+
+    points = independent(args.n, args.dim, rng=args.seed).points
+    model = QueryModel.uniform(dim=args.dim, low=1.0, high=5.0, rq=args.rq)
+    index = FunctionIndex(points, model, n_indices=args.indices, rng=args.seed)
+    return index, points, model
+
+
+def _measured_ii_mean(index, sketches) -> float:
+    """Mean executed |II| over the sketched workload (skips incompatible)."""
+    sizes = []
+    for sketch in sketches:
+        try:
+            answer = index.query(sketch.normal, sketch.offset, op=sketch.op)
+        except ReproError:  # octant-incompatible sketches are not measurable
+            continue
+        if answer.stats is not None:
+            sizes.append(answer.stats.ii_size)
+    return float(np.mean(sizes)) if sizes else float("nan")
+
+
+def _cmd_record(args: argparse.Namespace, stream: TextIO) -> int:
+    from ..datasets.workloads import eq18_offset, skewed_normals
+    from . import recorder as _tnr
+
+    index, points, model = _build_index(args)
+    maxima = points.max(axis=0)
+    normals = skewed_normals(model, args.queries, args.concentration, rng=args.seed)
+    local = _tnr.WorkloadRecorder(capacity=max(args.queries, 1))
+    was_recording = _tnr.RECORDING
+    _tnr.enable_recording()
+    before = len(_tnr.global_recorder())
+    try:
+        for normal in normals:
+            offset = eq18_offset(normal, maxima, 0.25)
+            index.query(normal, offset)
+    finally:
+        if not was_recording:
+            _tnr.disable_recording()
+    captured = _tnr.global_recorder().sketches()[before:]
+    for sketch in captured:
+        local.record(sketch)
+    path = local.save(args.workload)
+    print(
+        f"recorded {len(local)} sketches "
+        f"(concentration {args.concentration:.2f}) -> {path}",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace, stream: TextIO) -> int:
+    from . import recorder as _tnr
+    from .advisor import Advisor, save_plan
+
+    sketches = _tnr.load_workload(args.workload)
+    index, _, _ = _build_index(args)
+    advisor = Advisor(index, sketches=sketches)
+    plan = advisor.advise(
+        budget=args.budget, n_candidates=args.candidates, seed=args.seed
+    )
+    print(plan.render(), file=stream)
+    path = save_plan(plan, args.plan)
+    print(f"\nplan written to {path}", file=stream)
+    return 0
+
+
+def _cmd_apply(args: argparse.Namespace, stream: TextIO) -> int:
+    from . import recorder as _tnr
+    from .advisor import apply_plan, load_plan
+
+    sketches = _tnr.load_workload(args.workload)
+    plan = load_plan(args.plan)
+    index, _, _ = _build_index(args)
+    before = _measured_ii_mean(index, sketches)
+    summary = apply_plan(index, plan, dry_run=args.dry_run)
+    verb = "dry-run (not applied)" if summary["dry_run"] else "applied"
+    print(
+        f"{verb}: +{summary['added']} / -{summary['dropped']} normals, "
+        f"{summary['n_indices']} indices",
+        file=stream,
+    )
+    if summary["dry_run"]:
+        print(f"measured mean |II| (baseline): {before:.1f}", file=stream)
+        print(
+            f"predicted mean |II| after: {plan.predicted_ii_after:.1f} "
+            f"({plan.predicted_reduction:.1%} reduction)",
+            file=stream,
+        )
+        return 0
+    after = _measured_ii_mean(index, sketches)
+    reduction = (before - after) / before if before else float("nan")
+    print(
+        f"measured mean |II|: {before:.1f} -> {after:.1f} "
+        f"({reduction:.1%} reduction)",
+        file=stream,
+    )
+    return 0
+
+
+def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """Execute a tune invocation from a parsed namespace; returns exit code."""
+    stream = stream or sys.stdout
+    try:
+        if args.action == "record":
+            return _cmd_record(args, stream)
+        if args.action == "advise":
+            return _cmd_advise(args, stream)
+        return _cmd_apply(args, stream)
+    except TuningError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    """Standalone entry point (``python -m repro.tuning.cli``)."""
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse uses 2 for usage errors already
+        return int(exc.code or 0)
+    return run_from_args(args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli tests
+    sys.exit(main())

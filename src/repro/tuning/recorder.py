@@ -1,0 +1,336 @@
+"""Workload recording: ring-buffered query sketches for the index advisor.
+
+The paper's pruning power is decided before the first query arrives: index
+normals are sampled blindly from the query-parameter domains (Section 5.2),
+and how well they match the *actual* workload determines every |II|.  The
+first step towards workload-adaptive indexing is therefore simply to
+remember what the workload was.
+
+A :class:`QuerySketch` is the O(d') summary of one answered query — the
+``(a, b, op)`` triple plus the query kind and, for top-k, ``k``.  The
+:class:`WorkloadRecorder` keeps the most recent sketches in a bounded ring
+buffer (old entries fall off; a drifted workload ages out naturally) and
+round-trips them through a small ``.npz`` archive so a workload captured in
+production can be replayed into an offline
+:class:`~repro.tuning.advisor.Advisor` run.
+
+Recording follows the observability layer's arming discipline: a module
+global flag (:data:`RECORDING`), armed from the environment
+(``REPRO_TUNE_RECORD=1``) or programmatically
+(:func:`enable_recording`), read directly by the query facades::
+
+    if _tnr.RECORDING:
+        _tnr.record_query(...)
+
+so the disabled path costs one attribute read and a branch.  This module is
+deliberately dependency-free of the core index machinery — the facades
+import it, never the other way around.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import TuningError
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "RECORDING",
+    "WORKLOAD_FORMAT_VERSION",
+    "QuerySketch",
+    "WorkloadRecorder",
+    "global_recorder",
+    "recording_enabled",
+    "enable_recording",
+    "disable_recording",
+    "record_query",
+    "record_sketches",
+    "save_workload",
+    "load_workload",
+]
+
+#: On-disk workload archive format version (see ``docs/persistence.md``).
+WORKLOAD_FORMAT_VERSION = 1
+
+#: Default ring-buffer capacity of the global recorder.
+DEFAULT_CAPACITY = 4096
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Whether the query facades record sketches.  Mutated only through
+#: :func:`enable_recording` / :func:`disable_recording`; hot paths read it
+#: directly (same pattern as ``repro.obs.runtime.ENABLED``).
+RECORDING: bool = (
+    os.environ.get("REPRO_TUNE_RECORD", "").strip().lower() in _TRUTHY
+)
+
+_VALID_OPS = ("<=", "<", ">=", ">")
+_VALID_KINDS = ("inequality", "range", "topk", "batch")
+
+
+@dataclass(frozen=True)
+class QuerySketch:
+    """O(d') summary of one answered query.
+
+    Attributes
+    ----------
+    normal / offset / op:
+        The query triple ``(a, b, OP)`` exactly as the application issued
+        it (original coordinates, op as its string value ``"<="`` etc.).
+    kind:
+        Which facade entry point answered it: ``inequality`` / ``range`` /
+        ``topk`` / ``batch``.  Range queries record one sketch per bound.
+    k:
+        The top-k parameter; ``0`` for non-top-k kinds.
+    """
+
+    normal: np.ndarray
+    offset: float
+    op: str = "<="
+    kind: str = "inequality"
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        normal = np.ascontiguousarray(self.normal, dtype=np.float64)
+        if normal.ndim != 1 or normal.size == 0:
+            raise TuningError(
+                f"sketch normal must be a non-empty vector, got shape {normal.shape}"
+            )
+        normal.setflags(write=False)
+        object.__setattr__(self, "normal", normal)
+        object.__setattr__(self, "offset", float(self.offset))
+        if self.op not in _VALID_OPS:
+            raise TuningError(f"unknown sketch operator {self.op!r}")
+        if self.kind not in _VALID_KINDS:
+            raise TuningError(f"unknown sketch kind {self.kind!r}")
+        object.__setattr__(self, "k", int(self.k))
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d'`` of the sketched query normal."""
+        return int(self.normal.size)
+
+
+class WorkloadRecorder:
+    """Bounded, thread-safe ring buffer of recent :class:`QuerySketch` es.
+
+    Appending past ``capacity`` evicts the oldest sketch, so the recorder
+    always describes the *recent* workload — exactly what a drift-adapting
+    advisor should fit.  All mutation happens under one lock; recording is
+    O(d') per query (one small array copy).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise TuningError(f"recorder capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._buffer: deque[QuerySketch] = deque(maxlen=self._capacity)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record(self, sketch: QuerySketch) -> None:
+        """Append one sketch (evicting the oldest at capacity)."""
+        with self._lock:
+            self._buffer.append(sketch)
+            self._total += 1
+        if _ort.ENABLED:
+            tuning_recorded_total().inc(kind=sketch.kind)
+            tuning_workload_size().set(len(self))
+
+    def record_query(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: str = "<=",
+        kind: str = "inequality",
+        k: int = 0,
+    ) -> None:
+        """Convenience: build and record a sketch from raw query parts."""
+        self.record(QuerySketch(np.asarray(normal), offset, op, kind, k))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained sketches."""
+        return self._capacity
+
+    @property
+    def total_recorded(self) -> int:
+        """Sketches ever recorded, including those evicted by the ring."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def sketches(self) -> tuple[QuerySketch, ...]:
+        """Snapshot of the retained sketches, oldest first."""
+        with self._lock:
+            return tuple(self._buffer)
+
+    def clear(self) -> None:
+        """Drop every retained sketch (the total-recorded count survives)."""
+        with self._lock:
+            self._buffer.clear()
+        if _ort.ENABLED:
+            tuning_workload_size().set(0)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (.npz round trip, see docs/persistence.md)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the retained sketches to a ``.npz`` archive."""
+        return save_workload(self.sketches(), path)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, capacity: int | None = None
+    ) -> "WorkloadRecorder":
+        """Rebuild a recorder from a :meth:`save` archive."""
+        sketches = load_workload(path)
+        out = cls(capacity or max(DEFAULT_CAPACITY, len(sketches)))
+        for sketch in sketches:
+            out.record(sketch)
+        return out
+
+
+def save_workload(
+    sketches: Sequence[QuerySketch], path: str | Path
+) -> Path:
+    """Write sketches to ``path`` as a versioned ``.npz`` archive.
+
+    The archive holds parallel arrays — ``normals (q, d')``, ``offsets
+    (q,)``, ``ops``/``kinds`` (unicode), ``ks (q,)`` — plus the format
+    version.  All sketches must share one dimensionality (they describe one
+    index's workload).
+    """
+    path = Path(path)
+    if not sketches:
+        raise TuningError("cannot save an empty workload")
+    dims = {sketch.dim for sketch in sketches}
+    if len(dims) != 1:
+        raise TuningError(
+            f"workload mixes query dimensionalities {sorted(dims)}; "
+            "record one index's workload per archive"
+        )
+    np.savez_compressed(
+        path,
+        format_version=np.asarray(WORKLOAD_FORMAT_VERSION, dtype=np.int64),
+        normals=np.vstack([sketch.normal for sketch in sketches]),
+        offsets=np.asarray([sketch.offset for sketch in sketches], dtype=np.float64),
+        ops=np.asarray([sketch.op for sketch in sketches]),
+        kinds=np.asarray([sketch.kind for sketch in sketches]),
+        ks=np.asarray([sketch.k for sketch in sketches], dtype=np.int64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_workload(path: str | Path) -> tuple[QuerySketch, ...]:
+    """Read sketches back from a :func:`save_workload` archive."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            version = int(archive["format_version"])
+            if version != WORKLOAD_FORMAT_VERSION:
+                raise TuningError(
+                    f"unsupported workload archive version {version!r}"
+                )
+            normals = np.ascontiguousarray(archive["normals"], dtype=np.float64)
+            offsets = np.ascontiguousarray(archive["offsets"], dtype=np.float64)
+            ops = [str(op) for op in archive["ops"]]
+            kinds = [str(kind) for kind in archive["kinds"]]
+            ks = np.ascontiguousarray(archive["ks"], dtype=np.int64)
+    except (OSError, KeyError, ValueError) as exc:
+        raise TuningError(f"cannot read workload archive {path}: {exc}") from exc
+    rows = normals.shape[0] if normals.ndim == 2 else -1
+    if rows < 0 or not (
+        rows == offsets.size == len(ops) == len(kinds) == ks.size
+    ):
+        raise TuningError(f"workload archive {path} has inconsistent columns")
+    return tuple(
+        QuerySketch(normals[row], float(offsets[row]), ops[row], kinds[row], int(ks[row]))
+        for row in range(rows)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Global recorder + arming (mirrors repro.obs.runtime)
+# --------------------------------------------------------------------- #
+
+_GLOBAL = WorkloadRecorder()
+
+
+def global_recorder() -> WorkloadRecorder:
+    """The process-wide recorder the query facades record into.
+
+    Named ``global_recorder`` (not ``recorder``) so the accessor never
+    shadows this module's name on the :mod:`repro.tuning` package —
+    ``from repro.tuning import recorder`` must keep returning the module
+    the facades' hot-path guard reads.
+    """
+    return _GLOBAL
+
+
+def recording_enabled() -> bool:
+    """Whether the query facades are currently recording sketches."""
+    return RECORDING
+
+
+def enable_recording() -> None:
+    """Arm workload recording for this process."""
+    global RECORDING
+    RECORDING = True
+
+
+def disable_recording() -> None:
+    """Return recording to its zero-cost no-op mode."""
+    global RECORDING
+    RECORDING = False
+
+
+def record_query(
+    normal: np.ndarray,
+    offset: float,
+    op: str = "<=",
+    kind: str = "inequality",
+    k: int = 0,
+) -> None:
+    """Record one sketch into the global recorder when recording is armed.
+
+    The facades guard the call themselves (``if _tnr.RECORDING``) so the
+    disabled path never pays a function call; this re-check makes direct
+    callers safe too.
+    """
+    if not RECORDING:
+        return
+    _GLOBAL.record_query(normal, offset, op, kind, k)
+
+
+def record_sketches(sketches: Iterable[QuerySketch]) -> None:
+    """Record prebuilt sketches into the global recorder (always records)."""
+    for sketch in sketches:
+        _GLOBAL.record(sketch)
+
+
+# Imported lazily at the bottom to keep the metric factories next to their
+# siblings while letting this module stay importable before repro.obs
+# finishes initializing (it never does not — obs is dependency-free — but
+# the late import also keeps the hot recording path free of attribute
+# chains).
+from ..obs.metrics import tuning_recorded_total, tuning_workload_size  # noqa: E402

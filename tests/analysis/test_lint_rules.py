@@ -76,6 +76,14 @@ SEEDS: dict[str, str] = {
         "def f(values):\n"
         "    return values\n"
     ),
+    "REP009": (
+        "__all__ = ['f', 'C']\n"
+        "def f():\n"
+        "    return 1\n"
+        "class C:\n"
+        "    def method(self):\n"
+        "        return 2\n"
+    ),
 }
 
 
@@ -149,7 +157,9 @@ class TestSeededViolations:
 class TestDriver:
     def test_clean_file_exits_zero(self, tmp_path):
         path = tmp_path / "clean.py"
-        path.write_text('__all__ = ["f"]\n\ndef f():\n    return 1\n')
+        path.write_text(
+            '__all__ = ["f"]\n\ndef f():\n    """Docstring."""\n    return 1\n'
+        )
         assert lint_main([str(path)], stream=io.StringIO()) == 0
 
     def test_syntax_error_is_rep000(self, tmp_path):
@@ -265,6 +275,53 @@ class TestScoping:
         path = tmp_path / "loose.py"
         path.write_text(SEEDS["REP001"])
         assert lint_file(path, select={"REP001"})
+
+
+# --------------------------------------------------------------------- #
+# REP009 specifics: what counts as "public"
+# --------------------------------------------------------------------- #
+
+
+class TestRep009Exemptions:
+    def test_private_and_dunder_names_exempt(self, tmp_path):
+        path = tmp_path / "private.py"
+        path.write_text(
+            "__all__ = ['C']\n"
+            "def _helper():\n"
+            "    return 1\n"
+            "class C:\n"
+            '    """Documented."""\n'
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "    def _internal(self):\n"
+            "        return self.x\n"
+        )
+        assert lint_file(path, select={"REP009"}) == []
+
+    def test_property_setter_companion_exempt(self, tmp_path):
+        path = tmp_path / "props.py"
+        path.write_text(
+            "__all__ = ['C']\n"
+            "class C:\n"
+            '    """Documented."""\n'
+            "    @property\n"
+            "    def value(self):\n"
+            '        """Docstring on the getter."""\n'
+            "        return self._v\n"
+            "    @value.setter\n"
+            "    def value(self, v):\n"
+            "        self._v = v\n"
+        )
+        assert lint_file(path, select={"REP009"}) == []
+
+    def test_every_public_shape_flagged(self, tmp_path):
+        path = tmp_path / "gaps.py"
+        path.write_text(SEEDS["REP009"])
+        messages = [d.message for d in lint_file(path, select={"REP009"})]
+        assert len(messages) == 3
+        assert any("function 'f'" in m for m in messages)
+        assert any("class 'C'" in m for m in messages)
+        assert any("C.method()" in m for m in messages)
 
 
 # --------------------------------------------------------------------- #

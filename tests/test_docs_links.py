@@ -1,0 +1,147 @@
+"""Documentation link checker: no dangling relative links or anchors.
+
+Every Markdown document the README's documentation index reaches is
+scanned for inline links.  Relative links must point at files that exist
+in the repository; fragment links (``doc.md#section`` / ``#section``)
+must match a heading anchor generated the way GitHub generates them
+(lowercase, punctuation stripped, spaces to hyphens).  External links
+(http/https/mailto) are out of scope — checking them would make the
+suite network-dependent.
+
+This is the tier-1 gate behind the documentation satellite: a renamed
+heading or moved file fails the build instead of silently rotting the
+docs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documents under the link contract (the README documentation index
+#: plus everything it links to, directly or transitively).
+DOCUMENTS = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md", REPO_ROOT / "EXPERIMENTS.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — links inside them are examples, not refs."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's anchor algorithm: strip markup, lowercase, hyphenate."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    """All heading anchors of a Markdown file (with GitHub dedup suffixes)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    for line in _strip_code_blocks(path.read_text()).splitlines():
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        anchor = _github_anchor(match.group(2))
+        count = seen.get(anchor, 0)
+        seen[anchor] = count + 1
+        anchors.add(anchor if count == 0 else f"{anchor}-{count}")
+    return anchors
+
+
+def _links(path: Path) -> list[str]:
+    return _LINK.findall(_strip_code_blocks(path.read_text()))
+
+
+def _check(document: Path) -> list[str]:
+    problems = []
+    for target in _links(document):
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (document.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{document.name}: dangling link -> {target}")
+                continue
+        else:
+            resolved = document
+        if fragment:
+            if resolved.suffix != ".md":
+                continue
+            if fragment.lower() not in _anchors(resolved):
+                problems.append(
+                    f"{document.name}: dangling anchor -> {target} "
+                    f"(no heading generates #{fragment})"
+                )
+    return problems
+
+
+def test_documents_exist():
+    """The contract covers the README and every docs/ page."""
+    names = {path.name for path in DOCUMENTS}
+    assert {"README.md", "DESIGN.md", "EXPERIMENTS.md"} <= names
+    assert {
+        "architecture.md",
+        "algorithms.md",
+        "analysis.md",
+        "observability.md",
+        "parallel.md",
+        "persistence.md",
+        "tuning.md",
+    } <= names
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_no_dangling_links(document: Path):
+    problems = _check(document)
+    assert not problems, "\n".join(problems)
+
+
+def test_every_subsystem_reachable_from_readme():
+    """The README documentation index reaches every docs/ page."""
+    readme_targets = {
+        (REPO_ROOT / target.partition("#")[0]).resolve()
+        for target in _links(REPO_ROOT / "README.md")
+        if not target.startswith(_EXTERNAL) and target.partition("#")[0]
+    }
+    for page in (REPO_ROOT / "docs").glob("*.md"):
+        assert page.resolve() in readme_targets, (
+            f"docs/{page.name} is not linked from the README documentation index"
+        )
+
+
+def test_checker_catches_planted_rot(tmp_path):
+    """Meta-test: the checker itself flags a dangling link and anchor."""
+    good = tmp_path / "good.md"
+    good.write_text("# Real Heading\n\nSee [self](#real-heading).\n")
+    assert _check(good) == []
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "[gone](missing.md) and [ghost](good.md#no-such-heading)\n"
+    )
+    problems = _check(bad)
+    assert len(problems) == 2
+    assert "dangling link" in problems[0]
+    assert "dangling anchor" in problems[1]

@@ -29,6 +29,7 @@ def run_example(name: str, capsys) -> str:
         ("active_learning.py", "fewer scalar products"),
         ("constraint_regions.py", "round trip OK"),
         ("observability.py", "exposition complete:"),
+        ("tuning.py", "tuning complete:"),
     ],
 )
 def test_example_runs(script, needle, capsys):
@@ -45,6 +46,7 @@ def test_examples_directory_complete():
         "active_learning.py",
         "constraint_regions.py",
         "observability.py",
+        "tuning.py",
     }
     present = {path.name for path in EXAMPLES.glob("*.py")}
     assert advertised <= present

@@ -1,0 +1,1 @@
+"""Tests for the workload-adaptive tuning subsystem (repro.tuning)."""

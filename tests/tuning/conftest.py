@@ -1,0 +1,51 @@
+"""Shared fixtures for the tuning tests: indexes + skewed workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FunctionIndex, QueryModel
+from repro.datasets.workloads import eq18_offset, skewed_normals
+from repro.tuning import QuerySketch
+from repro.tuning import recorder as recorder_module
+
+
+@pytest.fixture(autouse=True)
+def _recording_isolation():
+    """Disarm recording and empty the global recorder around every test."""
+    was = recorder_module.RECORDING
+    recorder_module.disable_recording()
+    recorder_module.global_recorder().clear()
+    yield
+    recorder_module.RECORDING = was
+    recorder_module.global_recorder().clear()
+
+
+@pytest.fixture
+def points() -> np.ndarray:
+    """A small positive-octant dataset."""
+    return np.random.default_rng(5).uniform(1.0, 100.0, size=(3000, 4))
+
+
+@pytest.fixture
+def model() -> QueryModel:
+    """The standard Section 7.1 discrete query model in four dimensions."""
+    return QueryModel.uniform(dim=4, low=1.0, high=5.0, rq=4)
+
+
+@pytest.fixture
+def index(points, model) -> FunctionIndex:
+    """A FunctionIndex with a deliberately small blind portfolio."""
+    return FunctionIndex(points, model, n_indices=5, rng=0)
+
+
+@pytest.fixture
+def skewed_sketches(points, model) -> tuple[QuerySketch, ...]:
+    """A concentrated Eq. 18 workload the advisor can exploit."""
+    maxima = points.max(axis=0)
+    normals = skewed_normals(model, 40, concentration=0.9, rng=11)
+    return tuple(
+        QuerySketch(normal, eq18_offset(normal, maxima, 0.25))
+        for normal in normals
+    )

@@ -1,0 +1,88 @@
+"""CLI tests: ``repro tune record|advise|apply`` round-trips on disk."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.tuning import load_plan, load_workload
+from repro.tuning.cli import main as tune_main
+
+_SIZE = ["--n", "3000", "--dim", "4", "--indices", "4", "--seed", "9"]
+
+
+def _run(argv) -> tuple[int, str]:
+    stream = io.StringIO()
+    code = tune_main(argv, stream)
+    return code, stream.getvalue()
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return str(tmp_path / "workload.npz"), str(tmp_path / "plan.json")
+
+
+class TestTuneCli:
+    def test_record_advise_apply_round_trip(self, paths):
+        workload, plan = paths
+        code, out = _run(
+            ["record", "--workload", workload, "--queries", "30", *_SIZE]
+        )
+        assert code == 0 and "recorded 30 sketches" in out
+        assert len(load_workload(workload)) == 30
+
+        code, out = _run(
+            ["advise", "--workload", workload, "--plan", plan,
+             "--budget", "4", "--candidates", "16", *_SIZE]
+        )
+        assert code == 0 and "tuning plan" in out and "plan written" in out
+        loaded = load_plan(plan)
+        assert loaded.budget == 4
+
+        code, out = _run(
+            ["apply", "--workload", workload, "--plan", plan, "--dry-run", *_SIZE]
+        )
+        assert code == 0 and "dry-run (not applied)" in out
+
+        code, out = _run(
+            ["apply", "--workload", workload, "--plan", plan, *_SIZE]
+        )
+        assert code == 0 and "applied" in out and "reduction" in out
+
+    def test_missing_workload_is_clean_error(self, paths, capsys):
+        workload, plan = paths
+        code, _ = _run(["advise", "--workload", workload, "--plan", plan, *_SIZE])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stale_plan_is_clean_error(self, paths, capsys):
+        workload, plan = paths
+        assert _run(["record", "--workload", workload, "--queries", "10", *_SIZE])[0] == 0
+        assert _run(
+            ["advise", "--workload", workload, "--plan", plan,
+             "--candidates", "8", *_SIZE]
+        )[0] == 0
+        # Apply against a *different* baseline (other seed) -> stale.
+        other = [*_SIZE]
+        other[other.index("9")] = "10"
+        code, _ = _run(["apply", "--workload", workload, "--plan", plan, *other])
+        assert code == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_bad_usage_exit_code(self):
+        assert tune_main(["frobnicate"]) == 2
+
+    def test_wired_into_main_cli(self, paths, capsys):
+        workload, _ = paths
+        code = repro_main(
+            ["tune", "record", "--workload", workload, "--queries", "5", *_SIZE]
+        )
+        assert code == 0
+        assert "recorded 5 sketches" in capsys.readouterr().out
+
+    def test_main_cli_help_lists_tune(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["--help"])
+        assert "tune" in capsys.readouterr().out
