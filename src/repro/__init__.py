@@ -51,18 +51,25 @@ from .core import (
     save_index,
 )
 from .exceptions import (
+    DegradedAnswerError,
     DimensionMismatchError,
     ExpressionError,
     ExpressionSyntaxError,
+    FaultSpecError,
     IndexBuildError,
+    InjectedFaultError,
     InvalidDomainError,
     InvalidQueryError,
     NonScalarProductError,
+    PersistenceError,
+    QueryTimeoutError,
     ReproError,
+    ShardFailureError,
     TuningError,
     UnknownColumnError,
 )
 from .parallel import ShardedFunctionIndex
+from .reliability import DegradedInfo, FailurePolicy, FaultPlan
 from .scan import SequentialScan
 from .tuning import Advisor, TuningPlan, WorkloadRecorder, apply_plan
 
@@ -73,18 +80,26 @@ __all__ = [
     "Comparison",
     "ConjunctiveQuery",
     "ConstraintAnswer",
+    "DegradedAnswerError",
+    "DegradedInfo",
     "DisjunctiveQuery",
     "DimensionMismatchError",
     "ExpressionError",
     "ExpressionSyntaxError",
+    "FailurePolicy",
+    "FaultPlan",
+    "FaultSpecError",
     "FeatureMap",
     "FeatureStore",
     "FunctionIndex",
     "IndexBuildError",
+    "InjectedFaultError",
     "InvalidDomainError",
     "InvalidQueryError",
     "NonScalarProductError",
     "ParameterDomain",
+    "PersistenceError",
+    "QueryTimeoutError",
     "PlanarIndex",
     "PlanarIndexCollection",
     "QueryAnswer",
@@ -95,6 +110,7 @@ __all__ = [
     "ScalarProductQuery",
     "SelectionStrategy",
     "SequentialScan",
+    "ShardFailureError",
     "ShardedFunctionIndex",
     "SortedKeyStore",
     "TopKBuffer",

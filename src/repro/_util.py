@@ -17,10 +17,52 @@ __all__ = [
     "as_rng",
     "as_1d_float",
     "as_2d_float",
+    "describe_nonfinite",
+    "require_finite_rows",
     "require_positive",
     "require_same_length",
     "pairwise_sq_distance",
 ]
+
+#: Cap on how many offending positions a non-finite error message names.
+_MAX_NAMED_POSITIONS = 8
+
+
+def describe_nonfinite(array: np.ndarray, *, limit: int = _MAX_NAMED_POSITIONS) -> str:
+    """Name the non-finite entries of ``array`` (positions and values).
+
+    Returns e.g. ``"[3]=nan, [7]=inf"`` for a vector or
+    ``"[2, 0]=nan"`` for a matrix, truncated to ``limit`` entries so a
+    million-NaN batch stays readable.  Empty string when all finite.
+    """
+    bad = np.argwhere(~np.isfinite(array))
+    if bad.size == 0:
+        return ""
+    parts = []
+    for position in bad[:limit]:
+        index = tuple(int(i) for i in position)
+        label = str(index[0]) if len(index) == 1 else ", ".join(map(str, index))
+        parts.append(f"[{label}]={array[index]!r}")
+    more = len(bad) - min(len(bad), limit)
+    suffix = f", … {more} more" if more > 0 else ""
+    return ", ".join(parts) + suffix
+
+
+def require_finite_rows(array: np.ndarray, name: str) -> np.ndarray:
+    """Raise :class:`DimensionMismatchError` naming non-finite positions.
+
+    Eager NaN/inf rejection for inserted/updated points and features:
+    letting a NaN reach the sorted key arrays poisons every downstream
+    SI/LI/II binary search (NaN comparisons are unordered, so
+    ``searchsorted`` windows silently come back wrong), so the facades
+    fail fast and name the offending entries instead.
+    """
+    if not np.all(np.isfinite(array)):
+        raise DimensionMismatchError(
+            f"{name} must be finite; non-finite entries at "
+            f"{describe_nonfinite(array)}"
+        )
+    return array
 
 
 def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:

@@ -177,7 +177,18 @@ class ArraySpec:
             and arr.size
             and not bool(np.all(np.isfinite(arr)))
         ):
-            raise ContractViolationError(f"{where}: array contains NaN or inf")
+            # Name the offending positions, mirroring the library's own
+            # eager validation (`repro._util.require_finite_rows`), so
+            # the documented "names the position" error contract holds
+            # whether the sanitizer or the inner check fires first.
+            bad = np.argwhere(~np.isfinite(arr))
+            first = bad[0]
+            pos = ", ".join(str(int(i)) for i in first)
+            extra = f" (+{len(bad) - 1} more)" if len(bad) > 1 else ""
+            raise ContractViolationError(
+                f"{where}: array must be finite; [{pos}] is "
+                f"{arr[tuple(first)]!r}{extra}"
+            )
 
 
 def _parse(text: str, *, need_name: bool) -> ArraySpec:

@@ -27,6 +27,11 @@ Commands
     captures a query workload to a ``.npz`` archive, ``advise`` plans a
     better index-normal portfolio against it, ``apply`` executes (or
     ``--dry-run`` previews) the plan and reports measured |II| deltas.
+``chaos``
+    Run a query workload against a sharded index while a fault plan
+    injects shard errors / stalls / torn writes, and print a survival
+    report (see ``docs/reliability.md``).  ``--verify`` checks every
+    answer — complete or degraded — against the sequential ground truth.
 """
 
 from __future__ import annotations
@@ -141,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="workload-adaptive index tuning; see docs/tuning.md",
     )
     tune_module.configure_parser(tune)
+
+    from repro.reliability import cli as chaos_module
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a workload under fault injection and report survival",
+        description="chaos testing for the sharded engine; "
+        "see docs/reliability.md",
+    )
+    chaos_module.configure_parser(chaos)
     return parser
 
 
@@ -340,6 +355,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.tuning.cli import run_from_args as tune_run
 
         code = tune_run(args)
+    elif args.command == "chaos":
+        from repro.reliability.cli import run_from_args as chaos_run
+
+        code = chaos_run(args)
     else:
         code = _cmd_datasets(args)
     _save_obs_state()

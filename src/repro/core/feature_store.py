@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._util import as_2d_float
+from .._util import as_2d_float, require_finite_rows
 from ..analysis.contracts import array_contract
 from ..exceptions import DimensionMismatchError
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
+from ..reliability import faults as _flt
 
 __all__ = ["FeatureStore"]
 
@@ -32,8 +33,7 @@ class FeatureStore:
         data = as_2d_float(features, "features")
         if data.shape[0] == 0:
             raise ValueError("FeatureStore needs at least one initial feature row")
-        if not np.all(np.isfinite(data)):
-            raise ValueError("feature values must be finite")
+        require_finite_rows(data, "features")
         self._data = data.copy()
         self._live = np.ones(data.shape[0], dtype=bool)
         self._n_live = int(data.shape[0])
@@ -91,6 +91,8 @@ class FeatureStore:
     @array_contract("ids: (m,) int64 cast", returns="(m, d) float64")
     def get(self, ids: np.ndarray) -> np.ndarray:
         """Feature rows for the given live ids (copy)."""
+        if _flt.ARMED:
+            _flt.check("store.get_features", n=int(np.size(ids)))
         ids = self._check_ids(ids)
         return self._data[ids]
 
@@ -138,8 +140,7 @@ class FeatureStore:
             raise DimensionMismatchError(
                 f"rows have shape {rows.shape}, expected ({ids.size}, {self.dim})"
             )
-        if not np.all(np.isfinite(rows)):
-            raise ValueError("feature values must be finite")
+        require_finite_rows(rows, "rows")
         self._data[ids] = rows
         self._version += 1
 
@@ -151,8 +152,7 @@ class FeatureStore:
             raise DimensionMismatchError(
                 f"rows have dimension {rows.shape[1]}, store has {self.dim}"
             )
-        if not np.all(np.isfinite(rows)):
-            raise ValueError("feature values must be finite")
+        require_finite_rows(rows, "rows")
         if rows.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
         start = self.capacity

@@ -24,11 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._util import as_2d_float, as_rng
+from .._util import as_2d_float, as_rng, require_finite_rows
 from ..exceptions import DimensionMismatchError, InvalidQueryError
 from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
+from ..reliability.degraded import DegradedInfo
 from ..obs.explain import ExplainReport
 from .collection import PlanarIndexCollection
 from .domains import QueryModel
@@ -56,11 +57,16 @@ class QueryAnswer:
 
     ``stats`` is ``None`` (and ``used_fallback`` True) when the query could
     not use the Planar machinery and was answered by a sequential scan.
+
+    ``degraded`` is ``None`` for normal answers; the sharded engine attaches
+    a :class:`~repro.reliability.degraded.DegradedInfo` when shard failures
+    were recovered or the answer is partial (see ``docs/reliability.md``).
     """
 
     ids: np.ndarray
     stats: QueryStats | None
     used_fallback: bool
+    degraded: DegradedInfo | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ids", np.ascontiguousarray(self.ids, dtype=np.int64))
@@ -507,7 +513,13 @@ class FunctionIndex:
         """Change the raw values of existing points and re-key every index."""
         ids = np.ascontiguousarray(ids, dtype=np.int64)
         new_points = as_2d_float(new_points, "new_points")
+        require_finite_rows(new_points, "new_points")
         features = self._phi(new_points)
+        # Validate *before* the translator observes the new extremes: a NaN
+        # feature row would poison the translator's running min/max and
+        # corrupt every later octant translation even though the store
+        # rejects the row.
+        require_finite_rows(features, "features(new_points)")
         # Growing the translator first keeps Claim 1 valid for the new
         # extremes; stored keys are translation-invariant so no rebuild.
         self._translator.observe(features)
@@ -518,7 +530,11 @@ class FunctionIndex:
     def insert_points(self, new_points: np.ndarray) -> np.ndarray:
         """Add new data points; returns their assigned ids."""
         new_points = as_2d_float(new_points, "new_points")
+        require_finite_rows(new_points, "new_points")
         features = self._phi(new_points)
+        # Same ordering concern as update_points: reject non-finite feature
+        # rows before the translator can absorb them into its extremes.
+        require_finite_rows(features, "features(new_points)")
         self._translator.observe(features)
         point_ids = self._points.append(new_points)
         feature_ids = self._features.append(features)

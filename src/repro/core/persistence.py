@@ -10,27 +10,37 @@ re-supplied at load time.
 The archive stores *inputs*, not the derived sorted orders — rebuilding the
 key arrays on load is O(n log n) per index (seconds), dominated by I/O for
 realistic sizes, and keeps the format trivially stable.
+
+Format v2 (crash safety, see ``docs/reliability.md``)
+-----------------------------------------------------
+Archives are written atomically (temp file + fsync + ``os.replace`` via
+:mod:`repro.reliability.atomic`), and the metadata blob carries a
+``checksums`` manifest of per-array SHA-256 digests that :func:`load_index`
+verifies — truncation, bit flips, and torn writes surface as precise
+:class:`~repro.exceptions.PersistenceError` s instead of silent corruption.
+v1 archives (no manifest) still load.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import ReproError
+from ..exceptions import PersistenceError
+from ..reliability.atomic import atomic_writer, checksum_manifest, verify_checksums
 from .domains import ParameterDomain, QueryModel
 from .function_index import FunctionIndex
 from .phi import FeatureMap, identity_map, product_map
 
 __all__ = ["save_index", "load_index", "PersistenceError"]
 
-_FORMAT_VERSION = 1
-
-
-class PersistenceError(ReproError):
-    """The archive is malformed, or a custom feature map was not supplied."""
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _domain_to_json(domain: ParameterDomain) -> dict:
@@ -79,43 +89,82 @@ def _feature_map_from_json(blob: dict, supplied: FeatureMap | None) -> FeatureMa
 def save_index(index: FunctionIndex, path: str | Path) -> Path:
     """Persist ``index`` (live points, normals, domains) to ``path``.
 
-    Returns the written path (``.npz`` appended if missing).
+    The write is crash-safe (temp file + atomic replace) and the archive
+    embeds a per-array SHA-256 checksum manifest (format v2).  Returns
+    the written path (``.npz`` appended if missing).
     """
     path = Path(path)
+    target = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
     ids = index.live_ids()
     points = index.get_points(ids)
+    arrays = {
+        "points": points,
+        "normals": index.collection.normals,
+        "octant": index.translator.octant,
+        "delta": index.translator.delta,
+    }
     metadata = {
         "format_version": _FORMAT_VERSION,
         "strategy": index.collection.strategy.value,
         "domains": [_domain_to_json(d) for d in index.query_model.domains],
         "feature_map": _feature_map_to_json(index.feature_map),
+        "checksums": checksum_manifest(arrays),
     }
-    np.savez_compressed(
-        path,
-        points=points,
-        normals=index.collection.normals,
-        octant=index.translator.octant,
-        delta=index.translator.delta,
-        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),  # repro: noqa(REP002) — byte buffer for JSON metadata, not numeric keys
-    )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    with atomic_writer(target, artifact="index") as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),  # repro: noqa(REP002) — byte buffer for JSON metadata, not numeric keys
+                **arrays,
+            )
+    return target
 
 
 def load_index(path: str | Path, feature_map: FeatureMap | None = None) -> FunctionIndex:
-    """Rebuild a :class:`FunctionIndex` from a :func:`save_index` archive."""
+    """Rebuild a :class:`FunctionIndex` from a :func:`save_index` archive.
+
+    v2 archives are integrity-checked against their checksum manifest;
+    v1 archives (pre-manifest) load without verification.
+    """
     path = Path(path)
     try:
         with np.load(path) as archive:
-            points = archive["points"]
-            normals = archive["normals"]
-            delta = archive["delta"]
+            arrays = {
+                name: archive[name]
+                for name in ("points", "normals", "octant", "delta")
+            }
             metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
-    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
-        raise PersistenceError(f"cannot read index archive {path}: {exc}") from exc
-    if metadata.get("format_version") != _FORMAT_VERSION:
+    except (
+        OSError,
+        KeyError,
+        ValueError,
+        EOFError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+        zlib.error,
+        struct.error,
+    ) as exc:
         raise PersistenceError(
-            f"unsupported archive version {metadata.get('format_version')!r}"
+            f"cannot read index archive {path}: {type(exc).__name__}: {exc} "
+            f"(truncated, torn, or not a save_index archive?)"
+        ) from exc
+    points = arrays["points"]
+    normals = arrays["normals"]
+    delta = arrays["delta"]
+    version = metadata.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise PersistenceError(
+            f"unsupported archive version {version!r} "
+            f"(supported: {list(_SUPPORTED_VERSIONS)})"
         )
+    if version >= 2:
+        manifest = metadata.get("checksums")
+        if not isinstance(manifest, dict) or not manifest:
+            raise PersistenceError(
+                f"index archive {path} (format v{version}) is missing its "
+                f"checksum manifest"
+            )
+        verify_checksums(arrays, manifest, artifact="index", path=path)
     model = QueryModel([_domain_from_json(d) for d in metadata["domains"]])
     fmap = _feature_map_from_json(metadata["feature_map"], feature_map)
     index = FunctionIndex(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import as_1d_float
+from .._util import as_1d_float, describe_nonfinite
 from ..exceptions import InvalidQueryError
 from ..geometry.hyperplane import Hyperplane
 
@@ -99,10 +99,13 @@ class ScalarProductQuery:
         if normal.size == 0 or not np.any(normal):
             raise InvalidQueryError("query normal must be nonzero")
         if not np.all(np.isfinite(normal)):
-            raise InvalidQueryError("query normal must be finite")
+            raise InvalidQueryError(
+                f"query normal must be finite; non-finite entries at "
+                f"{describe_nonfinite(normal)}"
+            )
         offset = float(self.offset)
         if not np.isfinite(offset):
-            raise InvalidQueryError("query offset must be finite")
+            raise InvalidQueryError(f"query offset must be finite, got {offset!r}")
         normal.setflags(write=False)
         object.__setattr__(self, "normal", normal)
         object.__setattr__(self, "offset", offset)

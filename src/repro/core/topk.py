@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..reliability.degraded import DegradedInfo
 from .stats import QueryStats
 
 __all__ = ["SharedCutoff", "TopKBuffer", "TopKResult"]
@@ -166,6 +167,11 @@ class TopKResult:
         producers predating the observability layer; the Planar index and
         the scan baseline always populate it, with ``n_verified`` equal to
         ``n_checked``.
+    degraded:
+        ``None`` for normal answers; the sharded engine attaches a
+        :class:`~repro.reliability.degraded.DegradedInfo` when shard
+        failures were recovered or the answer is partial (see
+        ``docs/reliability.md``).
     """
 
     ids: np.ndarray
@@ -173,6 +179,7 @@ class TopKResult:
     n_checked: int
     n_total: int
     stats: QueryStats | None = None
+    degraded: DegradedInfo | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ids", np.ascontiguousarray(self.ids, dtype=np.int64))

@@ -17,6 +17,12 @@ __all__ = [
     "InvalidDomainError",
     "IndexBuildError",
     "TuningError",
+    "PersistenceError",
+    "ShardFailureError",
+    "QueryTimeoutError",
+    "DegradedAnswerError",
+    "InjectedFaultError",
+    "FaultSpecError",
     "ExpressionError",
     "ExpressionSyntaxError",
     "NonScalarProductError",
@@ -67,6 +73,77 @@ class TuningError(ReproError, RuntimeError):
     """A tuning artifact is unusable: empty/malformed recorded workload,
     corrupted plan file, or a plan applied against an index whose normals
     no longer match the plan's recorded baseline."""
+
+
+class PersistenceError(ReproError):
+    """A persisted artifact is unusable: the archive is malformed, truncated,
+    torn mid-write, fails its checksum manifest, targets an unsupported
+    format version, or was built with a custom feature map that was not
+    re-supplied at load time.
+
+    Historically defined in :mod:`repro.core.persistence` (which still
+    re-exports it); it lives here so the crash-safe writers in
+    :mod:`repro.reliability.atomic` can raise it without importing the core
+    package.
+    """
+
+
+class ShardFailureError(ReproError, RuntimeError):
+    """A shard of the parallel engine failed to produce its slice of an
+    answer.
+
+    Carries the identity of the failed shard (``shard``) and the fan-out
+    kind (``kind``: ``inequality`` / ``range`` / ``topk`` / ``batch`` /
+    ``maintenance:*``) so operators can tell *which* partition died — the
+    original cause is chained via ``__cause__``.  Raised under
+    ``FailurePolicy.RAISE``; the degrading policies convert it into a
+    :class:`~repro.reliability.degraded.DegradedInfo` instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        kind: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.kind = kind
+
+
+class QueryTimeoutError(ShardFailureError, TimeoutError):
+    """A shard missed its per-query deadline (``query_timeout_s``).
+
+    Subclasses :class:`ShardFailureError` so policy code treats deadline
+    misses like any other shard failure, and :class:`TimeoutError` so
+    generic timeout handling keeps working.
+    """
+
+
+class DegradedAnswerError(ReproError, RuntimeError):
+    """No shard survived a fan-out, so even a degraded answer is impossible,
+    or a caller demanded a complete answer (``require_complete``) from a
+    degraded one."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A deliberately injected fault fired (see :mod:`repro.reliability.faults`).
+
+    Only ever raised while a :class:`~repro.reliability.faults.FaultPlan`
+    is armed (``REPRO_FAULTS`` or ``faults.arm``); production code paths
+    never construct it themselves.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class FaultSpecError(ReproError, ValueError):
+    """A ``REPRO_FAULTS`` fault-plan specification could not be parsed
+    (unknown site/kind/option, malformed value — see ``docs/reliability.md``
+    for the grammar)."""
 
 
 class ExpressionError(ReproError):

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
@@ -129,25 +128,19 @@ def default_state_path() -> Path:
 def save_state(
     path: Union[str, Path, None] = None, registry: Optional[MetricsRegistry] = None
 ) -> Path:
-    """Write the registry snapshot to ``path`` (atomic replace)."""
+    """Write the registry snapshot to ``path`` (crash-safe atomic replace).
+
+    Routed through :func:`repro.reliability.atomic.atomic_write_text` —
+    the shared temp-file + fsync + ``os.replace`` writer every persisted
+    artifact uses, including its ``persistence.write`` fault-injection
+    site (see ``docs/reliability.md``).
+    """
+    from ..reliability.atomic import atomic_write_text
+
     reg = registry if registry is not None else _default_registry()
     target = Path(path) if path is not None else default_state_path()
-    target.parent.mkdir(parents=True, exist_ok=True)
     payload = json.dumps(reg.snapshot(), sort_keys=True)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-        os.replace(tmp_name, target)
-    except BaseException:  # repro: noqa(REP005) — cleanup-and-reraise of the temp file
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return target
+    return atomic_write_text(target, payload, artifact="obs-state")
 
 
 def load_state(

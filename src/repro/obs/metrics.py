@@ -58,6 +58,11 @@ __all__ = [
     "tuning_workload_size",
     "tuning_plans_total",
     "tuning_predicted_ii_mean",
+    "faults_injected_total",
+    "shard_retries_total",
+    "degraded_queries_total",
+    "checksum_failures_total",
+    "atomic_writes_total",
 ]
 
 #: Fixed log-scale latency buckets (seconds): three per decade, 1 µs – 10 s.
@@ -589,4 +594,54 @@ def tuning_predicted_ii_mean() -> Gauge:
         "Advisor-predicted mean intermediate-interval size over the recorded "
         "workload, by stage (baseline/proposed).",
         ("stage",),
+    )
+
+
+def faults_injected_total() -> Counter:
+    """Injected faults fired, by site and kind (chaos testing only)."""
+    return _DEFAULT.counter(
+        "repro_reliability_faults_injected_total",
+        "Deliberately injected faults fired, by site and kind "
+        "(error/stall/torn); only nonzero while a fault plan is armed.",
+        ("site", "kind"),
+    )
+
+
+def shard_retries_total() -> Counter:
+    """Shard retry attempts spent recovering fan-out failures, by kind."""
+    return _DEFAULT.counter(
+        "repro_reliability_shard_retries_total",
+        "Shard retry attempts under failure policy retry_then_degrade, "
+        "by fan-out kind.",
+        ("kind",),
+    )
+
+
+def degraded_queries_total() -> Counter:
+    """Answers returned with a DegradedInfo annotation, by kind."""
+    return _DEFAULT.counter(
+        "repro_reliability_degraded_queries_total",
+        "Query answers annotated with DegradedInfo (shard failures "
+        "recovered or degraded), by fan-out kind.",
+        ("kind",),
+    )
+
+
+def checksum_failures_total() -> Counter:
+    """Persistence checksum/manifest verification failures, by artifact."""
+    return _DEFAULT.counter(
+        "repro_reliability_checksum_failures_total",
+        "Persisted-artifact integrity failures detected at load time "
+        "(checksum mismatch, truncation, manifest damage), by artifact.",
+        ("artifact",),
+    )
+
+
+def atomic_writes_total() -> Counter:
+    """Atomic artifact writes committed via temp-file + os.replace."""
+    return _DEFAULT.counter(
+        "repro_reliability_atomic_writes_total",
+        "Crash-safe artifact writes committed (temp file fsynced and "
+        "renamed over the destination), by artifact.",
+        ("artifact",),
     )

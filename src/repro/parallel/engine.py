@@ -32,18 +32,46 @@ Results are *bit-identical* to the monolithic path:
 The single-shard configuration bypasses both the view and the executor —
 shard 0 *is* the monolithic collection — so ``n_shards=1`` costs only the
 facade indirection.
+
+Fault tolerance (see ``docs/reliability.md``)
+---------------------------------------------
+Each fan-out wave collects per-shard results under an optional per-query
+deadline (``query_timeout_s``).  A shard failure is handled per the
+configured :class:`~repro.reliability.degraded.FailurePolicy`:
+
+``raise``
+    Propagate a :class:`~repro.exceptions.ShardFailureError` carrying the
+    failed shard's identity and fan-out kind; still-pending futures are
+    cancelled instead of leaking work.
+``degrade``
+    Recover the failed shards by an exact sequential scan of their live
+    points when possible; shards that cannot be recovered are dropped and
+    the answer carries a :class:`~repro.reliability.degraded.DegradedInfo`
+    with the exact live-point completeness fraction.
+``retry_then_degrade``
+    Re-execute failed shards (bounded attempts, exponential backoff with
+    deterministic jitter) before falling back to ``degrade`` handling.
+
+Failed shards never contribute partial results — a shard either returns
+its complete slice (primary, retry, or recovery scan: all exact) or is
+excluded and accounted for — so every id in a degraded answer is correct.
+Maintenance fan-outs retry under ``retry_then_degrade`` but never degrade:
+a mutation that cannot be applied raises, because silently dropping a
+shard's update would corrupt the partition.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutTimeout
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-from .._util import as_2d_float, as_rng
+from .._util import as_2d_float, as_rng, require_finite_rows
 from ..core.collection import PlanarIndexCollection
 from ..core.domains import QueryModel
 from ..core.feature_store import FeatureStore
@@ -54,11 +82,22 @@ from ..core.query import Comparison, ScalarProductQuery
 from ..core.selection import SelectionStrategy
 from ..core.stats import QueryStats
 from ..core.topk import SharedCutoff, TopKBuffer, TopKResult
-from ..exceptions import DimensionMismatchError, IndexBuildError, InvalidQueryError
+from ..exceptions import (
+    DegradedAnswerError,
+    DimensionMismatchError,
+    IndexBuildError,
+    InjectedFaultError,
+    InvalidQueryError,
+    QueryTimeoutError,
+    ReproError,
+    ShardFailureError,
+)
 from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
 from ..obs import spans as _osp
+from ..reliability import faults as _flt
+from ..reliability.degraded import DegradedInfo, FailurePolicy
 from ..tuning import recorder as _tnr
 from .sharding import SHARD_POLICIES, assign_shards
 from .view import FeatureStoreView
@@ -66,6 +105,22 @@ from .view import FeatureStoreView
 __all__ = ["ShardedFunctionIndex"]
 
 _T = TypeVar("_T")
+
+#: Exception families treated as *caller errors* during maintenance:
+#: deterministic validation failures that every shard would report
+#: identically, re-raised unwrapped so existing error contracts hold.
+_CALLER_ERRORS = (ValueError, KeyError, IndexError, TypeError)
+
+
+def _is_shard_fault(error: BaseException) -> bool:
+    """Whether ``error`` is an operational shard failure (vs caller error)."""
+    if isinstance(error, (InjectedFaultError, ShardFailureError, TimeoutError)):
+        return True
+    if isinstance(error, ReproError):
+        return False
+    if isinstance(error, _CALLER_ERRORS):
+        return False
+    return True
 
 
 def _merge_stats(parts: Sequence[QueryStats]) -> QueryStats:
@@ -99,9 +154,29 @@ class ShardedFunctionIndex:
     max_workers:
         Thread-pool size for the fan-out; defaults to
         ``min(n_shards, cpu_count)``.
+    failure_policy:
+        What to do when a shard of a fan-out fails:
+        :class:`~repro.reliability.degraded.FailurePolicy` or its string
+        name.  ``None`` (the default) resolves ``REPRO_FAULT_POLICY`` at
+        construction, falling back to ``raise``.
+    query_timeout_s:
+        Per-query deadline for each fan-out wave; a shard that has not
+        produced its slice by then counts as failed with a
+        :class:`~repro.exceptions.QueryTimeoutError`.  ``None`` disables
+        deadlines.
+    max_retries:
+        Bounded retry attempts per failed shard under
+        ``retry_then_degrade`` (also applied to maintenance fan-outs).
+    retry_backoff_s:
+        Base backoff before retry attempt ``i``: the engine sleeps
+        ``retry_backoff_s * 2**(i-1)`` scaled by a deterministic jitter
+        in ``[0.5, 1.5)``.  The jitter uses its own fixed-seed RNG — not
+        the engine's ``rng`` — so retries never perturb index-selection
+        draws and answers stay bit-identical to the monolithic path.
 
     The engine is also a context manager; :meth:`close` shuts the pool
-    down.
+    down (idempotent, never raises, runs on ``__exit__`` even when the
+    body raised).
     """
 
     def __init__(
@@ -118,6 +193,10 @@ class ShardedFunctionIndex:
         n_shards: int = 1,
         policy: str = "round_robin",
         max_workers: int | None = None,
+        failure_policy: FailurePolicy | str | None = None,
+        query_timeout_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -125,6 +204,14 @@ class ShardedFunctionIndex:
             raise ValueError(
                 f"unknown shard policy {policy!r}; choose from {SHARD_POLICIES}"
             )
+        if query_timeout_s is not None and not query_timeout_s > 0:
+            raise ValueError(
+                f"query_timeout_s must be positive or None, got {query_timeout_s}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
         pts = as_2d_float(points, "points")
         if feature_map is None:
             feature_map = identity_map(pts.shape[1])
@@ -150,6 +237,16 @@ class ShardedFunctionIndex:
             else int(max_workers)
         )
         self._executor: ThreadPoolExecutor | None = None
+        self._failure_policy = FailurePolicy.parse(failure_policy)
+        self._query_timeout_s = (
+            None if query_timeout_s is None else float(query_timeout_s)
+        )
+        self._max_retries = int(max_retries)
+        self._retry_backoff_s = float(retry_backoff_s)
+        # Deterministic retry jitter.  Deliberately NOT self._rng: the
+        # selection strategy may consume self._rng per query, so any extra
+        # draw here would desynchronize sharded answers from FunctionIndex.
+        self._jitter = random.Random(0)
 
         self._points = FeatureStore(pts)
         features = feature_map(pts)
@@ -197,10 +294,20 @@ class ShardedFunctionIndex:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut down the fan-out thread pool.
+
+        Idempotent and exception-safe: the executor reference is cleared
+        *before* shutdown, so a second :meth:`close` (or closing after an
+        in-query failure) is a no-op, and shutdown errors are swallowed —
+        teardown must never mask the exception that triggered it.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        try:
+            executor.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # repro: noqa(REP005) — close() must never raise (teardown path)
+            pass
 
     def __enter__(self) -> "ShardedFunctionIndex":
         return self
@@ -239,6 +346,16 @@ class ShardedFunctionIndex:
     def policy(self) -> str:
         """Shard-membership policy."""
         return self._policy
+
+    @property
+    def failure_policy(self) -> FailurePolicy:
+        """The resolved shard-failure policy (fixed at construction)."""
+        return self._failure_policy
+
+    @property
+    def query_timeout_s(self) -> float | None:
+        """Per-query fan-out deadline in seconds (None = no deadline)."""
+        return self._query_timeout_s
 
     @property
     def feature_map(self) -> FeatureMap:
@@ -306,8 +423,12 @@ class ShardedFunctionIndex:
         """Execute one shard's slice of a query, with per-shard telemetry.
 
         Span recording uses thread-local stacks, so emitting from pool
-        workers is safe; counters take one lock per increment.
+        workers is safe; counters take one lock per increment.  The
+        ``shard.query`` fault site fires *before* the work, so injected
+        failures never leave partial shard state behind.
         """
+        if _flt.ARMED:
+            _flt.check("shard.query", shard=shard, kind=kind)
         obs_on = _ort.ENABLED
         started = time.perf_counter() if obs_on else 0.0
         result = fn(self._collections[shard])
@@ -316,18 +437,235 @@ class ShardedFunctionIndex:
             _om.shard_queries_total().inc(kind=kind, shard=str(shard))
         return result
 
-    def _map_shards(
-        self, kind: str, fn: Callable[[PlanarIndexCollection], _T]
-    ) -> list[_T]:
-        """Run ``fn`` against every shard collection; inline when ``S == 1``."""
-        if self._n_shards == 1:
-            return [self._run_shard(kind, 0, fn)]
+    def _execute_wave(
+        self,
+        kind: str,
+        fn: Callable[[PlanarIndexCollection], _T],
+        shards: Sequence[int],
+        deadline: float | None,
+        fail_fast: bool,
+    ) -> tuple[dict[int, _T], dict[int, BaseException]]:
+        """Run ``fn`` on ``shards``; collect per-shard results and failures.
+
+        With a ``deadline`` (monotonic timestamp), each pending result is
+        awaited only for the remaining budget; misses become
+        :class:`QueryTimeoutError` and the stale future is cancelled.
+        Under ``fail_fast`` the first failure cancels every not-yet-started
+        future instead of leaking queued work.
+        """
+        results: dict[int, _T] = {}
+        failures: dict[int, BaseException] = {}
+        if self._n_shards == 1 and deadline is None:
+            try:
+                results[0] = self._run_shard(kind, 0, fn)
+            except Exception as exc:  # repro: noqa(REP005) — fan-out failure boundary, classified by policy
+                failures[0] = exc
+            return results, failures
         executor = self._ensure_executor()
-        futures = [
-            executor.submit(self._run_shard, kind, shard, fn)
-            for shard in range(self._n_shards)
-        ]
-        return [future.result() for future in futures]
+        futures = {
+            shard: executor.submit(self._run_shard, kind, shard, fn)
+            for shard in shards
+        }
+        for shard, future in futures.items():
+            if fail_fast and failures:
+                future.cancel()
+                continue
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                results[shard] = future.result(timeout=remaining)
+            except _FutTimeout:
+                future.cancel()
+                failures[shard] = QueryTimeoutError(
+                    f"shard {shard} missed the {self._query_timeout_s}s "
+                    f"deadline during {kind} fan-out",
+                    shard=shard,
+                    kind=kind,
+                )
+            except Exception as exc:  # repro: noqa(REP005) — fan-out failure boundary, classified by policy
+                failures[shard] = exc
+        return results, failures
+
+    def _gather_fast(
+        self,
+        kind: str,
+        fn: Callable[[PlanarIndexCollection], _T],
+        policy: FailurePolicy,
+    ) -> tuple[dict[int, _T], dict[int, BaseException]]:
+        """Minimal-overhead fan-out for the disarmed/no-deadline case.
+
+        Submits ``fn`` against each collection directly — no
+        :meth:`_run_shard` wrapper frame, no per-future deadline math, no
+        fault-site or telemetry probes (the caller checked those are all
+        off).  Failure handling matches :meth:`_execute_wave`: under
+        ``RAISE`` the first failure cancels the not-yet-started futures
+        and propagates with shard identity; degrading policies collect
+        every shard's outcome for the retry/recovery machinery.
+        """
+        results: dict[int, _T] = {}
+        failures: dict[int, BaseException] = {}
+        collections = self._collections
+        if self._n_shards == 1:
+            try:
+                results[0] = fn(collections[0])
+            except Exception as exc:  # repro: noqa(REP005) — fan-out failure boundary, classified by policy
+                if policy is FailurePolicy.RAISE:
+                    raise self._wrap_failure(kind, 0, exc) from exc
+                failures[0] = exc
+            return results, failures
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, collection) for collection in collections]
+        for shard, future in enumerate(futures):
+            try:
+                results[shard] = future.result()
+            except Exception as exc:  # repro: noqa(REP005) — fan-out failure boundary, classified by policy
+                if policy is FailurePolicy.RAISE:
+                    for pending in futures[shard + 1 :]:
+                        pending.cancel()
+                    raise self._wrap_failure(kind, shard, exc) from exc
+                failures[shard] = exc
+        return results, failures
+
+    def _wrap_failure(
+        self, kind: str, shard: int, error: BaseException
+    ) -> ShardFailureError:
+        """Attach shard identity to a propagated fan-out failure."""
+        if isinstance(error, ShardFailureError):
+            return error
+        return ShardFailureError(
+            f"shard {shard} failed during {kind} fan-out: "
+            f"{type(error).__name__}: {error}",
+            shard=shard,
+            kind=kind,
+        )
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before retry ``attempt`` (exponential, deterministic jitter)."""
+        if self._retry_backoff_s <= 0:
+            return
+        delay = self._retry_backoff_s * (2 ** (attempt - 1))
+        delay *= 0.5 + self._jitter.random()
+        time.sleep(delay)
+
+    def _record_retry(
+        self, kind: str, shards: Sequence[int], attempt: int, started: float
+    ) -> None:
+        if not _ort.ENABLED:
+            return
+        _om.shard_retries_total().inc(len(shards), kind=kind)
+        _osp.record(
+            "shard.retry", started, kind=kind, attempt=attempt, shards=len(shards)
+        )
+
+    def _record_degraded(self, kind: str, degraded: DegradedInfo) -> None:
+        if not _ort.ENABLED:
+            return
+        _om.degraded_queries_total().inc(kind=kind)
+        _osp.record(
+            "shard.degrade",
+            time.perf_counter(),
+            kind=kind,
+            failed=len(degraded.failed_shards),
+            recovered=len(degraded.recovered_shards),
+            completeness=round(degraded.completeness, 6),
+        )
+
+    def _map_shards(
+        self,
+        kind: str,
+        fn: Callable[[PlanarIndexCollection], _T],
+        recover: Callable[[int], _T] | None = None,
+    ) -> tuple[list[_T | None], DegradedInfo | None]:
+        """Run ``fn`` against every shard under the failure policy.
+
+        Returns ``(results, degraded)`` where ``results[shard]`` is the
+        shard's slice (or ``None`` for an unrecovered shard under a
+        degrading policy) and ``degraded`` is ``None`` unless at least one
+        shard failed its primary execution.  Raises
+        :class:`ShardFailureError` (with shard identity) under
+        ``FailurePolicy.RAISE`` and :class:`DegradedAnswerError` when no
+        shard survives.
+        """
+        policy = self._failure_policy
+        timeout = self._query_timeout_s
+        if (
+            self._n_shards == 1
+            and timeout is None
+            and policy is FailurePolicy.RAISE
+            and not _flt.ARMED
+        ):
+            # Hot path: monolithic layout, no reliability features active.
+            return [self._run_shard(kind, 0, fn)], None
+        shards = list(range(self._n_shards))
+        if timeout is None and not _flt.ARMED and not _ort.ENABLED:
+            # Disarmed fast path: no deadlines to track, no fault sites to
+            # probe, no telemetry to stamp — submit the shard work directly
+            # (skipping the `_run_shard` wrapper frame) and only pay for
+            # failure bookkeeping when something actually fails.
+            results, failures = self._gather_fast(kind, fn, policy)
+        else:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            results, failures = self._execute_wave(
+                kind, fn, shards, deadline, fail_fast=policy is FailurePolicy.RAISE
+            )
+        if not failures:
+            return [results[shard] for shard in shards], None
+        first_shard = min(failures)
+        first_error = failures[first_shard]
+        if policy is FailurePolicy.RAISE:
+            raise self._wrap_failure(kind, first_shard, first_error) from first_error
+        retries = 0
+        retry_recovered: list[int] = []
+        if policy is FailurePolicy.RETRY_THEN_DEGRADE:
+            for attempt in range(1, self._max_retries + 1):
+                if not failures:
+                    break
+                retry_shards = sorted(failures)
+                started = time.perf_counter()
+                self._backoff(attempt)
+                wave_deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                recovered_wave, failures = self._execute_wave(
+                    kind, fn, retry_shards, wave_deadline, fail_fast=False
+                )
+                retries += len(retry_shards)
+                results.update(recovered_wave)
+                retry_recovered.extend(recovered_wave)
+                self._record_retry(kind, retry_shards, attempt, started)
+        scan_recovered: list[int] = []
+        failed: list[int] = []
+        for shard in sorted(failures):
+            if recover is None:
+                failed.append(shard)
+                continue
+            try:
+                if _flt.ARMED:
+                    _flt.check("shard.scan", shard=shard, kind=kind)
+                results[shard] = recover(shard)
+                scan_recovered.append(shard)
+            except Exception:  # repro: noqa(REP005) — recovery is best-effort; failures are accounted, not raised
+                failed.append(shard)
+        if len(failed) == self._n_shards:
+            raise DegradedAnswerError(
+                f"every shard failed during {kind} fan-out; no degraded "
+                f"answer is possible (first cause: "
+                f"{type(first_error).__name__}: {first_error})"
+            ) from first_error
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        dead = set(failed)
+        covered = sum(size for shard, size in enumerate(sizes) if shard not in dead)
+        degraded = DegradedInfo(
+            failed_shards=tuple(failed),
+            recovered_shards=tuple(sorted(set(retry_recovered) | set(scan_recovered))),
+            cause=f"{type(first_error).__name__}: {first_error}",
+            completeness=(covered / total) if total else 1.0,
+            retries=retries,
+        )
+        self._record_degraded(kind, degraded)
+        return [results.get(shard) for shard in shards], degraded
 
     def _owned(self, ids: np.ndarray) -> list[np.ndarray]:
         """Boolean ownership masks of ``ids`` for every shard."""
@@ -359,14 +697,81 @@ class ShardedFunctionIndex:
             )
         return result
 
+    # ------------------------------------------------------------------ #
+    # Exact recovery scans (degraded mode)
+    # ------------------------------------------------------------------ #
+
+    def _shard_scan_stats(self, n_rows: int, n_results: int) -> QueryStats:
+        """Diagnostics for a recovery scan: every row verified, none pruned."""
+        return QueryStats(
+            n_total=n_rows,
+            si_size=n_rows,
+            ii_size=n_rows,
+            li_size=0,
+            n_verified=n_rows,
+            n_results=n_results,
+        )
+
+    def _recover_inequality(
+        self, spq: ScalarProductQuery, shard: int
+    ) -> QueryResult:
+        """Exact fallback for one failed shard: scan its live points."""
+        ids, rows = self._stores[shard].get_all()
+        hits = np.sort(ids[spq.evaluate(rows)])
+        return QueryResult(hits, self._shard_scan_stats(int(ids.size), int(hits.size)))
+
+    def _recover_batch(
+        self, queries: Sequence[ScalarProductQuery], shard: int
+    ) -> list[QueryResult]:
+        """Exact fallback for one failed shard of a batch fan-out."""
+        ids, rows = self._stores[shard].get_all()
+        out: list[QueryResult] = []
+        for spq in queries:
+            hits = np.sort(ids[spq.evaluate(rows)])
+            out.append(
+                QueryResult(hits, self._shard_scan_stats(int(ids.size), int(hits.size)))
+            )
+        return out
+
+    def _recover_range(
+        self,
+        low_q: ScalarProductQuery,
+        high_q: ScalarProductQuery,
+        shard: int,
+    ) -> QueryResult:
+        """Exact fallback for one failed shard of a range fan-out."""
+        ids, rows = self._stores[shard].get_all()
+        mask = low_q.evaluate(rows) & high_q.evaluate(rows)
+        hits = np.sort(ids[mask])
+        return QueryResult(hits, self._shard_scan_stats(int(ids.size), int(hits.size)))
+
+    def _recover_topk(
+        self, spq: ScalarProductQuery, k: int, shard: int
+    ) -> TopKResult:
+        """Exact fallback for one failed shard of a top-k fan-out."""
+        from ..scan.baseline import SequentialScan
+
+        ids, rows = self._stores[shard].get_all()
+        return SequentialScan(rows, ids).topk(spq, k)
+
     @staticmethod
-    def _merge_inequality(results: Sequence[QueryResult]) -> QueryAnswer:
-        """Disjoint sorted id sets merge into the monolithic sorted array."""
-        if len(results) == 1:
-            # Single shard: already the monolithic answer, nothing to merge.
-            return QueryAnswer(results[0].ids, results[0].stats, False)
-        ids = np.sort(np.concatenate([result.ids for result in results]))
-        return QueryAnswer(ids, _merge_stats([result.stats for result in results]), False)
+    def _merge_inequality(
+        results: Sequence[QueryResult | None],
+        degraded: DegradedInfo | None = None,
+    ) -> QueryAnswer:
+        """Disjoint sorted id sets merge into the monolithic sorted array.
+
+        ``None`` entries (unrecovered shards under a degrading policy) are
+        skipped; their absence is what ``degraded.completeness`` accounts.
+        """
+        present = [result for result in results if result is not None]
+        if len(present) == 1:
+            only = present[0]
+            return QueryAnswer(only.ids, only.stats, False, degraded)
+        ids = np.sort(np.concatenate([result.ids for result in present]))
+        return QueryAnswer(
+            ids, _merge_stats([result.stats for result in present]), False, degraded
+        )
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -389,10 +794,12 @@ class ShardedFunctionIndex:
             if not self._scan_fallback:
                 raise
             return QueryAnswer(self._fallback_scan(spq, "inequality"), None, True)
-        results = self._map_shards(
-            "inequality", lambda collection: collection.query(spq)
+        results, degraded = self._map_shards(
+            "inequality",
+            lambda collection: collection.query(spq),
+            recover=lambda shard: self._recover_inequality(spq, shard),
         )
-        return self._merge_inequality(results)
+        return self._merge_inequality(results, degraded)
 
     def query_batch(
         self,
@@ -435,12 +842,18 @@ class ShardedFunctionIndex:
             plannable.append(position)
         if plannable:
             subset = [queries[position] for position in plannable]
-            per_shard = self._map_shards(
-                "batch", lambda collection: collection.query_batch(subset)
+            per_shard, degraded = self._map_shards(
+                "batch",
+                lambda collection: collection.query_batch(subset),
+                recover=lambda shard: self._recover_batch(subset, shard),
             )
             for slot, position in enumerate(plannable):
                 answers[position] = self._merge_inequality(
-                    [shard_results[slot] for shard_results in per_shard]
+                    [
+                        shard_results[slot] if shard_results is not None else None
+                        for shard_results in per_shard
+                    ],
+                    degraded,
                 )
         return answers  # type: ignore[return-value]
 
@@ -480,10 +893,12 @@ class ShardedFunctionIndex:
                     time.perf_counter() - started, kind="range", route="octant-fallback"
                 )
             return QueryAnswer(np.sort(ids[mask]), None, True)
-        results = self._map_shards(
-            "range", lambda collection: collection.query_range(wq_low, wq_high)
+        results, degraded = self._map_shards(
+            "range",
+            lambda collection: collection.query_range(wq_low, wq_high),
+            recover=lambda shard: self._recover_range(low_q, high_q, shard),
         )
-        return self._merge_inequality(results)
+        return self._merge_inequality(results, degraded)
 
     def topk(
         self,
@@ -524,35 +939,75 @@ class ShardedFunctionIndex:
                 )
             return result
         cutoff = SharedCutoff()
-        results = self._map_shards(
-            "topk", lambda collection: collection.topk(spq, k, cutoff=cutoff)
+        results, degraded = self._map_shards(
+            "topk",
+            lambda collection: collection.topk(spq, k, cutoff=cutoff),
+            recover=lambda shard: self._recover_topk(spq, k, shard),
         )
-        if len(results) == 1:
+        if len(results) == 1 and degraded is None and results[0] is not None:
             return results[0]
+        present = [result for result in results if result is not None]
         buffer = TopKBuffer(k)
-        for result in results:
+        for result in present:
             buffer.offer_many(result.distances, result.ids)
         ids, distances = buffer.as_sorted()
-        stats_parts = [result.stats for result in results]
+        stats_parts = [result.stats for result in present]
         merged_stats = (
             _merge_stats(stats_parts) if all(p is not None for p in stats_parts) else None
         )
         return TopKResult(
             ids=ids,
             distances=distances,
-            n_checked=sum(result.n_checked for result in results),
+            n_checked=sum(result.n_checked for result in present),
             n_total=len(self._features),
             stats=merged_stats,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------ #
     # Dynamic maintenance (fans out to owning shards)
     # ------------------------------------------------------------------ #
 
+    def _maintain(self, action: str, shard: int, fn: Callable[[], _T]) -> _T:
+        """Run one shard's slice of a mutation under the failure policy.
+
+        Retries under ``retry_then_degrade`` but never degrades: a shard
+        mutation that cannot be applied raises a
+        :class:`ShardFailureError` with the shard's identity, because
+        silently dropping an update would corrupt the partition.
+        Deterministic validation errors (the library's ``ValueError`` /
+        ``KeyError`` families) pass through unwrapped — they are caller
+        errors every shard would report identically, not shard faults.
+        """
+        kind = f"maintenance:{action}"
+        attempt = 0
+        while True:
+            try:
+                if _flt.ARMED:
+                    _flt.check("shard.maintenance", shard=shard, action=action)
+                return fn()
+            except Exception as exc:  # repro: noqa(REP005) — policy boundary: classify, retry, or wrap
+                if not _is_shard_fault(exc):
+                    raise
+                if (
+                    self._failure_policy is FailurePolicy.RETRY_THEN_DEGRADE
+                    and attempt < self._max_retries
+                ):
+                    attempt += 1
+                    started = time.perf_counter()
+                    self._backoff(attempt)
+                    self._record_retry(kind, [shard], attempt, started)
+                    continue
+                raise self._wrap_failure(kind, shard, exc) from exc
+
     def insert_points(self, new_points: np.ndarray) -> np.ndarray:
         """Add new data points; returns their assigned (global) ids."""
         new_points = as_2d_float(new_points, "new_points")
+        require_finite_rows(new_points, "new_points")
         features = self._phi(new_points)
+        # Validate before the translator observes the new extremes — a NaN
+        # row would otherwise poison every shard's octant translation.
+        require_finite_rows(features, "features(new_points)")
         self._translator.observe(features)
         point_ids = self._points.append(new_points)
         feature_ids = self._features.append(features)
@@ -560,7 +1015,13 @@ class ShardedFunctionIndex:
             raise RuntimeError("point/feature stores diverged")
         for shard, mask in enumerate(self._owned(feature_ids)):
             if np.any(mask):
-                self._collections[shard].insert(feature_ids[mask], features[mask])
+                self._maintain(
+                    "insert",
+                    shard,
+                    lambda s=shard, m=mask: self._collections[s].insert(
+                        feature_ids[m], features[m]
+                    ),
+                )
         self._record_shard_sizes()
         return feature_ids
 
@@ -569,7 +1030,11 @@ class ShardedFunctionIndex:
         ids = np.ascontiguousarray(ids, dtype=np.int64)
         for shard, mask in enumerate(self._owned(ids)):
             if np.any(mask):
-                self._collections[shard].delete(ids[mask])
+                self._maintain(
+                    "delete",
+                    shard,
+                    lambda s=shard, m=mask: self._collections[s].delete(ids[m]),
+                )
         self._features.delete(ids)
         self._points.delete(ids)
         self._record_shard_sizes()
@@ -578,13 +1043,21 @@ class ShardedFunctionIndex:
         """Change the raw values of existing points; re-key owning shards."""
         ids = np.ascontiguousarray(ids, dtype=np.int64)
         new_points = as_2d_float(new_points, "new_points")
+        require_finite_rows(new_points, "new_points")
         features = self._phi(new_points)
+        require_finite_rows(features, "features(new_points)")
         self._translator.observe(features)
         self._points.update(ids, new_points)
         self._features.update(ids, features)
         for shard, mask in enumerate(self._owned(ids)):
             if np.any(mask):
-                self._collections[shard].rekey(ids[mask], features[mask])
+                self._maintain(
+                    "update",
+                    shard,
+                    lambda s=shard, m=mask: self._collections[s].rekey(
+                        ids[m], features[m]
+                    ),
+                )
 
     def add_index(self, normal: np.ndarray) -> bool:
         """Add one Planar index to *every* shard (or none, when redundant).
@@ -593,7 +1066,12 @@ class ShardedFunctionIndex:
         rule, so their verdicts agree; the common verdict is returned.
         """
         verdicts = [
-            collection.add_index(normal) for collection in self._collections
+            self._maintain(
+                "add_index",
+                shard,
+                lambda s=shard: self._collections[s].add_index(normal),
+            )
+            for shard in range(self._n_shards)
         ]
         if len(set(verdicts)) != 1:  # pragma: no cover - shards share normals
             raise RuntimeError("shards diverged on add_index redundancy verdict")
@@ -601,5 +1079,9 @@ class ShardedFunctionIndex:
 
     def drop_index(self, position: int) -> None:
         """Drop the index at ``position`` from every shard."""
-        for collection in self._collections:
-            collection.drop_index(position)
+        for shard in range(self._n_shards):
+            self._maintain(
+                "drop_index",
+                shard,
+                lambda s=shard: self._collections[s].drop_index(position),
+            )

@@ -1,0 +1,43 @@
+"""Fault tolerance: fault injection, degraded answers, crash-safe writes.
+
+Three pieces (see ``docs/reliability.md``):
+
+* :mod:`repro.reliability.faults` — deterministic, seedable fault
+  injection (``REPRO_FAULTS``), zero overhead while disarmed.
+* :mod:`repro.reliability.degraded` — the :class:`FailurePolicy` /
+  :class:`DegradedInfo` contract the hardened sharded engine uses to
+  return *partial but honest* answers instead of aborting.
+* :mod:`repro.reliability.atomic` — atomic temp-file + ``os.replace``
+  writers and SHA-256 array checksums backing persistence format v2.
+"""
+
+from __future__ import annotations
+
+from .atomic import (
+    array_checksum,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    checksum_manifest,
+    verify_checksums,
+)
+from .degraded import DegradedInfo, FailurePolicy, default_policy
+from .faults import FaultPlan, FaultRule, arm, disarm, injected, is_armed
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "arm",
+    "disarm",
+    "injected",
+    "is_armed",
+    "FailurePolicy",
+    "DegradedInfo",
+    "default_policy",
+    "array_checksum",
+    "checksum_manifest",
+    "verify_checksums",
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]

@@ -1,0 +1,207 @@
+"""Crash-safe persistence primitives: atomic writes and array checksums.
+
+Every persisted artifact in the library — index ``.npz`` archives,
+workload recorder ``.npz`` archives, tuning-plan JSON, and the obs
+state file — is written through :func:`atomic_writer`: the payload goes
+to a temp file in the *target directory* (same filesystem, so the final
+``os.replace`` is atomic), is flushed and fsynced, then renamed over
+the destination.  A crash mid-write leaves either the previous intact
+artifact or a stray ``*.tmp`` — never a torn destination file.
+
+Integrity is layered on top with :func:`array_checksum`: persistence v2
+formats embed a manifest of per-array SHA-256 digests (over
+``dtype|shape|bytes``) that loaders verify, so a bit flip or a
+truncated archive is reported as a precise
+:class:`~repro.exceptions.PersistenceError` instead of a downstream
+numeric mystery.
+
+The fault-injection site ``persistence.write`` (kind ``torn``) hooks
+:func:`atomic_writer`: when an armed torn rule fires, the temp file is
+truncated to ``frac`` of its bytes *before* the replace, simulating the
+legacy non-atomic writer dying mid-flight — this is how the test suite
+proves loaders detect torn archives.  ``error``/``stall`` rules at the
+same site fire before any byte is written.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import PersistenceError
+from . import faults as _flt
+
+__all__ = [
+    "WRITE_SITE",
+    "array_checksum",
+    "checksum_manifest",
+    "verify_checksums",
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
+
+#: Fault-injection site name consulted by every atomic write.
+WRITE_SITE = "persistence.write"
+
+
+def array_checksum(array: np.ndarray) -> str:
+    """SHA-256 hex digest over an array's dtype, shape, and raw bytes.
+
+    Hashing ``dtype|shape`` alongside the buffer means a reinterpreted
+    or reshaped array fails verification even when its bytes survive.
+    """
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(arr.dtype).encode("utf-8"))
+    digest.update(b"|")
+    digest.update(repr(arr.shape).encode("utf-8"))
+    digest.update(b"|")
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def checksum_manifest(arrays: Mapping[str, np.ndarray]) -> dict[str, str]:
+    """Per-array SHA-256 manifest embedded in v2 archive metadata."""
+    return {
+        name: array_checksum(np.asarray(array)) for name, array in arrays.items()
+    }
+
+
+def verify_checksums(
+    arrays: Mapping[str, np.ndarray],
+    manifest: Mapping[str, str],
+    *,
+    artifact: str,
+    path: str | Path,
+) -> None:
+    """Verify loaded ``arrays`` against a v2 checksum ``manifest``.
+
+    Raises a precise :class:`~repro.exceptions.PersistenceError` naming
+    the artifact, the damaged array, and both digests; each detection is
+    counted in ``repro_reliability_checksum_failures_total``.
+    """
+    unlisted = sorted(set(arrays) - set(manifest))
+    if unlisted:
+        _record_checksum_failure(artifact)
+        raise PersistenceError(
+            f"{artifact} archive {path}: array(s) {unlisted} have no checksum "
+            f"manifest entry — the metadata blob was tampered with or written "
+            f"by a corrupted producer"
+        )
+    for name in sorted(manifest):
+        expected = manifest[name]
+        if name not in arrays:
+            _record_checksum_failure(artifact)
+            raise PersistenceError(
+                f"{artifact} archive {path} is missing array {name!r} listed "
+                f"in its checksum manifest (truncated or torn write?)"
+            )
+        actual = array_checksum(np.asarray(arrays[name]))
+        if actual != expected:
+            _record_checksum_failure(artifact)
+            raise PersistenceError(
+                f"{artifact} archive {path}: checksum mismatch for array "
+                f"{name!r} (manifest {expected[:12]}…, file {actual[:12]}…) — "
+                f"the archive is corrupted"
+            )
+
+
+def _record_checksum_failure(artifact: str) -> None:
+    """Count one integrity failure (lazy obs import, see :func:`_record_write`)."""
+    from ..obs import metrics as _om
+    from ..obs import runtime as _ort
+
+    if _ort.ENABLED:
+        _om.checksum_failures_total().inc(artifact=artifact)
+
+
+def _apply_torn(tmp_path: str, frac: float) -> None:
+    """Truncate the finished temp file to ``frac`` of its bytes."""
+    size = os.path.getsize(tmp_path)
+    keep = int(size * frac)
+    with open(tmp_path, "r+b") as handle:
+        handle.truncate(keep)
+
+
+@contextmanager
+def atomic_writer(path: str | Path, *, artifact: str = "artifact") -> Iterator[Path]:
+    """Yield a temp path to write; atomically replace ``path`` on success.
+
+    Usage::
+
+        with atomic_writer(target, artifact="index") as tmp:
+            np.savez_compressed(tmp, **arrays)
+
+    The temp file lives in ``path``'s directory so the final
+    ``os.replace`` never crosses filesystems.  On any exception from the
+    body the temp file is removed and the destination is untouched.  The
+    ``artifact`` label feeds fault-rule attribute filters
+    (``persistence.write:torn:artifact=index``).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if _flt.ARMED:
+        _flt.check(WRITE_SITE, artifact=artifact, path=str(target))
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
+    )
+    os.close(fd)
+    try:
+        yield Path(tmp_name)
+        # NB: np.savez* appends ".npz" when handed a *name* without one —
+        # callers must write through an open handle of the yielded path
+        # (``with open(tmp, "wb") as fh: np.savez_compressed(fh, ...)``).
+        if _flt.ARMED:
+            frac = _flt.torn_fraction(WRITE_SITE, artifact=artifact, path=str(target))
+            if frac is not None:
+                _apply_torn(tmp_name, frac)
+        fd = os.open(tmp_name, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp_name, target)
+    except BaseException:  # repro: noqa(REP005) — cleanup-and-reraise of the temp file
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _record_write(artifact)
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes, *, artifact: str = "artifact") -> Path:
+    """Atomically write ``payload`` to ``path``; returns the target path."""
+    target = Path(path)
+    with atomic_writer(target, artifact=artifact) as tmp:
+        tmp.write_bytes(payload)
+    return target
+
+
+def atomic_write_text(
+    path: str | Path,
+    payload: str,
+    *,
+    artifact: str = "artifact",
+    encoding: str = "utf-8",
+) -> Path:
+    """Atomically write ``payload`` text to ``path``; returns the target."""
+    return atomic_write_bytes(path, payload.encode(encoding), artifact=artifact)
+
+
+def _record_write(artifact: str) -> None:
+    """Count one committed atomic write (lazy obs import: this module is
+    imported by :mod:`repro.obs.exporters`, so a top-level obs import
+    would be circular)."""
+    from ..obs import metrics as _om
+    from ..obs import runtime as _ort
+
+    if _ort.ENABLED:
+        _om.atomic_writes_total().inc(artifact=artifact)

@@ -1,0 +1,263 @@
+"""CLI for chaos testing: ``python -m repro chaos``.
+
+Runs a deterministic query workload against a sharded index while a fault
+plan (``--faults`` or ``$REPRO_FAULTS``) injects shard errors, stalls, and
+torn writes, then prints a survival report:
+
+* per-query outcomes — complete, recovered (retried/rescanned back to a
+  complete answer), degraded (partial answer with a completeness
+  fraction), raised (query failed under the active policy);
+* per-rule fault-plan counters (checks vs fires);
+* with ``--verify``, every answer is checked against the ground-truth
+  sequential evaluation: complete answers must match exactly, degraded
+  answers must be correct subsets whose size is consistent with the
+  reported completeness.  Verification failures exit nonzero.
+
+The index is rebuilt deterministically from ``--n/--dim/--rq/--indices/
+--seed`` (the same recipe as ``repro tune``), so a chaos run is
+reproducible end to end: same plan seed, same workload, same outcome
+counts.  See ``docs/reliability.md`` for the fault-spec grammar and the
+failure-policy semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import sys
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from ..exceptions import (
+    DegradedAnswerError,
+    FaultSpecError,
+    ReproError,
+    ShardFailureError,
+)
+from . import faults as _flt
+
+__all__ = ["configure_parser", "build_parser", "run_from_args", "main"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the chaos options to ``parser`` (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        help="fault plan spec, e.g. 'shard.query:error:p=0.3' "
+        "(default: $REPRO_FAULTS)",
+    )
+    parser.add_argument(
+        "--faults-seed",
+        type=int,
+        default=0,
+        help="seed for probabilistic fault rules (default: 0)",
+    )
+    parser.add_argument(
+        "--policy",
+        type=str,
+        choices=["raise", "degrade", "retry-then-degrade", "retry_then_degrade"],
+        default="retry_then_degrade",
+        help="shard failure policy for the engine (default: retry_then_degrade)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-shard query deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry attempts per failed shard under retry_then_degrade",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=50, help="number of workload queries"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every answer against the sequential ground truth",
+    )
+    parser.add_argument("--n", type=int, default=10_000, help="dataset size")
+    parser.add_argument("--dim", type=int, default=6, help="dimensionality")
+    parser.add_argument("--rq", type=int, default=4, help="randomness of query")
+    parser.add_argument("--indices", type=int, default=8, help="index budget r")
+    parser.add_argument("--shards", type=int, default=4, help="shard count")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="thread-pool size"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Standalone ``repro chaos`` parser (the main CLI nests the same flags)."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="run a query workload under fault injection and report "
+        "survival statistics",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def _build_engine(args: argparse.Namespace):
+    """Deterministic sharded index + workload, mirroring ``repro tune``."""
+    from ..core.domains import QueryModel
+    from ..datasets import independent
+    from ..datasets.workloads import eq18_offset, skewed_normals
+    from ..parallel.engine import ShardedFunctionIndex
+
+    points = independent(args.n, args.dim, rng=args.seed).points
+    model = QueryModel.uniform(dim=args.dim, low=1.0, high=5.0, rq=args.rq)
+    engine = ShardedFunctionIndex(
+        points,
+        model,
+        n_indices=args.indices,
+        rng=args.seed,
+        n_shards=args.shards,
+        max_workers=args.workers,
+        failure_policy=args.policy.replace("-", "_"),
+        query_timeout_s=args.timeout,
+        max_retries=args.max_retries,
+    )
+    maxima = points.max(axis=0)
+    normals = skewed_normals(model, args.queries, 0.0, rng=args.seed)
+    offsets = np.array([eq18_offset(n, maxima, 0.25) for n in normals])
+    return engine, points, normals, offsets
+
+
+def _verify_answer(answer, query, points) -> str | None:
+    """Ground-truth check of one (possibly degraded) answer.
+
+    Returns an error description, or ``None`` when the answer is sound.
+    """
+    truth = np.nonzero(query.evaluate(points))[0].astype(np.int64)
+    got = np.asarray(answer.ids, dtype=np.int64)
+    info = answer.degraded
+    if info is None or info.is_complete:
+        if not np.array_equal(np.sort(got), truth):
+            return (
+                f"complete answer mismatch: got {got.size} ids, "
+                f"expected {truth.size}"
+            )
+        return None
+    if not np.isin(got, truth).all():
+        false_pos = got[~np.isin(got, truth)]
+        return f"degraded answer contains wrong ids: {false_pos[:5].tolist()}"
+    if not 0.0 <= info.completeness <= 1.0:
+        return f"completeness out of range: {info.completeness!r}"
+    return None
+
+
+def _cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
+    spec = args.faults if args.faults is not None else os.environ.get("REPRO_FAULTS", "")
+    engine, points, normals, offsets = _build_engine(args)
+    from ..core.query import ScalarProductQuery
+
+    context = (
+        _flt.injected(spec, seed=args.faults_seed)
+        if spec.strip()
+        else contextlib.nullcontext(_flt.active_plan())
+    )
+    outcomes = {"complete": 0, "recovered": 0, "degraded": 0, "raised": 0}
+    completeness: list[float] = []
+    retries = 0
+    problems: list[str] = []
+    with engine, context as plan:
+        for qid, (normal, offset) in enumerate(zip(normals, offsets)):
+            spq = ScalarProductQuery(normal, float(offset))
+            try:
+                answer = engine.query(normal, float(offset))
+            except (ShardFailureError, DegradedAnswerError) as exc:
+                outcomes["raised"] += 1
+                if args.verify and args.policy.replace("-", "_") != "raise":
+                    # Non-raise policies should only raise when *every*
+                    # shard (and its recovery scan) failed.
+                    if not isinstance(exc, DegradedAnswerError):
+                        problems.append(f"query {qid}: unexpected {exc!r}")
+                continue
+            info = answer.degraded
+            if info is None:
+                outcomes["complete"] += 1
+            elif info.is_complete:
+                outcomes["recovered"] += 1
+                retries += info.retries
+            else:
+                outcomes["degraded"] += 1
+                completeness.append(info.completeness)
+                retries += info.retries
+            if args.verify:
+                issue = _verify_answer(answer, spq, points)
+                if issue is not None:
+                    problems.append(f"query {qid}: {issue}")
+        stats = plan.stats() if plan is not None else []
+        fired = plan.fired_total() if plan is not None else 0
+
+    total = sum(outcomes.values())
+    print(
+        f"chaos: {total} queries over {args.shards} shards, "
+        f"policy={args.policy.replace('-', '_')}",
+        file=stream,
+    )
+    print(
+        f"  complete={outcomes['complete']}  recovered={outcomes['recovered']}"
+        f"  degraded={outcomes['degraded']}  raised={outcomes['raised']}"
+        f"  retries={retries}",
+        file=stream,
+    )
+    if completeness:
+        print(
+            f"  degraded completeness: mean {np.mean(completeness):.3f}, "
+            f"min {np.min(completeness):.3f}",
+            file=stream,
+        )
+    if stats:
+        print(f"  faults fired: {fired}", file=stream)
+        for row in stats:
+            print(
+                f"    {row['site']}:{row['kind']} — "
+                f"{row['fires']}/{row['checks']} checks fired",
+                file=stream,
+            )
+    else:
+        print("  faults fired: 0 (no fault plan armed)", file=stream)
+    if args.verify:
+        if problems:
+            for problem in problems[:10]:
+                print(f"  VERIFY FAIL {problem}", file=sys.stderr)
+            print(f"verification failed: {len(problems)} issue(s)", file=sys.stderr)
+            return 1
+        print(f"  verified {total - outcomes['raised']} answers against "
+              f"the sequential ground truth: all sound", file=stream)
+    return 0
+
+
+def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """Execute a chaos invocation from a parsed namespace; returns exit code."""
+    stream = stream or sys.stdout
+    try:
+        return _cmd_run(args, stream)
+    except FaultSpecError as exc:
+        print(f"error: bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    """Standalone entry point (``python -m repro.reliability.cli``)."""
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse uses 2 for usage errors already
+        return int(exc.code or 0)
+    return run_from_args(args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli tests
+    sys.exit(main())

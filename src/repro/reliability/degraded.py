@@ -1,0 +1,148 @@
+"""Degraded-answer contract types for the hardened sharded engine.
+
+When a shard of :class:`~repro.parallel.engine.ShardedFunctionIndex`
+fails (or misses its deadline) and the selected :class:`FailurePolicy`
+is a degrading one, the engine attaches a :class:`DegradedInfo` to the
+returned answer instead of raising.  The contract is *partial but
+honest*: every id in a degraded answer is correct (no false positives),
+and :attr:`DegradedInfo.completeness` states exactly which fraction of
+the live points the answer covers, so callers can decide whether a
+partial answer is acceptable (compare PolyFit / HD-Index, which make
+approximation explicit and bounded rather than silent).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+
+from ..exceptions import DegradedAnswerError, FaultSpecError
+
+__all__ = [
+    "FailurePolicy",
+    "DegradedInfo",
+    "default_policy",
+]
+
+
+class FailurePolicy(enum.Enum):
+    """What the sharded engine does when a shard of a fan-out fails.
+
+    ``RAISE``
+        Propagate a :class:`~repro.exceptions.ShardFailureError` carrying
+        the failed shard's identity (pre-PR behaviour, plus identity).
+    ``DEGRADE``
+        Recover the failed shards by exact scan when possible; otherwise
+        return a partial answer annotated with :class:`DegradedInfo`.
+    ``RETRY_THEN_DEGRADE``
+        First retry the failed shards (bounded, jittered backoff); fall
+        back to ``DEGRADE`` handling only if retries are exhausted.
+    """
+
+    RAISE = "raise"
+    DEGRADE = "degrade"
+    RETRY_THEN_DEGRADE = "retry_then_degrade"
+
+    @classmethod
+    def parse(cls, value: "FailurePolicy | str | None") -> "FailurePolicy":
+        """Coerce a policy name (CLI/env string) into a member."""
+        if value is None:
+            return default_policy()
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower().replace("-", "_")
+        for member in cls:
+            if member.value == text:
+                return member
+        raise FaultSpecError(
+            f"unknown failure policy {value!r}; choose from "
+            f"{[member.value for member in cls]}"
+        )
+
+
+def default_policy() -> FailurePolicy:
+    """The process-default policy: ``REPRO_FAULT_POLICY`` or ``raise``.
+
+    Read lazily (not cached at import) so tests and the chaos CLI can
+    flip the environment without re-importing the package.
+    """
+    text = os.environ.get("REPRO_FAULT_POLICY", "").strip()
+    if not text:
+        return FailurePolicy.RAISE
+    return FailurePolicy.parse(text)
+
+
+@dataclass(frozen=True)
+class DegradedInfo:
+    """Provenance of a partial (or recovered) answer.
+
+    Attributes
+    ----------
+    failed_shards:
+        Shard ids whose results are *missing* from the answer (failed
+        and not recovered).  Empty when every failure was recovered.
+    recovered_shards:
+        Shard ids that failed their primary execution but whose points
+        were recovered by an exact fallback scan (or a successful
+        retry); their results ARE in the answer.
+    cause:
+        Human-readable description of the first failure observed.
+    completeness:
+        Exact fraction of live points covered by the answer: live
+        points owned by answered shards / total live points.  ``1.0``
+        when every failure was recovered.
+    retries:
+        Total shard retry attempts spent producing this answer.
+    """
+
+    failed_shards: tuple[int, ...] = ()
+    recovered_shards: tuple[int, ...] = ()
+    cause: str = ""
+    completeness: float = 1.0
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failed_shards", tuple(self.failed_shards))
+        object.__setattr__(self, "recovered_shards", tuple(self.recovered_shards))
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the answer covers every live point (nothing missing)."""
+        return not self.failed_shards and self.completeness >= 1.0
+
+    def require_complete(self) -> None:
+        """Raise :class:`DegradedAnswerError` unless the answer is complete.
+
+        The opt-in strict check for callers that accepted a degrading
+        policy for availability but need completeness for a particular
+        query.
+        """
+        if not self.is_complete:
+            raise DegradedAnswerError(
+                f"answer is degraded: shards {list(self.failed_shards)} missing "
+                f"(completeness {self.completeness:.3f}, cause: {self.cause})"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (chaos CLI reports)."""
+        return {
+            "failed_shards": list(self.failed_shards),
+            "recovered_shards": list(self.recovered_shards),
+            "cause": self.cause,
+            "completeness": self.completeness,
+            "retries": self.retries,
+        }
+
+    def describe(self) -> str:
+        """One-line human summary of the degradation."""
+        if self.is_complete:
+            shards = ",".join(str(s) for s in self.recovered_shards)
+            return (
+                f"complete after recovery (shards [{shards}] recovered, "
+                f"{self.retries} retries)"
+            )
+        return (
+            f"degraded: shards {list(self.failed_shards)} missing, "
+            f"completeness {self.completeness:.3f} ({self.cause})"
+        )

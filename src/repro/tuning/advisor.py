@@ -268,9 +268,17 @@ class TuningPlan:
 
 
 def save_plan(plan: TuningPlan, path: str | Path) -> Path:
-    """Write ``plan`` to ``path`` as versioned JSON."""
+    """Write ``plan`` to ``path`` as versioned JSON.
+
+    The write is crash-safe: temp file + atomic replace, so a crash
+    mid-save never leaves a half-written plan (see ``docs/reliability.md``).
+    """
+    from ..reliability.atomic import atomic_write_text
+
     path = Path(path)
-    path.write_text(json.dumps(plan.to_dict(), indent=2) + "\n")
+    atomic_write_text(
+        path, json.dumps(plan.to_dict(), indent=2) + "\n", artifact="plan"
+    )
     return path
 
 

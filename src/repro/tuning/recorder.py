@@ -29,8 +29,11 @@ import it, never the other way around.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
+import zipfile
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,6 +44,7 @@ import numpy as np
 from ..exceptions import TuningError
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
+from ..reliability.atomic import atomic_writer, checksum_manifest, verify_checksums
 
 __all__ = [
     "DEFAULT_CAPACITY",
@@ -59,7 +63,11 @@ __all__ = [
 ]
 
 #: On-disk workload archive format version (see ``docs/persistence.md``).
-WORKLOAD_FORMAT_VERSION = 1
+#: v2 adds a per-array SHA-256 checksum manifest and atomic writes
+#: (``docs/reliability.md``); v1 archives still load.
+WORKLOAD_FORMAT_VERSION = 2
+
+_SUPPORTED_WORKLOAD_VERSIONS = (1, 2)
 
 #: Default ring-buffer capacity of the global recorder.
 DEFAULT_CAPACITY = 4096
@@ -229,34 +237,75 @@ def save_workload(
             f"workload mixes query dimensionalities {sorted(dims)}; "
             "record one index's workload per archive"
         )
-    np.savez_compressed(
-        path,
-        format_version=np.asarray(WORKLOAD_FORMAT_VERSION, dtype=np.int64),
-        normals=np.vstack([sketch.normal for sketch in sketches]),
-        offsets=np.asarray([sketch.offset for sketch in sketches], dtype=np.float64),
-        ops=np.asarray([sketch.op for sketch in sketches]),
-        kinds=np.asarray([sketch.kind for sketch in sketches]),
-        ks=np.asarray([sketch.k for sketch in sketches], dtype=np.int64),
-    )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    arrays = {
+        "normals": np.vstack([sketch.normal for sketch in sketches]),
+        "offsets": np.asarray([sketch.offset for sketch in sketches], dtype=np.float64),
+        "ops": np.asarray([sketch.op for sketch in sketches]),
+        "kinds": np.asarray([sketch.kind for sketch in sketches]),
+        "ks": np.asarray([sketch.k for sketch in sketches], dtype=np.int64),
+    }
+    manifest = {"checksums": checksum_manifest(arrays)}
+    target = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    with atomic_writer(target, artifact="workload") as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                format_version=np.asarray(WORKLOAD_FORMAT_VERSION, dtype=np.int64),
+                manifest=np.frombuffer(
+                    json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+                ),  # repro: noqa(REP002) — byte buffer for JSON manifest, not numeric keys
+                **arrays,
+            )
+    return target
 
 
 def load_workload(path: str | Path) -> tuple[QuerySketch, ...]:
-    """Read sketches back from a :func:`save_workload` archive."""
+    """Read sketches back from a :func:`save_workload` archive.
+
+    v2 archives are verified against their checksum manifest (corruption
+    raises :class:`~repro.exceptions.PersistenceError`); v1 archives load
+    without verification.
+    """
     path = Path(path)
     try:
         with np.load(path) as archive:
             version = int(archive["format_version"])
-            if version != WORKLOAD_FORMAT_VERSION:
+            if version not in _SUPPORTED_WORKLOAD_VERSIONS:
                 raise TuningError(
-                    f"unsupported workload archive version {version!r}"
+                    f"unsupported workload archive version {version!r} "
+                    f"(supported: {list(_SUPPORTED_WORKLOAD_VERSIONS)})"
                 )
-            normals = np.ascontiguousarray(archive["normals"], dtype=np.float64)
-            offsets = np.ascontiguousarray(archive["offsets"], dtype=np.float64)
-            ops = [str(op) for op in archive["ops"]]
-            kinds = [str(kind) for kind in archive["kinds"]]
-            ks = np.ascontiguousarray(archive["ks"], dtype=np.int64)
-    except (OSError, KeyError, ValueError) as exc:
+            arrays = {
+                name: archive[name]
+                for name in ("normals", "offsets", "ops", "kinds", "ks")
+            }
+            if version >= 2:
+                manifest = json.loads(
+                    bytes(archive["manifest"].tobytes()).decode("utf-8")
+                )
+                checksums = manifest.get("checksums")
+                if not isinstance(checksums, dict) or not checksums:
+                    raise TuningError(
+                        f"workload archive {path} (format v{version}) is "
+                        f"missing its checksum manifest"
+                    )
+                verify_checksums(
+                    arrays, checksums, artifact="workload", path=path
+                )
+            normals = np.ascontiguousarray(arrays["normals"], dtype=np.float64)
+            offsets = np.ascontiguousarray(arrays["offsets"], dtype=np.float64)
+            ops = [str(op) for op in arrays["ops"]]
+            kinds = [str(kind) for kind in arrays["kinds"]]
+            ks = np.ascontiguousarray(arrays["ks"], dtype=np.int64)
+    except (
+        OSError,
+        KeyError,
+        ValueError,
+        EOFError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+        zlib.error,
+    ) as exc:
         raise TuningError(f"cannot read workload archive {path}: {exc}") from exc
     rows = normals.shape[0] if normals.ndim == 2 else -1
     if rows < 0 or not (

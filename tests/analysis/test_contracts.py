@@ -241,7 +241,9 @@ class TestEnforcement:
 
     def test_nan_rejected_by_default(self):
         fn = checked(_strict_identity)
-        with pytest.raises(ContractViolationError, match="NaN"):
+        # The message names the offending position, mirroring the
+        # library's own eager validation.
+        with pytest.raises(ContractViolationError, match=r"finite.*\[1\].*nan"):
             fn(np.array([1.0, np.nan]))
 
     def test_nonfinite_flag_admits_nan(self):
@@ -307,7 +309,8 @@ class TestSanitizedProcess:
         )
         assert proc.returncode == 0, proc.stderr
         assert "CAUGHT" in proc.stdout
-        assert "NaN" in proc.stdout
+        assert "nan" in proc.stdout
+        assert "[0, 0]" in proc.stdout  # first offending position is named
 
     def test_good_query_unaffected(self):
         proc = _run_sanitized(

@@ -1,0 +1,53 @@
+"""Shared fixtures for the reliability suite.
+
+Every test runs inside a fault-state sandbox: whatever plan (or disarmed
+state) was active before the test — including a ``REPRO_FAULTS``
+environment arming, which the chaos CI lane uses to run this very suite
+under injection — is restored afterwards, so tests can arm scoped plans
+freely without leaking into their neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import QueryModel, ShardedFunctionIndex
+from repro.reliability import faults as _flt
+
+
+@pytest.fixture(autouse=True)
+def _fault_state_sandbox():
+    """Save and restore the module-level fault arming around each test."""
+    previous_plan = _flt.active_plan()
+    previously_armed = _flt.is_armed()
+    yield
+    if previously_armed and previous_plan is not None:
+        _flt.arm(previous_plan)
+    else:
+        _flt.disarm()
+
+
+def build_engine(
+    n: int = 600,
+    dim: int = 4,
+    n_shards: int = 3,
+    seed: int = 7,
+    **kwargs,
+) -> tuple[ShardedFunctionIndex, np.ndarray, QueryModel]:
+    """A small deterministic sharded engine plus its points and model."""
+    rng = np.random.default_rng(seed)
+    points = rng.integers(1, 40, size=(n, dim)).astype(np.float64)
+    model = QueryModel.uniform(dim=dim, low=1.0, high=5.0, rq=4)
+    engine = ShardedFunctionIndex(
+        points, model, n_indices=3, rng=seed, n_shards=n_shards, **kwargs
+    )
+    return engine, points, model
+
+
+@pytest.fixture
+def engine_case():
+    """Default three-shard engine; closed after the test."""
+    engine, points, model = build_engine()
+    yield engine, points, model
+    engine.close()

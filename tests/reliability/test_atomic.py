@@ -1,0 +1,99 @@
+"""Crash-safe writer and checksum-manifest behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InjectedFaultError, PersistenceError
+from repro.reliability import (
+    array_checksum,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    checksum_manifest,
+    faults as _flt,
+    verify_checksums,
+)
+
+
+class TestChecksums:
+    def test_checksum_covers_dtype_shape_and_bytes(self):
+        base = np.arange(6, dtype=np.float64)
+        assert array_checksum(base) == array_checksum(base.copy())
+        assert array_checksum(base) != array_checksum(base.reshape(2, 3))
+        assert array_checksum(base) != array_checksum(base.astype(np.float32))
+        flipped = base.copy()
+        flipped[3] += 1e-12
+        assert array_checksum(base) != array_checksum(flipped)
+
+    def test_verify_roundtrip(self):
+        arrays = {"a": np.arange(4.0), "b": np.ones((2, 2), dtype=np.int64)}
+        manifest = checksum_manifest(arrays)
+        verify_checksums(arrays, manifest, artifact="test", path="mem")
+
+    def test_verify_names_missing_array(self):
+        arrays = {"a": np.arange(4.0)}
+        manifest = checksum_manifest(arrays)
+        manifest["ghost"] = manifest["a"]
+        with pytest.raises(PersistenceError, match="ghost"):
+            verify_checksums(arrays, manifest, artifact="test", path="mem")
+
+    def test_verify_names_corrupted_array(self):
+        arrays = {"a": np.arange(4.0)}
+        manifest = checksum_manifest(arrays)
+        arrays["a"][2] = -1.0
+        with pytest.raises(PersistenceError, match="'a'"):
+            verify_checksums(arrays, manifest, artifact="test", path="mem")
+
+
+class TestAtomicWriter:
+    def test_replaces_atomically_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new", artifact="test")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_write_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02", artifact="test")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "file.txt"
+        atomic_write_text(target, "x", artifact="test")
+        assert target.read_text() == "x"
+
+    def test_injected_error_preserves_previous_contents(self, tmp_path):
+        target = tmp_path / "state.json"
+        target.write_text("intact")
+        with _flt.injected("persistence.write:error"):
+            with pytest.raises(InjectedFaultError):
+                atomic_write_text(target, "never lands", artifact="test")
+        assert target.read_text() == "intact"
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_error_filter_by_artifact(self, tmp_path):
+        with _flt.injected("persistence.write:error:artifact=index"):
+            atomic_write_text(tmp_path / "plan.json", "ok", artifact="plan")
+            with pytest.raises(InjectedFaultError):
+                atomic_write_text(tmp_path / "idx.npz", "boom", artifact="index")
+
+    def test_torn_write_truncates_committed_file(self, tmp_path):
+        target = tmp_path / "torn.bin"
+        payload = bytes(range(200))
+        with _flt.injected("persistence.write:torn:frac=0.25"):
+            atomic_write_bytes(target, payload, artifact="test")
+        data = target.read_bytes()
+        assert 0 < len(data) < len(payload)
+        assert data == payload[: len(data)]
+
+    def test_writer_cleans_up_on_caller_exception(self, tmp_path):
+        target = tmp_path / "x.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target, artifact="test") as tmp:
+                tmp.write_text("partial")
+                raise RuntimeError("caller blew up")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []

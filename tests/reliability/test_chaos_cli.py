@@ -1,0 +1,94 @@
+"""The ``repro chaos`` command: survival reports and verification."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.reliability.cli import main as chaos_main
+
+FAST = ["--n", "400", "--queries", "6", "--indices", "2", "--shards", "3"]
+
+
+class TestChaosCli:
+    def test_clean_run_without_faults(self, monkeypatch):
+        from repro.reliability import faults as _flt
+
+        # A chaos CI lane arms REPRO_FAULTS for the whole process; this
+        # test is about the *clean* path, so neutralize both the env var
+        # (read by the CLI) and the module arming it caused at import.
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        _flt.disarm()
+        stream = io.StringIO()
+        code = chaos_main([*FAST, "--verify"], stream=stream)
+        out = stream.getvalue()
+        assert code == 0
+        assert "complete=6" in out
+        assert "no fault plan armed" in out
+        assert "all sound" in out
+
+    def test_faulted_run_reports_firings_and_verifies(self):
+        stream = io.StringIO()
+        code = chaos_main(
+            [*FAST, "--verify", "--faults", "shard.query:error:p=0.5"],
+            stream=stream,
+        )
+        out = stream.getvalue()
+        assert code == 0
+        assert "faults fired:" in out
+        assert "shard.query:error" in out
+        assert "all sound" in out
+
+    def test_degrade_policy_reports_completeness(self):
+        stream = io.StringIO()
+        code = chaos_main(
+            [
+                *FAST,
+                "--verify",
+                "--policy",
+                "degrade",
+                "--faults",
+                "shard.query:error:shard=1;shard.scan:error:shard=1",
+            ],
+            stream=stream,
+        )
+        out = stream.getvalue()
+        assert code == 0
+        assert "degraded=6" in out
+        assert "degraded completeness" in out
+
+    def test_deterministic_given_same_seeds(self):
+        args = [*FAST, "--faults", "shard.query:error:p=0.4", "--faults-seed", "3"]
+        first, second = io.StringIO(), io.StringIO()
+        assert chaos_main(args, stream=first) == 0
+        assert chaos_main(args, stream=second) == 0
+        assert first.getvalue() == second.getvalue()
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        code = chaos_main([*FAST, "--faults", "nonsense"])
+        assert code == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_registered_under_main_cli(self, capsys):
+        code = repro_main(["chaos", *FAST])
+        assert code == 0
+        assert "chaos:" in capsys.readouterr().out
+
+    def test_raise_policy_counts_raised_queries(self):
+        stream = io.StringIO()
+        code = chaos_main(
+            [*FAST, "--policy", "raise", "--faults", "shard.query:error"],
+            stream=stream,
+        )
+        assert code == 0
+        assert "raised=6" in stream.getvalue()
+
+    @pytest.mark.parametrize("flag", ["--policy", "--faults"])
+    def test_help_mentions_flags(self, capsys, flag):
+        with pytest.raises(SystemExit):
+            from repro.reliability.cli import build_parser
+
+            build_parser().parse_args(["--help"])
+        assert flag in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Fault-plan grammar, firing schedules, determinism, and arming."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import FaultSpecError, InjectedFaultError
+from repro.reliability import FaultPlan, FaultRule
+from repro.reliability import faults as _flt
+
+
+class TestRuleParsing:
+    def test_minimal_rule(self):
+        rule = FaultRule.parse("shard.query:error")
+        assert rule.site == "shard.query"
+        assert rule.kind == "error"
+        assert rule.p == 1.0 and rule.every == 0 and rule.filters == {}
+
+    def test_float_and_int_options(self):
+        rule = FaultRule.parse("shard.query:stall:p=0.25:ms=3.5:every=2:after=1")
+        assert rule.p == 0.25
+        assert rule.ms == 3.5
+        assert rule.every == 2 and rule.after == 1
+
+    def test_unknown_options_become_attribute_filters(self):
+        rule = FaultRule.parse("shard.query:error:shard=2:kind=topk")
+        assert rule.filters == {"shard": "2", "kind": "topk"}
+        assert rule.matches("shard.query", {"shard": 2, "kind": "topk"})
+        assert not rule.matches("shard.query", {"shard": 1, "kind": "topk"})
+        assert not rule.matches("shard.query", {"kind": "topk"})  # missing attr
+
+    def test_prefix_glob_site(self):
+        rule = FaultRule.parse("shard.*:error")
+        assert rule.matches("shard.query", {})
+        assert rule.matches("shard.scan", {})
+        assert not rule.matches("persistence.write", {})
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus",  # no kind
+            "shard.query:explode",  # unknown kind
+            ":error",  # empty site
+            "shard.query:error:p=high",  # bad float
+            "shard.query:error:every=2.5",  # bad int
+            "shard.query:error:p=1.5",  # p outside [0, 1]
+            "shard.query:torn:frac=1.0",  # frac must be < 1
+            "shard.query:error:orphan",  # option without '='
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("  ;  ")
+
+    def test_multi_rule_spec(self):
+        plan = FaultPlan.parse("a.b:error ; c.d:stall:ms=1")
+        assert [rule.site for rule in plan.rules] == ["a.b", "c.d"]
+
+
+class TestFiringSchedules:
+    def _fires(self, plan: FaultPlan, site: str, n: int) -> list[int]:
+        hits = []
+        for i in range(n):
+            try:
+                plan.check(site, {})
+            except InjectedFaultError:
+                hits.append(i)
+        return hits
+
+    def test_every_and_after(self):
+        plan = FaultPlan.parse("s:error:every=3:after=2")
+        # effective check counter starts after the first 2 checks
+        assert self._fires(plan, "s", 12) == [4, 7, 10]
+
+    def test_times_caps_firings(self):
+        plan = FaultPlan.parse("s:error:times=2")
+        assert self._fires(plan, "s", 6) == [0, 1]
+
+    def test_probabilistic_rule_is_seed_deterministic(self):
+        first = self._fires(FaultPlan.parse("s:error:p=0.4", seed=9), "s", 50)
+        second = self._fires(FaultPlan.parse("s:error:p=0.4", seed=9), "s", 50)
+        other = self._fires(FaultPlan.parse("s:error:p=0.4", seed=10), "s", 50)
+        assert first == second
+        assert 0 < len(first) < 50
+        assert first != other
+
+    def test_reset_rewinds_counters_and_rng(self):
+        plan = FaultPlan.parse("s:error:p=0.4:times=3")
+        first = self._fires(plan, "s", 30)
+        plan.reset()
+        assert self._fires(plan, "s", 30) == first
+        assert plan.fired_total() == len(first)
+
+    def test_stats_report_checks_and_fires(self):
+        plan = FaultPlan.parse("s:error:every=2")
+        self._fires(plan, "s", 10)
+        (row,) = plan.stats()
+        assert row == {"site": "s", "kind": "error", "checks": 10, "fires": 5}
+
+    def test_stall_sleeps_then_continues(self):
+        plan = FaultPlan.parse("s:stall:ms=30:times=1")
+        start = time.perf_counter()
+        plan.check("s", {})
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.02
+        plan.check("s", {})  # times=1: second check is instant and silent
+
+    def test_error_carries_site_and_attrs(self):
+        plan = FaultPlan.parse("shard.query:error")
+        with pytest.raises(InjectedFaultError) as excinfo:
+            plan.check("shard.query", {"shard": 1, "kind": "inequality"})
+        assert excinfo.value.site == "shard.query"
+        assert "shard=1" in str(excinfo.value)
+
+    def test_torn_rules_only_affect_torn_fraction(self):
+        plan = FaultPlan.parse("persistence.write:torn:frac=0.25")
+        plan.check("persistence.write", {})  # torn rules never raise
+        assert plan.torn_fraction("persistence.write", {}) == 0.25
+        assert plan.torn_fraction("other.site", {}) is None
+
+
+class TestModuleArming:
+    def test_disarmed_check_is_noop(self):
+        _flt.disarm()
+        assert not _flt.is_armed()
+        _flt.check("anything", shard=0)  # must not raise
+
+    def test_arm_and_disarm(self):
+        plan = _flt.arm("s:error")
+        assert _flt.is_armed()
+        assert _flt.active_plan() is plan
+        with pytest.raises(InjectedFaultError):
+            _flt.check("s")
+        _flt.disarm()
+        assert _flt.active_plan() is None
+
+    def test_injected_restores_previous_plan(self):
+        outer = _flt.arm("outer.site:error")
+        with _flt.injected("inner.site:error") as inner:
+            assert _flt.active_plan() is inner
+            with pytest.raises(InjectedFaultError):
+                _flt.check("inner.site")
+            _flt.check("outer.site")  # outer plan not active inside
+        assert _flt.active_plan() is outer
+        with pytest.raises(InjectedFaultError):
+            _flt.check("outer.site")
+
+    def test_injected_restores_disarmed_state(self):
+        _flt.disarm()
+        with _flt.injected("s:error"):
+            assert _flt.is_armed()
+        assert not _flt.is_armed()
+
+    def test_arm_seed_requires_spec_string(self):
+        plan = FaultPlan.parse("s:error")
+        with pytest.raises(FaultSpecError):
+            _flt.arm(plan, seed=3)

@@ -1,0 +1,122 @@
+"""Non-finite inputs are rejected eagerly, naming the offending positions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FunctionIndex, QueryModel, ScalarProductQuery
+from repro.core.feature_store import FeatureStore
+from repro.exceptions import DimensionMismatchError, InvalidQueryError
+
+BAD_VALUES = (float("nan"), float("inf"), float("-inf"))
+
+
+@st.composite
+def poisoned_matrix(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=5))
+    row = draw(st.integers(min_value=0, max_value=rows - 1))
+    col = draw(st.integers(min_value=0, max_value=cols - 1))
+    bad = draw(st.sampled_from(BAD_VALUES))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    points = np.random.default_rng(seed).uniform(1.0, 9.0, size=(rows, cols))
+    points[row, col] = bad
+    return points, (row, col), bad
+
+
+class TestQueryValidation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        position=st.integers(min_value=0, max_value=3),
+        bad=st.sampled_from(BAD_VALUES),
+    )
+    def test_nonfinite_normal_names_position(self, position, bad):
+        normal = np.ones(4)
+        normal[position] = bad
+        with pytest.raises(InvalidQueryError, match=rf"\[{position}\]") as excinfo:
+            ScalarProductQuery(normal, 1.0)
+        assert "finite" in str(excinfo.value)
+
+    @pytest.mark.parametrize("bad", BAD_VALUES)
+    def test_nonfinite_offset_rejected(self, bad):
+        with pytest.raises(InvalidQueryError, match="offset must be finite"):
+            ScalarProductQuery(np.ones(3), bad)
+
+    def test_many_bad_entries_are_truncated_not_dumped(self):
+        normal = np.full(1000, np.nan)
+        with pytest.raises(InvalidQueryError) as excinfo:
+            ScalarProductQuery(normal, 1.0)
+        message = str(excinfo.value)
+        assert "more" in message
+        assert len(message) < 500
+
+
+class TestStoreValidation:
+    @settings(max_examples=30, deadline=None)
+    @given(case=poisoned_matrix())
+    def test_construction_rejects_and_names_position(self, case):
+        points, (row, col), _ = case
+        with pytest.raises(
+            DimensionMismatchError, match=rf"\[{row}, {col}\]"
+        ):
+            FeatureStore(points)
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=poisoned_matrix())
+    def test_append_rejects_without_mutating(self, case):
+        rows, _, _ = case
+        store = FeatureStore(np.ones((3, rows.shape[1])))
+        before = len(store)
+        with pytest.raises(DimensionMismatchError, match="finite"):
+            store.append(rows)
+        assert len(store) == before
+
+    def test_update_rejects_and_names_position(self):
+        store = FeatureStore(np.ones((4, 2)))
+        bad = np.array([[1.0, np.inf]])
+        with pytest.raises(DimensionMismatchError, match=r"\[0, 1\].*inf"):
+            store.update(np.array([2]), bad)
+        assert np.array_equal(store.get(np.array([2])), [[1.0, 1.0]])
+
+
+class TestFacadeValidation:
+    def _index(self):
+        rng = np.random.default_rng(11)
+        points = rng.uniform(1.0, 20.0, size=(50, 3))
+        model = QueryModel.uniform(dim=3, low=1.0, high=5.0, rq=4)
+        return FunctionIndex(points, model, n_indices=2, rng=11), points
+
+    def test_insert_rejects_before_translator_poisoning(self):
+        index, _ = self._index()
+        delta_before = index.translator.delta.copy()
+        bad = np.array([[1.0, np.nan, 2.0]])
+        with pytest.raises(DimensionMismatchError, match="finite"):
+            index.insert_points(bad)
+        # Eager rejection happened before the translator observed the row:
+        # the octant translation state is untouched and queries still work.
+        assert np.array_equal(index.translator.delta, delta_before)
+        answer = index.query(np.array([1.0, 2.0, 1.0]), 30.0)
+        assert answer.ids.size >= 0  # no exception: machinery intact
+
+    def test_update_rejects_before_translator_poisoning(self):
+        index, points = self._index()
+        delta_before = index.translator.delta.copy()
+        with pytest.raises(DimensionMismatchError, match="finite"):
+            index.update_points(np.array([0]), np.array([[np.inf, 1.0, 1.0]]))
+        assert np.array_equal(index.translator.delta, delta_before)
+        assert np.array_equal(index.get_points(np.array([0])), points[[0]])
+
+    def test_sharded_insert_rejects_eagerly(self):
+        from .conftest import build_engine
+
+        engine, _, _ = build_engine(n_shards=2)
+        with engine:
+            delta_before = engine.translator.delta.copy()
+            n_before = len(engine)
+            with pytest.raises(DimensionMismatchError, match="finite"):
+                engine.insert_points(np.array([[np.nan, 1.0, 1.0, 1.0]]))
+            assert len(engine) == n_before
+            assert np.array_equal(engine.translator.delta, delta_before)

@@ -1,0 +1,157 @@
+"""Persistence failure modes: every corruption is a precise PersistenceError."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import FunctionIndex, QueryModel
+from repro.core.persistence import load_index, save_index
+from repro.exceptions import PersistenceError
+from repro.reliability import faults as _flt
+from repro.tuning import load_workload
+from repro.tuning.recorder import WorkloadRecorder
+
+
+@pytest.fixture
+def saved_index(tmp_path):
+    rng = np.random.default_rng(3)
+    points = rng.uniform(1.0, 50.0, size=(300, 3))
+    model = QueryModel.uniform(dim=3, low=1.0, high=5.0, rq=4)
+    index = FunctionIndex(points, model, n_indices=3, rng=3)
+    path = save_index(index, tmp_path / "index.npz")
+    return index, path
+
+
+class TestIndexArchiveFaults:
+    def test_roundtrip_is_exact(self, saved_index):
+        index, path = saved_index
+        loaded = load_index(path)
+        assert len(loaded) == len(index)
+        normal = np.array([2.0, 1.0, 3.0])
+        offset = 0.3 * float(normal @ index.get_points(index.live_ids()).max(axis=0))
+        assert np.array_equal(
+            loaded.query(normal, offset).ids, index.query(normal, offset).ids
+        )
+
+    def test_truncated_archive(self, saved_index):
+        _, path = saved_index
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(PersistenceError, match="cannot read index archive"):
+            load_index(path)
+
+    def test_bit_flipped_array(self, saved_index):
+        _, path = saved_index
+        blob = bytearray(path.read_bytes())
+        # Flip one byte in the middle of the compressed payload.  Depending
+        # on where it lands this either breaks the zlib stream (read error)
+        # or decompresses to different bytes (checksum mismatch) — both
+        # must surface as PersistenceError, never as a silent wrong index.
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_missing_manifest_key_in_v2(self, saved_index, tmp_path):
+        _, path = saved_index
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files if name != "metadata"}
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        del metadata["checksums"]["points"]
+        mutated = tmp_path / "missing-key.npz"
+        with open(mutated, "wb") as handle:
+            np.savez(
+                handle,
+                metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+                **arrays,
+            )
+        with pytest.raises(PersistenceError, match="points"):
+            load_index(mutated)
+
+    def test_v1_archive_without_manifest_still_loads(self, saved_index, tmp_path):
+        index, path = saved_index
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files if name != "metadata"}
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        metadata["format_version"] = 1
+        del metadata["checksums"]
+        legacy = tmp_path / "v1.npz"
+        with open(legacy, "wb") as handle:
+            np.savez(
+                handle,
+                metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+                **arrays,
+            )
+        loaded = load_index(legacy)
+        assert len(loaded) == len(index)
+
+    def test_unsupported_version_rejected(self, saved_index, tmp_path):
+        _, path = saved_index
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files if name != "metadata"}
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        metadata["format_version"] = 99
+        future = tmp_path / "v99.npz"
+        with open(future, "wb") as handle:
+            np.savez(
+                handle,
+                metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+                **arrays,
+            )
+        with pytest.raises(PersistenceError, match="unsupported archive version 99"):
+            load_index(future)
+
+    def test_torn_write_is_detected_on_load(self, tmp_path):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(1.0, 50.0, size=(200, 3))
+        model = QueryModel.uniform(dim=3, low=1.0, high=5.0, rq=4)
+        index = FunctionIndex(points, model, n_indices=2, rng=4)
+        target = tmp_path / "torn.npz"
+        with _flt.injected("persistence.write:torn:frac=0.5:artifact=index"):
+            save_index(index, target)
+        with pytest.raises(PersistenceError):
+            load_index(target)
+
+    def test_injected_write_error_leaves_previous_archive(self, saved_index):
+        index, path = saved_index
+        with _flt.injected("persistence.write:error:artifact=index"):
+            with pytest.raises(Exception):
+                save_index(index, path)
+        # The earlier archive survives intact.
+        assert len(load_index(path)) == len(index)
+
+
+class TestWorkloadArchiveFaults:
+    def _recorded(self, tmp_path):
+        recorder = WorkloadRecorder(capacity=8)
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            recorder.record_query(rng.uniform(1, 5, size=3), 10.0, "<=", "inequality")
+        return recorder.save(tmp_path / "w.npz")
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = self._recorded(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(Exception) as excinfo:
+            load_workload(path)
+        # Either the zip layer (TuningError) or the checksum layer
+        # (PersistenceError) catches it — silence is the only failure.
+        from repro.exceptions import TuningError
+
+        assert isinstance(excinfo.value, (TuningError, PersistenceError))
+
+    def test_torn_workload_write_detected(self, tmp_path):
+        recorder = WorkloadRecorder(capacity=4)
+        recorder.record_query(np.array([1.0, 2.0, 3.0]), 5.0, "<=", "inequality")
+        target = tmp_path / "torn-w.npz"
+        with _flt.injected("persistence.write:torn:frac=0.4:artifact=workload"):
+            recorder.save(target)
+        from repro.exceptions import TuningError
+
+        with pytest.raises((TuningError, PersistenceError)):
+            load_workload(target)
