@@ -2,9 +2,13 @@
 
 Two halves (see ``docs/analysis.md``):
 
-* :mod:`repro.analysis.lint` — an AST-based linter with repo-specific rules
-  (REP001–REP008) run as ``python -m repro lint [paths]``; the test suite
-  gates ``src/`` at zero findings.
+* :mod:`repro.analysis.lint` — an AST-based linter with repo-specific
+  per-file rules (REP001–REP009) run as ``python -m repro lint [paths]``;
+  the test suite gates ``src/`` at zero findings.
+* :mod:`repro.analysis.graph` / :mod:`repro.analysis.graph_rules` — a
+  whole-program graph (imports, class attribute accesses, executor call
+  seeds) and the cross-module rules REP010–REP014 run as
+  ``python -m repro lint --graph``.
 * :mod:`repro.analysis.contracts` — the :func:`array_contract` decorator, a
   zero-overhead no-op by default and a full shape/dtype/contiguity/NaN-inf
   checker when ``REPRO_SANITIZE=1``.
@@ -21,21 +25,39 @@ from .contracts import (
     parse_return_spec,
     sanitize_enabled,
 )
+from .graph import ProgramGraph, build_graph, package_root_for
+from .graph_rules import (
+    ARCHITECTURE,
+    GRAPH_REGISTRY,
+    GraphRule,
+    NARROW_INTERFACES,
+    check_graph,
+    graph_rule_ids,
+)
 from .lint import LintReport, lint_file, lint_paths
 from .rules import REGISTRY, Diagnostic, Rule, check_module, rule_ids
 
 __all__ = [
+    "ARCHITECTURE",
     "ArraySpec",
     "Contract",
     "Diagnostic",
+    "GRAPH_REGISTRY",
+    "GraphRule",
     "LintReport",
+    "NARROW_INTERFACES",
+    "ProgramGraph",
     "REGISTRY",
     "Rule",
     "array_contract",
+    "build_graph",
+    "check_graph",
     "check_module",
     "checked",
+    "graph_rule_ids",
     "lint_file",
     "lint_paths",
+    "package_root_for",
     "parse_param_spec",
     "parse_return_spec",
     "rule_ids",

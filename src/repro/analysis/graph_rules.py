@@ -1,0 +1,682 @@
+"""Cross-module lint rules (REP010–REP014) over the program graph.
+
+These rules consume the whole-program view built by
+:mod:`repro.analysis.graph` and guard the properties the per-file rules
+(REP001–REP009) cannot see: package layering, lock discipline across a
+class's methods, fork-safety of code that runs on executor threads,
+resource lifecycles, and the environment-variable registry.  They run
+through ``python -m repro lint --graph`` and are suppressed line-by-line
+with the same ``# repro: noqa(REP010)``-style mechanism as the file rules —
+see ``docs/analysis.md`` for the catalogue and suppression policy.
+
+The **ARCHITECTURE** table below is the enforced layering contract; it is
+mirrored verbatim into ``docs/architecture.md`` (a doc test keeps the two
+in sync through the graph-clean gate).  Keys are second-level packages of
+``repro`` (``""`` is the top-level ``repro/__init__``); values are the
+packages each one may import at module level.  Function-scoped (lazy)
+imports are exempt — they are the sanctioned mechanism for the CLI and
+for breaking potential cycles — and the two deliberate narrow interfaces
+(``core``/``parallel`` → ``tuning.recorder`` for workload capture) are
+listed in :data:`NARROW_INTERFACES` module-by-module rather than opening
+the whole ``tuning`` package to the hot path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .graph import (
+    AttrWrite,
+    CallRef,
+    ClassInfo,
+    FunctionInfo,
+    ImportEdge,
+    ModuleInfo,
+    ProgramGraph,
+)
+from .rules import Diagnostic
+
+__all__ = [
+    "ARCHITECTURE",
+    "NARROW_INTERFACES",
+    "GRAPH_REGISTRY",
+    "GraphRule",
+    "check_graph",
+    "graph_rule_ids",
+]
+
+
+#: Allowed module-level import targets per second-level package of the
+#: ``repro`` tree.  ``""`` is the top-level package module itself
+#: (``repro/__init__.py``); same-package imports are always allowed.
+ARCHITECTURE: Dict[str, frozenset] = {
+    "": frozenset({"core", "exceptions", "parallel", "reliability", "scan", "tuning"}),
+    "__main__": frozenset({"cli"}),
+    "_util": frozenset({"exceptions"}),
+    "analysis": frozenset({"exceptions"}),
+    "bench": frozenset(
+        {"_util", "core", "datasets", "moving", "obs", "parallel", "scan"}
+    ),
+    "cli": frozenset(),
+    "core": frozenset(
+        {"_util", "analysis", "exceptions", "geometry", "obs", "reliability"}
+    ),
+    "datasets": frozenset({"_util", "core"}),
+    "env": frozenset(),
+    "exceptions": frozenset(),
+    "extensions": frozenset({"_util", "core", "exceptions"}),
+    "geometry": frozenset({"_util", "analysis", "exceptions"}),
+    "halfspace": frozenset({"_util", "core", "extensions", "geometry"}),
+    "learning": frozenset({"_util", "core", "exceptions", "extensions", "scan"}),
+    "moving": frozenset({"_util", "core", "exceptions"}),
+    "obs": frozenset(),
+    "parallel": frozenset(
+        {"_util", "core", "exceptions", "geometry", "obs", "reliability"}
+    ),
+    "reliability": frozenset({"exceptions"}),
+    "scan": frozenset({"_util", "analysis", "core", "exceptions", "obs"}),
+    "sqlfunc": frozenset({"_util", "core", "exceptions"}),
+    "tuning": frozenset({"core", "exceptions", "obs", "reliability"}),
+}
+
+#: Sanctioned single-module exceptions to the package allow-lists:
+#: ``(importing package, exact target module)``.  The hot path may feed
+#: the workload recorder without the whole ``tuning`` package becoming a
+#: dependency of ``core``/``parallel``.
+NARROW_INTERFACES: Set[Tuple[str, str]] = {
+    ("core", "repro.tuning.recorder"),
+    ("parallel", "repro.tuning.recorder"),
+}
+
+
+@dataclass(frozen=True)
+class GraphRule:
+    """A registered whole-program rule."""
+
+    id: str
+    name: str
+    summary: str
+    check: Callable[[ProgramGraph], Iterable[Diagnostic]]
+
+
+def _package_of(graph: ProgramGraph, module_name: str) -> str:
+    """Second-level package of ``module_name`` (``""`` for the bare root)."""
+    if module_name == graph.package:
+        return ""
+    rest = module_name[len(graph.package) + 1 :]
+    return rest.split(".", 1)[0]
+
+
+def _diag(
+    graph: ProgramGraph, module_name: str, line: int, col: int, rule: str, message: str
+) -> Diagnostic:
+    module = graph.modules.get(module_name)
+    path = module.path if module is not None else module_name
+    return Diagnostic(path=path, line=line, col=col, rule=rule, message=message)
+
+
+# --------------------------------------------------------------------- #
+# REP010 — layering contract
+# --------------------------------------------------------------------- #
+
+
+def _find_cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Cycles among modules (each reported once, as a closed path)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    path: List[str] = []
+    cycles: List[List[str]] = []
+    seen: Set[frozenset] = set()
+
+    def visit(node: str) -> None:
+        color[node] = GRAY
+        path.append(node)
+        for succ in sorted(adjacency.get(node, ())):
+            if succ not in color:
+                continue
+            if color[succ] == GRAY:
+                start = path.index(succ)
+                cycle = path[start:] + [succ]
+                key = frozenset(cycle)
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(cycle)
+            elif color[succ] == WHITE:
+                visit(succ)
+        path.pop()
+        color[node] = BLACK
+
+    for node in sorted(adjacency):
+        if color[node] == WHITE:
+            visit(node)
+    return cycles
+
+
+def _check_layering(graph: ProgramGraph) -> Iterator[Diagnostic]:
+    seen_edges: Set[Tuple[str, str, int]] = set()
+    adjacency: Dict[str, Set[str]] = {name: set() for name in graph.modules}
+    edge_index: Dict[Tuple[str, str], ImportEdge] = {}
+    for edge in graph.module_edges():
+        if edge.target in graph.modules:
+            adjacency[edge.src].add(edge.target)
+            edge_index.setdefault((edge.src, edge.target), edge)
+        key = (edge.src, edge.target, edge.line)
+        if key in seen_edges:
+            continue
+        seen_edges.add(key)
+        src_pkg = _package_of(graph, edge.src)
+        tgt_pkg = _package_of(graph, edge.target)
+        if src_pkg == tgt_pkg:
+            continue
+        allowed = ARCHITECTURE.get(src_pkg)
+        if allowed is None:
+            yield _diag(
+                graph,
+                edge.src,
+                edge.line,
+                edge.col,
+                "REP010",
+                f"package '{src_pkg}' is not declared in the ARCHITECTURE "
+                f"table (module-level edge {edge.src} -> {edge.target})",
+            )
+            continue
+        if tgt_pkg in allowed or (src_pkg, edge.target) in NARROW_INTERFACES:
+            continue
+        yield _diag(
+            graph,
+            edge.src,
+            edge.line,
+            edge.col,
+            "REP010",
+            f"layering violation: {edge.src} (package '{src_pkg or 'repro'}') "
+            f"imports {edge.target} (package '{tgt_pkg}') at module level; "
+            f"ARCHITECTURE allows only "
+            f"{{{', '.join(sorted(allowed)) or 'nothing'}}} — use a "
+            f"function-scoped import or change the contract",
+        )
+    for cycle in _find_cycles(adjacency):
+        first_edge = edge_index.get((cycle[0], cycle[1]))
+        line = first_edge.line if first_edge is not None else 1
+        col = first_edge.col if first_edge is not None else 1
+        yield _diag(
+            graph,
+            cycle[0],
+            line,
+            col,
+            "REP010",
+            f"import cycle at module level: {' -> '.join(cycle)}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# REP011 — lock discipline
+# --------------------------------------------------------------------- #
+
+
+def _check_lock_discipline(graph: ProgramGraph) -> Iterator[Diagnostic]:
+    reachable = graph.reachable_from_submissions()
+    for cls in graph.classes():
+        if not cls.lock_attrs:
+            continue
+        by_attr: Dict[str, List[AttrWrite]] = {}
+        for write in cls.attr_writes:
+            if write.attr in cls.lock_attrs or write.in_init:
+                continue
+            by_attr.setdefault(write.attr, []).append(write)
+        for attr, writes in sorted(by_attr.items()):
+            guarded = [w for w in writes if w.guard_attrs & cls.lock_attrs]
+            unguarded = [w for w in writes if not (w.guard_attrs & cls.lock_attrs)]
+            if not unguarded:
+                continue
+            lock = sorted(cls.lock_attrs)[0]
+            for write in unguarded:
+                if guarded:
+                    message = (
+                        f"attribute 'self.{attr}' of {cls.qualname} is written "
+                        f"both under 'with self.{lock}' and, here in "
+                        f"{write.method}(), without it — every post-__init__ "
+                        f"mutation must hold the lock"
+                    )
+                elif f"{cls.qualname}.{write.method}" in reachable:
+                    site = reachable[f"{cls.qualname}.{write.method}"]
+                    message = (
+                        f"attribute 'self.{attr}' of lock-owning class "
+                        f"{cls.qualname} is written in {write.method}() without "
+                        f"'with self.{lock}', and {write.method}() runs on "
+                        f"executor threads (submitted at {site.module}:{site.line})"
+                    )
+                else:
+                    continue
+                yield _diag(
+                    graph, cls.module, write.line, write.col, "REP011", message
+                )
+
+
+# --------------------------------------------------------------------- #
+# REP012 — fork-unsafe global state on executor paths
+# --------------------------------------------------------------------- #
+
+
+def _check_fork_safety(graph: ProgramGraph) -> Iterator[Diagnostic]:
+    reachable = graph.reachable_from_submissions()
+    seen: Set[Tuple[str, str, str]] = set()
+    for func in sorted(graph.functions(), key=lambda f: f.qualname):
+        site = reachable.get(func.qualname)
+        if site is None:
+            continue
+        for use in func.global_uses:
+            key = (func.qualname, use.owner, use.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            verb = "writes" if use.is_write else "reads"
+            yield _diag(
+                graph,
+                func.module,
+                use.line,
+                use.col,
+                "REP012",
+                f"'{func.qualname}' is reachable from the executor submission "
+                f"at {site.module}:{site.line} and {verb} module-global "
+                f"mutable state '{use.owner}.{use.name}' — per-process copies "
+                f"would diverge under a ProcessPoolExecutor backend",
+            )
+
+
+# --------------------------------------------------------------------- #
+# REP013 — resource lifecycle
+# --------------------------------------------------------------------- #
+
+_EXECUTOR_NAMES = {"ThreadPoolExecutor", "ProcessPoolExecutor"}
+_CLOSE_METHODS = {"close", "shutdown"}
+
+
+def _ref_of(func_expr: ast.expr, module: ModuleInfo) -> Optional[CallRef]:
+    if isinstance(func_expr, ast.Name):
+        return CallRef(kind="name", name=func_expr.id)
+    if isinstance(func_expr, ast.Attribute) and isinstance(func_expr.value, ast.Name):
+        owner = func_expr.value.id
+        if owner == "self":
+            return CallRef(kind="self", name=func_expr.attr)
+        target = module.module_aliases.get(owner)
+        if target is not None:
+            return CallRef(kind="mod", name=func_expr.attr, module=target)
+    return None
+
+
+def _direct_resource_kind(
+    call: ast.Call, module: ModuleInfo, graph: ProgramGraph, closeable: Set[str]
+) -> Optional[str]:
+    """Resource kind created by ``call`` itself (no factory indirection)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "file handle"
+        if func.id in module.executor_names:
+            return "executor"
+    if isinstance(func, ast.Attribute) and func.attr in _EXECUTOR_NAMES:
+        return "executor"
+    ref = _ref_of(func, module)
+    if ref is not None:
+        cls = graph.resolve_class(module, ref)
+        if cls is not None and cls.qualname in closeable:
+            return f"{cls.name} instance"
+    return None
+
+
+def _resource_factories(graph: ProgramGraph, closeable: Set[str]) -> Dict[str, str]:
+    """Functions that directly return a resource: ``{qualname: kind}``."""
+    factories: Dict[str, str] = {}
+    for func in graph.functions():
+        module = graph.modules[func.module]
+        bound: Dict[str, str] = {}
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                kind = _direct_resource_kind(node.value, module, graph, closeable)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            bound[target.id] = kind
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                kind = _direct_resource_kind(value, module, graph, closeable)
+                if kind is not None:
+                    factories[func.qualname] = kind
+                    break
+            elif isinstance(value, ast.Name) and value.id in bound:
+                factories[func.qualname] = bound[value.id]
+                break
+    return factories
+
+
+def _resource_kind(
+    call: ast.Call,
+    module: ModuleInfo,
+    graph: ProgramGraph,
+    closeable: Set[str],
+    factories: Dict[str, str],
+) -> Optional[str]:
+    kind = _direct_resource_kind(call, module, graph, closeable)
+    if kind is not None:
+        return kind
+    ref = _ref_of(call.func, module)
+    if ref is not None:
+        target = graph.resolve_callable(module, ref)
+        if target is not None and target.qualname in factories:
+            return factories[target.qualname]
+    return None
+
+
+def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _finally_nodes(root: ast.AST) -> Set[ast.AST]:
+    nodes: Set[ast.AST] = set()
+    for node in ast.walk(root):
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                nodes.update(ast.walk(stmt))
+    return nodes
+
+
+def _name_in(needle: str, node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == needle for sub in ast.walk(node)
+    )
+
+
+def _is_bare_name(needle: str, node: ast.AST) -> bool:
+    """``node`` is exactly ``Name(needle)``, or a tuple/list/dict whose
+    direct element (or value) is — the only shapes treated as handing the
+    resource itself onward.  Nested reads (``len(x)``, ``x.attr`` inside
+    an f-string or comprehension) are not ownership transfer."""
+    candidates: List[ast.expr] = [node]  # type: ignore[list-item]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        candidates = list(node.elts)
+    elif isinstance(node, ast.Dict):
+        candidates = [value for value in node.values if value is not None]
+    return any(
+        isinstance(candidate, ast.Name) and candidate.id == needle
+        for candidate in candidates
+    )
+
+
+#: Builtins that read a value without assuming responsibility for it.
+_NON_OWNING_CALLS = frozenset(
+    {
+        "all", "any", "bool", "dict", "enumerate", "filter", "format",
+        "frozenset", "getattr", "hasattr", "hash", "id", "isinstance",
+        "issubclass", "iter", "len", "list", "map", "max", "min", "next",
+        "print", "repr", "reversed", "set", "sorted", "str", "sum",
+        "tuple", "type", "vars", "zip",
+    }
+)
+
+
+def _local_name_disposition(name: str, func: FunctionInfo, kind: str) -> Optional[str]:
+    """Violation message for resource bound to local ``name``, or None."""
+    in_finally = _finally_nodes(func.node)
+    closed = False
+    closed_in_finally = False
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _name_in(name, item.context_expr):
+                    return None  # with-managed (directly or via closing(...))
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if _is_bare_name(name, node.value):
+                return None  # ownership escapes to the caller
+        elif isinstance(node, ast.Call):
+            call_func = node.func
+            if (
+                isinstance(call_func, ast.Attribute)
+                and call_func.attr in _CLOSE_METHODS
+                and _name_in(name, call_func.value)
+            ):
+                closed = True
+                if node in in_finally:
+                    closed_in_finally = True
+            elif isinstance(call_func, ast.Name) and call_func.id in _NON_OWNING_CALLS:
+                continue
+            elif any(_is_bare_name(name, arg) for arg in node.args) or any(
+                _is_bare_name(name, kw.value) for kw in node.keywords
+            ):
+                return None  # handed to another owner — escapes
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is not None and _is_bare_name(name, value):
+                return None  # re-bound/stored elsewhere — ownership escapes
+    if closed_in_finally:
+        return None
+    if closed:
+        return (
+            f"{kind} '{name}' is closed only on the straight-line path — "
+            f"move the close()/shutdown() into a finally block or use 'with'"
+        )
+    return f"{kind} '{name}' is never closed or shut down on any path"
+
+
+def _creation_disposition(
+    call: ast.Call,
+    kind: str,
+    func: FunctionInfo,
+    graph: ProgramGraph,
+    parents: Dict[ast.AST, ast.AST],
+) -> Optional[str]:
+    """Violation message for one resource creation, or None when managed."""
+    node: ast.AST = call
+    while True:
+        parent = parents.get(node)
+        if parent is None:
+            return None
+        if isinstance(parent, ast.withitem):
+            return None
+        if isinstance(parent, ast.Return):
+            return None
+        if isinstance(parent, ast.Call) and node is not parent.func:
+            return None  # passed straight into another call — escapes
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+            )
+            if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                return _local_name_disposition(targets[0].id, func, kind)
+            if (
+                len(targets) == 1
+                and isinstance(targets[0], ast.Attribute)
+                and isinstance(targets[0].value, ast.Name)
+                and targets[0].value.id == "self"
+            ):
+                attr = targets[0].attr
+                owner = graph.class_by_qualname(func.cls) if func.cls else None
+                if owner is not None and attr not in owner.teardown_attrs:
+                    return (
+                        f"{kind} stored in self.{attr}, but no close()/"
+                        f"shutdown()/__exit__/__del__ of {owner.name} "
+                        f"releases it"
+                    )
+                return None
+            return None  # tuple/complex targets: assume ownership escapes
+        if isinstance(parent, ast.Expr):
+            return f"{kind} created and immediately discarded — never closed"
+        if isinstance(parent, ast.stmt):
+            return None  # other statement contexts: assume managed
+        node = parent
+
+
+def _check_resource_lifecycle(graph: ProgramGraph) -> Iterator[Diagnostic]:
+    closeable = graph.closeable_classes()
+    factories = _resource_factories(graph, closeable)
+    for func in sorted(graph.functions(), key=lambda f: f.qualname):
+        module = graph.modules[func.module]
+        parents = _parent_map(func.node)
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _resource_kind(node, module, graph, closeable, factories)
+            if kind is None:
+                continue
+            message = _creation_disposition(node, kind, func, graph, parents)
+            if message is not None:
+                yield _diag(
+                    graph,
+                    func.module,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "REP013",
+                    f"in {func.qualname}(): {message}",
+                )
+
+
+# --------------------------------------------------------------------- #
+# REP014 — environment-variable registry
+# --------------------------------------------------------------------- #
+
+
+def _parse_registry(module: ModuleInfo) -> Dict[str, Tuple[int, str]]:
+    """``{var name: (line, scope)}`` from ``EnvVar(...)`` calls."""
+    registered: Dict[str, Tuple[int, str]] = {}
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "EnvVar"
+        ):
+            continue
+        name: Optional[str] = None
+        scope = "runtime"
+        if (
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            name = node.args[0].value
+        for keyword in node.keywords:
+            if not isinstance(keyword.value, ast.Constant):
+                continue
+            if keyword.arg == "name" and isinstance(keyword.value.value, str):
+                name = keyword.value.value
+            elif keyword.arg == "scope" and isinstance(keyword.value.value, str):
+                scope = keyword.value.value
+        if name is not None:
+            registered[name] = (node.lineno, scope)
+    return registered
+
+
+def _check_env_registry(graph: ProgramGraph) -> Iterator[Diagnostic]:
+    registry_name = f"{graph.package}.env"
+    registry = graph.modules.get(registry_name)
+    registered = _parse_registry(registry) if registry is not None else {}
+    prefix = f"{graph.package.upper()}_"
+    reads: Dict[str, List[Tuple[str, int, int]]] = {}
+    for module in graph.modules.values():
+        for read in module.env_reads:
+            if read.name.startswith(prefix):
+                reads.setdefault(read.name, []).append(
+                    (module.name, read.line, read.col)
+                )
+    for name in sorted(reads):
+        if name in registered:
+            continue
+        hint = (
+            f"declare it in {registry_name} (ENV_VARS) and in the "
+            f"EXPERIMENTS.md env matrix"
+            if registry is not None
+            else f"create the {registry_name} registry module and declare it"
+        )
+        for module_name, line, col in reads[name]:
+            yield _diag(
+                graph,
+                module_name,
+                line,
+                col,
+                "REP014",
+                f"environment variable '{name}' is read here but not "
+                f"registered — {hint}",
+            )
+    for name, (line, scope) in sorted(registered.items()):
+        if scope == "runtime" and name not in reads:
+            yield _diag(
+                graph,
+                registry_name,
+                line,
+                1,
+                "REP014",
+                f"'{name}' is declared in {registry_name} but never read "
+                f"anywhere in the package — dead flag, or its scope= is wrong",
+            )
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+
+GRAPH_REGISTRY: Dict[str, GraphRule] = {
+    rule.id: rule
+    for rule in (
+        GraphRule(
+            id="REP010",
+            name="layering-contract",
+            summary="module-level imports must follow the ARCHITECTURE "
+            "table; no import cycles",
+            check=_check_layering,
+        ),
+        GraphRule(
+            id="REP011",
+            name="lock-discipline",
+            summary="attributes of lock-owning classes must be mutated "
+            "under the lock on every post-__init__ path",
+            check=_check_lock_discipline,
+        ),
+        GraphRule(
+            id="REP012",
+            name="fork-safety",
+            summary="code reachable from executor submissions must not "
+            "touch module-global mutable state",
+            check=_check_fork_safety,
+        ),
+        GraphRule(
+            id="REP013",
+            name="resource-lifecycle",
+            summary="executors/file handles/closeable objects must be "
+            "released on all paths (with / finally / owner teardown)",
+            check=_check_resource_lifecycle,
+        ),
+        GraphRule(
+            id="REP014",
+            name="env-registry",
+            summary="every REPRO_* environment read must be declared in "
+            "the repro.env registry (and the EXPERIMENTS.md matrix)",
+            check=_check_env_registry,
+        ),
+    )
+}
+
+
+def graph_rule_ids() -> List[str]:
+    """Sorted ids of the registered whole-program rules."""
+    return sorted(GRAPH_REGISTRY)
+
+
+def check_graph(
+    graph: ProgramGraph, select: Optional[Set[str]] = None
+) -> List[Diagnostic]:
+    """Run (selected) graph rules over ``graph``; returns sorted findings."""
+    diagnostics: List[Diagnostic] = []
+    for rule_id in graph_rule_ids():
+        if select is not None and rule_id not in select:
+            continue
+        diagnostics.extend(GRAPH_REGISTRY[rule_id].check(graph))
+    diagnostics.sort()
+    return diagnostics

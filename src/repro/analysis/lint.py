@@ -11,7 +11,18 @@ Exposed through the CLI as ``python -m repro lint [paths]``:
 Suppression: append ``# repro: noqa`` (all rules) or
 ``# repro: noqa(REP001)`` / ``# repro: noqa(REP001, REP004)`` to the
 offending line.  Suppressions are line-scoped and should carry a rationale
-comment — see ``docs/analysis.md``.
+comment — see ``docs/analysis.md``.  A noqa naming an id no rule owns is
+itself reported as REP000, so a typo cannot silently mask findings.
+
+``--graph`` additionally builds the whole-program graph
+(:mod:`repro.analysis.graph`) for every package the scanned files belong
+to and runs the cross-module rules REP010–REP014
+(:mod:`repro.analysis.graph_rules`); graph findings honor the same
+line-scoped noqa mechanism.  ``--changed`` restricts the per-file scan —
+and which graph findings are *reported* — to files touched per
+``git diff``/untracked, while the graph itself is still built
+whole-program, keeping the pre-commit path fast without losing
+cross-module context.
 
 ``--format json`` emits machine-readable findings; ``--stats`` emits
 per-rule finding counts and wall-time as JSON so benchmark harnesses can
@@ -30,6 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence, TextIO
 
+from .graph import build_graph, package_root_for
+from .graph_rules import GRAPH_REGISTRY, check_graph, graph_rule_ids
 from .rules import REGISTRY, Diagnostic, check_module, rule_ids
 
 __all__ = [
@@ -49,6 +62,12 @@ _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\s*\(\s*([A-Za-z0-9_,\s]*)\s*\))?", 
 _SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist"}
 
 
+def _known_rule_ids() -> set[str]:
+    """Every id a noqa may legitimately name (file rules, graph rules,
+    and the REP000 pseudo-rule)."""
+    return {"REP000", *rule_ids(), *graph_rule_ids()}
+
+
 @dataclass(frozen=True)
 class LintReport:
     """Outcome of one lint run."""
@@ -57,11 +76,14 @@ class LintReport:
     files_scanned: int
     elapsed_s: float
     suppressed: int
+    graph: bool = False
 
     @property
     def counts(self) -> dict[str, int]:
         """Findings per rule id, including zero entries for silent rules."""
         counts = {rule_id: 0 for rule_id in rule_ids()}
+        if self.graph:
+            counts.update({rule_id: 0 for rule_id in graph_rule_ids()})
         for diagnostic in self.diagnostics:
             counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
         return counts
@@ -139,7 +161,43 @@ def _lint_file_counting(
             suppressed += 1
             continue
         kept.append(diagnostic)
+    kept.extend(_unknown_noqa_ids(path, lines))
     return kept, suppressed
+
+
+def _unknown_noqa_ids(path: Path, lines: list[str]) -> list[Diagnostic]:
+    """REP000 findings for noqa comments naming ids no rule owns.
+
+    A mistyped id (``REP0O7`` where ``REP007`` was meant) used to be
+    silently ignored — the suppression did nothing *and* nothing said
+    so.  These findings are not themselves suppressible, like REP000
+    parse failures.
+    """
+    known = _known_rule_ids()
+    findings: list[Diagnostic] = []
+    for lineno, line_text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line_text)
+        if match is None:
+            continue
+        spec = match.group(1)
+        if spec is None or not spec.strip():
+            continue
+        for rule_id in sorted(
+            {rule.strip().upper() for rule in spec.split(",") if rule.strip()}
+        ):
+            if rule_id in known:
+                continue
+            findings.append(
+                Diagnostic(
+                    path=str(path),
+                    line=lineno,
+                    col=match.start() + 1,
+                    rule="REP000",
+                    message=f"unknown rule id '{rule_id}' in noqa suppression "
+                    f"— the suppression has no effect",
+                )
+            )
+    return findings
 
 
 def _discover(paths: Sequence[Path]) -> list[Path]:
@@ -160,8 +218,19 @@ def _discover(paths: Sequence[Path]) -> list[Path]:
     return list(unique)
 
 
-def lint_paths(paths: Sequence[Path | str], select: set[str] | None = None) -> LintReport:
-    """Lint files/directories and return a :class:`LintReport`."""
+def lint_paths(
+    paths: Sequence[Path | str],
+    select: set[str] | None = None,
+    *,
+    graph: bool = False,
+) -> LintReport:
+    """Lint files/directories and return a :class:`LintReport`.
+
+    With ``graph=True``, every package the scanned files belong to is
+    additionally parsed whole-program and the cross-module rules
+    (REP010–REP014) run over it; graph findings are reported only for
+    scanned files and honor line-scoped noqa suppressions.
+    """
     start = time.perf_counter()
     resolved = [Path(p) for p in paths]
     diagnostics: list[Diagnostic] = []
@@ -171,13 +240,55 @@ def lint_paths(paths: Sequence[Path | str], select: set[str] | None = None) -> L
         kept, hidden = _lint_file_counting(file, select)
         diagnostics.extend(kept)
         suppressed += hidden
+    if graph:
+        kept, hidden = _graph_findings(files, select)
+        diagnostics.extend(kept)
+        suppressed += hidden
     diagnostics.sort()
     return LintReport(
         diagnostics=tuple(diagnostics),
         files_scanned=len(files),
         elapsed_s=time.perf_counter() - start,
         suppressed=suppressed,
+        graph=graph,
     )
+
+
+def _graph_findings(
+    files: Sequence[Path], select: set[str] | None
+) -> tuple[list[Diagnostic], int]:
+    """Run the graph rules for every package root among ``files``.
+
+    The graph is always built over the *whole* package (cross-module
+    rules are meaningless on a file subset); findings are then filtered
+    to the scanned files and to lines without a matching noqa.
+    """
+    roots: dict[Path, None] = {}
+    for file in files:
+        root = package_root_for(file)
+        if root is not None:
+            roots.setdefault(root, None)
+    scanned = {str(file) for file in files}
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for root in roots:
+        program = build_graph(root)
+        lines_by_path = {
+            module.path: module.lines for module in program.modules.values()
+        }
+        for diagnostic in check_graph(program, select):
+            if diagnostic.path not in scanned:
+                continue
+            lines = lines_by_path.get(diagnostic.path, ())
+            line_text = (
+                lines[diagnostic.line - 1] if diagnostic.line - 1 < len(lines) else ""
+            )
+            rules = _noqa_rules(line_text)
+            if rules is None or diagnostic.rule in rules:
+                suppressed += 1
+                continue
+            kept.append(diagnostic)
+    return kept, suppressed
 
 
 # --------------------------------------------------------------------- #
@@ -259,6 +370,18 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="also build the whole-program graph and run the cross-module "
+        "rules REP010-REP014 (implied when --select names one)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="scan only files changed per git (diff against HEAD plus "
+        "untracked); with --graph the graph is still built whole-program",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +394,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _git_changed_files(scopes: Sequence[Path]) -> list[Path] | None:
+    """Python files changed vs HEAD (or untracked) under ``scopes``.
+
+    Returns ``None`` when git is unavailable or the working directory is
+    not a repository — the caller treats that as a usage error.
+    """
+    import subprocess
+
+    def _run(*argv: str) -> str:
+        return subprocess.run(
+            argv, capture_output=True, text=True, check=True
+        ).stdout
+
+    try:
+        top = Path(_run("git", "rev-parse", "--show-toplevel").strip())
+        changed = _run("git", "diff", "--name-only", "HEAD", "--")
+        untracked = _run("git", "ls-files", "--others", "--exclude-standard")
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    roots = [scope.resolve() for scope in scopes]
+    files: list[Path] = []
+    for name in sorted(set(changed.splitlines()) | set(untracked.splitlines())):
+        if not name.endswith(".py"):
+            continue
+        path = (top / name).resolve()
+        if not path.is_file():
+            continue
+        if any(path == root or root in path.parents for root in roots):
+            files.append(path)
+    return files
+
+
 def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int:
     """Execute a lint invocation from a parsed namespace; returns exit code."""
     stream = stream or sys.stdout
@@ -278,20 +433,36 @@ def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int
         for rule_id in rule_ids():
             rule = REGISTRY[rule_id]
             print(f"{rule.id}  {rule.name:<28} {rule.summary}", file=stream)
+        for rule_id in graph_rule_ids():
+            graph_rule = GRAPH_REGISTRY[rule_id]
+            print(
+                f"{graph_rule.id}  {graph_rule.name:<28} [graph] "
+                f"{graph_rule.summary}",
+                file=stream,
+            )
         return 0
     select: set[str] | None = None
     if args.select:
         select = {rule.strip().upper() for rule in args.select.split(",") if rule.strip()}
-        unknown = select - set(rule_ids())
+        unknown = select - _known_rule_ids()
         if unknown:
             print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
             return 2
+    graph = getattr(args, "graph", False) or bool(
+        select and select & set(graph_rule_ids())
+    )
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    report = lint_paths(paths, select)
+    if getattr(args, "changed", False):
+        changed = _git_changed_files(paths)
+        if changed is None:
+            print("--changed requires a git checkout", file=sys.stderr)
+            return 2
+        paths = changed
+    report = lint_paths(paths, select, graph=graph)
     if args.stats:
         _report_stats(report, stream)
     elif args.format == "json":

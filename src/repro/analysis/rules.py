@@ -4,7 +4,7 @@ Each rule guards an invariant the paper's correctness argument (or this
 reproduction's performance envelope) depends on but that the type system
 cannot express.  Rules are registered in :data:`REGISTRY`; the driver in
 :mod:`repro.analysis.lint` runs every applicable rule over each file and
-filters ``# repro: noqa(REPxxx)`` suppressions.
+filters ``# repro: noqa(REP001)``-style suppressions.
 
 Rules are deliberately heuristic: they resolve numpy import aliases and do
 light local dataflow (names bound from ``np.*`` calls or ``store.get_all()``)

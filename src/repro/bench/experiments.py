@@ -131,23 +131,29 @@ def run_query_experiment(
     index = _make_index(
         points, workload.model, n_indices, strategy, generator, n_shards, workers
     )
-    scan = SequentialScan(points)
-    queries = workload.sample_queries(n_queries, generator)
+    try:
+        scan = SequentialScan(points)
+        queries = workload.sample_queries(n_queries, generator)
 
-    # Warm both paths once so timings exclude first-touch effects.
-    index.query(queries[0].normal, queries[0].offset)
-    scan.query(queries[0])
+        # Warm both paths once so timings exclude first-touch effects.
+        index.query(queries[0].normal, queries[0].offset)
+        scan.query(queries[0])
 
-    planar_ms, answers = _timed_run(lambda q: index.query(q.normal, q.offset), queries)
-    baseline_ms = _mean_query_ms(scan.query, queries)
-    pruned = [answer.stats.pruned_fraction for answer in answers]
-    return {
-        "planar_ms": planar_ms,
-        "baseline_ms": baseline_ms,
-        "speedup": baseline_ms / planar_ms if planar_ms > 0 else float("inf"),
-        "pruning_pct": 100.0 * float(np.mean(pruned)),
-        "n_indices": index.n_indices,
-    }
+        planar_ms, answers = _timed_run(
+            lambda q: index.query(q.normal, q.offset), queries
+        )
+        baseline_ms = _mean_query_ms(scan.query, queries)
+        pruned = [answer.stats.pruned_fraction for answer in answers]
+        return {
+            "planar_ms": planar_ms,
+            "baseline_ms": baseline_ms,
+            "speedup": baseline_ms / planar_ms if planar_ms > 0 else float("inf"),
+            "pruning_pct": 100.0 * float(np.mean(pruned)),
+            "n_indices": index.n_indices,
+        }
+    finally:
+        if isinstance(index, ShardedFunctionIndex):
+            index.close()
 
 
 def run_consumption_experiment(
@@ -254,10 +260,16 @@ def run_scalability_experiment(
             workers,
         )
         build_s = time.perf_counter() - start
-        scan = SequentialScan(points)
-        queries = workload.sample_queries(n_queries, generator)
-        planar_ms = _mean_query_ms(lambda q: index.query(q.normal, q.offset), queries)
-        baseline_ms = _mean_query_ms(scan.query, queries)
+        try:
+            scan = SequentialScan(points)
+            queries = workload.sample_queries(n_queries, generator)
+            planar_ms = _mean_query_ms(
+                lambda q: index.query(q.normal, q.offset), queries
+            )
+            baseline_ms = _mean_query_ms(scan.query, queries)
+        finally:
+            if isinstance(index, ShardedFunctionIndex):
+                index.close()
         rows.append(
             {
                 "n_points": size,
@@ -429,21 +441,27 @@ def run_topk_experiment(
         n_shards,
         workers,
     )
-    scan = SequentialScan(points)
-    queries = workload.sample_queries(n_queries, generator)
-    rows: list[dict[str, object]] = []
-    for k in ks:
-        checked = [
-            index.topk(q.normal, q.offset, k).checked_fraction for q in queries
-        ]
-        planar_ms = _mean_query_ms(lambda q: index.topk(q.normal, q.offset, k), queries)
-        baseline_ms = _mean_query_ms(lambda q: scan.topk(q, k), queries)
-        rows.append(
-            {
-                "k": k,
-                "checked_pct": 100.0 * float(np.mean(checked)),
-                "planar_ms": planar_ms,
-                "baseline_ms": baseline_ms,
-            }
-        )
-    return rows
+    try:
+        scan = SequentialScan(points)
+        queries = workload.sample_queries(n_queries, generator)
+        rows: list[dict[str, object]] = []
+        for k in ks:
+            checked = [
+                index.topk(q.normal, q.offset, k).checked_fraction for q in queries
+            ]
+            planar_ms = _mean_query_ms(
+                lambda q: index.topk(q.normal, q.offset, k), queries
+            )
+            baseline_ms = _mean_query_ms(lambda q: scan.topk(q, k), queries)
+            rows.append(
+                {
+                    "k": k,
+                    "checked_pct": 100.0 * float(np.mean(checked)),
+                    "planar_ms": planar_ms,
+                    "baseline_ms": baseline_ms,
+                }
+            )
+        return rows
+    finally:
+        if isinstance(index, ShardedFunctionIndex):
+            index.close()

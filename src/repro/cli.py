@@ -14,7 +14,8 @@ Commands
     Generate a dataset and print its Table 2 characteristics (optionally
     exporting to CSV).
 ``lint``
-    Run the repo-specific AST linter (rules REP001–REP008, see
+    Run the repo-specific linter (per-file rules REP001–REP009 plus the
+    whole-program graph rules REP010–REP014 under ``--graph``, see
     ``docs/analysis.md``) over files or directories.  Exit code 0 means
     clean, 1 means findings, 2 means usage error.
 ``obs``
@@ -123,7 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repo-specific AST linter (REP001–REP008)",
+        help="run the repo-specific linter (REP001–REP014)",
         description="AST linter enforcing the Planar index invariants; "
         "see docs/analysis.md for the rule catalogue",
     )
@@ -187,28 +188,34 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             )
         else:
             index = FunctionIndex(points, model, n_indices=100, rng=args.seed)
-        normal = model.sample_normal(args.seed)
-        offset = 0.25 * float(normal @ points.max(axis=0))
-        answer = index.query(normal, offset)
-        print(f"indexed {len(index):,} points with {index.n_indices} Planar indices")
-        if args.shards > 1:
-            sizes = ", ".join(f"{s:,}" for s in index.shard_sizes())
-            print(f"sharded across {index.n_shards} shards ({sizes} points)")
-        print(f"query matched {len(answer):,} points; "
-              f"pruned {answer.stats.pruned_fraction:.1%}")
-        if args.explain:
-            print()
+        try:
+            normal = model.sample_normal(args.seed)
+            offset = 0.25 * float(normal @ points.max(axis=0))
+            answer = index.query(normal, offset)
+            print(
+                f"indexed {len(index):,} points with {index.n_indices} Planar indices"
+            )
             if args.shards > 1:
-                from repro import ScalarProductQuery
+                sizes = ", ".join(f"{s:,}" for s in index.shard_sizes())
+                print(f"sharded across {index.n_shards} shards ({sizes} points)")
+            print(f"query matched {len(answer):,} points; "
+                  f"pruned {answer.stats.pruned_fraction:.1%}")
+            if args.explain:
+                print()
+                if args.shards > 1:
+                    from repro import ScalarProductQuery
 
-                spq = ScalarProductQuery(normal, offset)
-                for shard, collection in enumerate(index.collections):
-                    print(f"shard {shard}:")
-                    print(collection.explain(spq).render())
-                    print()
-            else:
-                print(index.explain_report(normal, offset).render())
-        return 0
+                    spq = ScalarProductQuery(normal, offset)
+                    for shard, collection in enumerate(index.collections):
+                        print(f"shard {shard}:")
+                        print(collection.explain(spq).render())
+                        print()
+                else:
+                    print(index.explain_report(normal, offset).render())
+            return 0
+        finally:
+            if isinstance(index, ShardedFunctionIndex):
+                index.close()
     if args.name == "consumption":
         from repro import ParameterDomain
         from repro.datasets import consumption

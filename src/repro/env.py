@@ -1,0 +1,104 @@
+"""Single source of truth for every ``REPRO_*`` environment variable.
+
+Each switch the package reads from the process environment is declared
+here exactly once, with its default and a one-line description.  The
+registry is *declarative*: consumers keep reading ``os.environ`` at their
+own arming points (import-time for ``REPRO_SANITIZE``/``REPRO_FAULTS``,
+call-time for the rest) so hot-path behaviour is unchanged — but three
+artifacts are machine-checked against this module so flags cannot drift:
+
+* the whole-program lint rule **REP014** (``repro lint --graph``) fails
+  when a ``REPRO_*`` read appears anywhere in ``src/repro`` without a
+  matching :class:`EnvVar` entry, and when a ``runtime``-scope entry is
+  never read;
+* ``tests/analysis/test_env_registry.py`` fails when this registry and
+  the environment-variable matrix in ``EXPERIMENTS.md`` disagree;
+* ``docs/analysis.md`` documents the registry as the place new flags are
+  added.
+
+``scope`` says where the reads live: ``"runtime"`` entries are read
+inside ``src/repro`` (REP014 verifies this); ``"benchmarks"`` entries are
+read only by the ``benchmarks/`` harnesses, which sit outside the
+analyzed package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ENV_VARS", "EnvVar", "var_names"]
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """Declaration of one environment switch.
+
+    ``name`` is the full variable name (``REPRO_*``); ``default`` is the
+    effective value when unset, as the reader interprets it; ``help`` is
+    a one-line description matching the EXPERIMENTS.md matrix; ``scope``
+    is ``"runtime"`` (read inside ``src/repro``) or ``"benchmarks"``.
+    """
+
+    name: str
+    default: str
+    help: str
+    scope: str = "runtime"
+
+
+#: Every environment variable the reproduction responds to.  Keep this
+#: tuple, the EXPERIMENTS.md matrix, and the actual ``os.environ`` reads
+#: in sync — REP014 and the registry sync test enforce all three.
+ENV_VARS: Tuple[EnvVar, ...] = (
+    EnvVar(
+        name="REPRO_OBS",
+        default="0",
+        help="arm the observability layer (metrics, spans, EXPLAIN counters)",
+    ),
+    EnvVar(
+        name="REPRO_OBS_STATE",
+        default=".repro-obs.json",
+        help="path of the obs state file CLI runs merge their samples into",
+    ),
+    EnvVar(
+        name="REPRO_SANITIZE",
+        default="0",
+        help="arm @array_contract shape/dtype/contiguity/finiteness checks",
+    ),
+    EnvVar(
+        name="REPRO_SHARDS",
+        default="1",
+        help="default shard fan-out for the CLI and test fixtures",
+    ),
+    EnvVar(
+        name="REPRO_TUNE_RECORD",
+        default="0",
+        help="arm workload sketch recording in the query facades",
+    ),
+    EnvVar(
+        name="REPRO_FAULTS",
+        default="",
+        help="fault-plan spec armed from process start (see docs/reliability.md)",
+    ),
+    EnvVar(
+        name="REPRO_FAULTS_SEED",
+        default="0",
+        help="seed for probabilistic fault rules (seeded runs replay exactly)",
+    ),
+    EnvVar(
+        name="REPRO_FAULT_POLICY",
+        default="retry_then_degrade",
+        help="default shard-failure policy for engines built without one",
+    ),
+    EnvVar(
+        name="REPRO_BENCH_SCALE",
+        default="1",
+        help="scale factor for benchmark dataset sizes (10 ≈ paper scale)",
+        scope="benchmarks",
+    ),
+)
+
+
+def var_names() -> Tuple[str, ...]:
+    """Registered variable names, in declaration order."""
+    return tuple(var.name for var in ENV_VARS)

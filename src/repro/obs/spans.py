@@ -183,8 +183,8 @@ def _finish(rec: SpanRecord, stack: List[SpanRecord]) -> None:
         stack[-1].children.append(rec)
     else:
         with _traces_lock:
-            _traces.append(rec)
-    if _rt.ENABLED:
+            _traces.append(rec)  # repro: noqa(REP012) — trace ring is thread-shared; a process-pool backend would need a collector
+    if _rt.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
         _metrics.span_seconds().observe(rec.duration, name=rec.name)
 
 

@@ -427,9 +427,9 @@ class ShardedFunctionIndex:
         ``shard.query`` fault site fires *before* the work, so injected
         failures never leave partial shard state behind.
         """
-        if _flt.ARMED:
+        if _flt.ARMED:  # repro: noqa(REP012) — thread-shared by design; a process-pool backend must re-arm faults per worker
             _flt.check("shard.query", shard=shard, kind=kind)
-        obs_on = _ort.ENABLED
+        obs_on = _ort.ENABLED  # repro: noqa(REP012) — thread-shared by design; a process-pool backend must re-enable obs per worker
         started = time.perf_counter() if obs_on else 0.0
         result = fn(self._collections[shard])
         if obs_on:

@@ -392,7 +392,7 @@ def check(site: str, **attrs: object) -> None:
     path costs one attribute read; the re-check here makes direct calls
     safe too.
     """
-    plan = _PLAN
+    plan = _PLAN  # repro: noqa(REP012) — worker threads share the armed plan; process pools must arm via REPRO_FAULTS
     if plan is not None:
         plan.check(site, attrs)
 

@@ -1,0 +1,614 @@
+"""Meta-tests for the cross-module rules REP010–REP014.
+
+Every rule gets at least one *planted* fixture package containing the
+violation it exists to catch, plus a clean twin that must pass — so a
+rule that silently stops firing (or starts overfiring) fails its
+meta-test, not just code review.  Driver integration (noqa filtering of
+graph findings, REP000 on unknown noqa ids, ``--select`` implying
+``--graph``) is covered at the bottom.
+"""
+
+from __future__ import annotations
+
+import re
+import textwrap
+from pathlib import Path
+
+from repro.analysis.graph import build_graph
+from repro.analysis.graph_rules import ARCHITECTURE, check_graph
+from repro.analysis.lint import lint_paths, main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def write_package(root: Path, name: str, files: dict[str, str]) -> Path:
+    pkg = root / name
+    for relpath, source in files.items():
+        path = pkg / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        current = path.parent
+        while current != root:
+            init = current / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+            current = current.parent
+    return pkg
+
+
+def findings(pkg: Path, rule: str) -> list:
+    return check_graph(build_graph(pkg), select={rule})
+
+
+class TestLayering:
+    def test_forbidden_edge_is_flagged_with_edge_and_allowance(self, tmp_path):
+        # ``obs`` may import nothing — an obs -> core edge is the planted
+        # violation (the fixture package must be named ``repro`` so the
+        # real ARCHITECTURE table applies).
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                "obs/bad.py": "from repro.core import engine\n",
+                "core/engine.py": "",
+            },
+        )
+        diags = findings(pkg, "REP010")
+        assert len(diags) == 1
+        message = diags[0].message
+        assert "repro.obs.bad" in message and "repro.core.engine" in message
+        assert "'obs'" in message and "ARCHITECTURE" in message
+        assert diags[0].path.endswith("bad.py")
+
+    def test_allowed_edge_and_lazy_import_pass(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                # core -> obs is declared; a function-scoped import of a
+                # forbidden target is lazy and therefore exempt.
+                "core/good.py": """\
+                    from repro.obs import metrics
+
+                    def report():
+                        from repro.cli import helper
+                        return metrics, helper
+                    """,
+                "obs/metrics.py": "",
+                "cli/helper.py": "",
+            },
+        )
+        assert findings(pkg, "REP010") == []
+
+    def test_import_cycle_is_flagged_once(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                "core/a.py": "from repro.core import b\n",
+                "core/b.py": "from repro.core import a\n",
+            },
+        )
+        diags = findings(pkg, "REP010")
+        cycles = [d for d in diags if "import cycle" in d.message]
+        assert len(cycles) == 1
+        assert "repro.core.a" in cycles[0].message
+        assert "repro.core.b" in cycles[0].message
+
+    def test_undeclared_package_is_flagged(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                "mystery/x.py": "from repro.core import engine\n",
+                "core/engine.py": "",
+            },
+        )
+        diags = findings(pkg, "REP010")
+        assert len(diags) == 1
+        assert "not declared in the ARCHITECTURE table" in diags[0].message
+
+    def test_narrow_interface_admits_exact_module_only(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                "core/x.py": "from repro.tuning import recorder\n",
+                "core/y.py": "from repro.tuning import advisor\n",
+                "tuning/recorder.py": "",
+                "tuning/advisor.py": "",
+            },
+        )
+        diags = findings(pkg, "REP010")
+        assert len(diags) == 1  # recorder sanctioned, advisor not
+        assert "repro.tuning.advisor" in diags[0].message
+
+    def test_architecture_table_matches_docs(self):
+        """docs/architecture.md mirrors the enforced table verbatim."""
+        text = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+        rows: dict[str, frozenset] = {}
+        for match in re.finditer(
+            r"^\| `([a-z_./]+)`[^|]*\| ([^|]*)\|", text, re.MULTILINE
+        ):
+            key, allowed = match.group(1), match.group(2).strip()
+            if key == "repro/__init__":
+                key = ""
+            elif not key.islower() or "/" in key:
+                continue
+            rows[key] = (
+                frozenset()
+                if allowed in ("", "—")
+                else frozenset(p.strip("` ") for p in allowed.split(","))
+            )
+        assert rows == ARCHITECTURE, (
+            "docs/architecture.md layering table is out of sync with "
+            "repro.analysis.graph_rules.ARCHITECTURE"
+        )
+
+
+class TestLockDiscipline:
+    MIXED = textwrap.dedent(
+        """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def reset(self):
+                self._items = []
+        """
+    )
+
+    def test_mixed_guarded_unguarded_write_is_flagged(self, tmp_path):
+        pkg = write_package(tmp_path, "app", {"store.py": self.MIXED})
+        diags = findings(pkg, "REP011")
+        assert len(diags) == 1
+        assert "reset()" in diags[0].message
+        assert "self._lock" in diags[0].message
+
+    def test_all_guarded_twin_passes(self, tmp_path):
+        clean = self.MIXED.replace(
+            "    def reset(self):\n        self._items = []\n",
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self._items = []\n",
+        )
+        assert clean != self.MIXED
+        pkg = write_package(tmp_path, "app", {"store.py": clean})
+        assert findings(pkg, "REP011") == []
+
+    def test_unguarded_write_on_executor_path_is_flagged(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "engine.py": """\
+                    import threading
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Engine:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._results = []
+
+                        def run(self):
+                            with ThreadPoolExecutor() as pool:
+                                pool.submit(self._work)
+
+                        def _work(self):
+                            self._results.append(1)
+                    """
+            },
+        )
+        diags = findings(pkg, "REP011")
+        assert len(diags) == 1
+        assert "executor threads" in diags[0].message
+        assert "app.engine:" in diags[0].message
+
+    def test_single_threaded_unguarded_write_passes(self, tmp_path):
+        # A lock-owning class may mutate without the lock in methods that
+        # never run on executor threads, as long as no method guards the
+        # same attribute (no mixed discipline).
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "store.py": """\
+                    import threading
+
+                    class Store:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._cache = {}
+
+                        def set(self, key, value):
+                            self._cache[key] = value
+                    """
+            },
+        )
+        assert findings(pkg, "REP011") == []
+
+
+class TestForkSafety:
+    UNSAFE = {
+        "state.py": """\
+            ENABLED = False
+
+            def enable():
+                global ENABLED
+                ENABLED = True
+            """,
+        "engine.py": """\
+            from concurrent.futures import ThreadPoolExecutor
+            from app import state
+
+            def work(shard):
+                if state.ENABLED:
+                    return None
+                return shard
+
+            def run():
+                with ThreadPoolExecutor() as pool:
+                    pool.submit(work, 1)
+            """,
+    }
+
+    def test_global_read_on_submitted_path_is_flagged(self, tmp_path):
+        pkg = write_package(tmp_path, "app", self.UNSAFE)
+        diags = findings(pkg, "REP012")
+        assert len(diags) == 1
+        message = diags[0].message
+        assert "app.engine.work" in message
+        assert "app.state.ENABLED" in message
+        assert "app.engine:" in message  # names the submission site
+        assert "ProcessPoolExecutor" in message
+
+    def test_parameter_passing_twin_passes(self, tmp_path):
+        clean = dict(self.UNSAFE)
+        clean["engine.py"] = """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def work(shard, enabled):
+                if enabled:
+                    return None
+                return shard
+
+            def run(enabled):
+                with ThreadPoolExecutor() as pool:
+                    pool.submit(work, 1, enabled)
+            """
+        pkg = write_package(tmp_path, "app", clean)
+        assert findings(pkg, "REP012") == []
+
+    def test_global_use_off_executor_paths_passes(self, tmp_path):
+        # ``enable()`` writes the global but is never submitted.
+        pkg = write_package(
+            tmp_path, "app", {"state.py": self.UNSAFE["state.py"]}
+        )
+        assert findings(pkg, "REP012") == []
+
+
+class TestResourceLifecycle:
+    def test_executor_never_closed_is_flagged(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "run.py": """\
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def run(jobs):
+                        pool = ThreadPoolExecutor(max_workers=2)
+                        return [pool.submit(job).result() for job in jobs]
+                    """
+            },
+        )
+        diags = findings(pkg, "REP013")
+        assert len(diags) == 1
+        assert "executor 'pool'" in diags[0].message
+        assert "never closed" in diags[0].message
+
+    def test_with_managed_twin_passes(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "run.py": """\
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def run(jobs):
+                        with ThreadPoolExecutor(max_workers=2) as pool:
+                            return [pool.submit(job).result() for job in jobs]
+                    """
+            },
+        )
+        assert findings(pkg, "REP013") == []
+
+    def test_close_outside_finally_is_straight_line_finding(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "run.py": """\
+                    def run(path, data):
+                        handle = open(path, "w")
+                        handle.write(data)
+                        handle.close()
+                    """
+            },
+        )
+        diags = findings(pkg, "REP013")
+        assert len(diags) == 1
+        assert "straight-line path" in diags[0].message
+
+    def test_close_in_finally_passes(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "run.py": """\
+                    def run(path, data):
+                        handle = open(path, "w")
+                        try:
+                            handle.write(data)
+                        finally:
+                            handle.close()
+                    """
+            },
+        )
+        assert findings(pkg, "REP013") == []
+
+    def test_factory_leak_is_flagged_at_the_caller(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "res.py": """\
+                    class Index:
+                        def close(self):
+                            pass
+
+                    def make_index(n):
+                        index = Index()
+                        return index
+                    """,
+                "use.py": """\
+                    from app.res import make_index
+
+                    def leaky(n):
+                        index = make_index(n)
+                        return index.close is not None
+                    """,
+            },
+        )
+        diags = findings(pkg, "REP013")
+        assert len(diags) == 1
+        assert "app.use.leaky" in diags[0].message
+        assert "Index instance 'index'" in diags[0].message
+
+    def test_returning_and_escaping_ownership_passes(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "res.py": """\
+                    class Index:
+                        def close(self):
+                            pass
+
+                    def make_index(n):
+                        return Index()
+
+                    def build_all(ns):
+                        return [register(Index()) for n in ns]
+
+                    def register(index):
+                        return index
+                    """
+            },
+        )
+        assert findings(pkg, "REP013") == []
+
+    def test_self_attr_without_teardown_is_flagged(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "engine.py": """\
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Engine:
+                        def start(self):
+                            self._pool = ThreadPoolExecutor(max_workers=2)
+                    """
+            },
+        )
+        diags = findings(pkg, "REP013")
+        assert len(diags) == 1
+        assert "self._pool" in diags[0].message
+        assert "no close()" in diags[0].message
+
+    def test_self_attr_released_by_teardown_passes(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "engine.py": """\
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Engine:
+                        def start(self):
+                            self._pool = ThreadPoolExecutor(max_workers=2)
+
+                        def close(self):
+                            self._pool.shutdown()
+                    """
+            },
+        )
+        assert findings(pkg, "REP013") == []
+
+
+class TestEnvRegistry:
+    REGISTRY = """\
+        class EnvVar:
+            def __init__(self, name, default="", help="", scope="runtime"):
+                self.name = name
+
+        ENV_VARS = (
+            EnvVar("APP_FLAG", "0", "a flag"),
+            EnvVar("APP_DEAD", "0", "registered but never read"),
+            EnvVar("APP_BENCH", "1", "external harness", scope="benchmarks"),
+        )
+    """
+
+    def test_unregistered_read_and_dead_flag_are_flagged(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "env.py": self.REGISTRY,
+                "config.py": """\
+                    import os
+
+                    def load():
+                        flag = os.environ.get("APP_FLAG", "0")
+                        rogue = os.environ.get("APP_ROGUE")
+                        return flag, rogue
+                    """,
+            },
+        )
+        diags = findings(pkg, "REP014")
+        messages = [d.message for d in diags]
+        assert len(diags) == 2
+        assert any(
+            "'APP_ROGUE'" in m and "not registered" in m for m in messages
+        )
+        assert any("'APP_DEAD'" in m and "never read" in m for m in messages)
+        # Benchmark-scoped entries are exempt from the read check, and
+        # non-prefixed reads are out of scope entirely.
+        assert not any("APP_BENCH" in m for m in messages)
+
+    def test_registered_and_read_twin_passes(self, tmp_path):
+        registry = self.REGISTRY.replace(
+            '    EnvVar("APP_DEAD", "0", "registered but never read"),\n', ""
+        )
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "env.py": registry,
+                "config.py": """\
+                    import os
+
+                    def load():
+                        return os.environ.get("APP_FLAG", "0")
+                    """,
+            },
+        )
+        assert findings(pkg, "REP014") == []
+
+    def test_missing_registry_module_names_the_fix(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "config.py": """\
+                    import os
+
+                    def load():
+                        return os.environ.get("APP_FLAG", "0")
+                    """
+            },
+        )
+        diags = findings(pkg, "REP014")
+        assert len(diags) == 1
+        assert "create the app.env registry module" in diags[0].message
+
+
+class TestDriverIntegration:
+    def test_graph_finding_honors_noqa(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                "obs/bad.py": "from repro.core import engine  "
+                "# repro: noqa(REP010) — fixture rationale\n",
+                "core/engine.py": "",
+            },
+        )
+        report = lint_paths([pkg], select={"REP010"}, graph=True)
+        assert report.diagnostics == ()
+        assert report.suppressed == 1
+
+    def test_graph_findings_restricted_to_scanned_files(self, tmp_path):
+        pkg = write_package(
+            tmp_path,
+            "repro",
+            {
+                "obs/bad.py": "from repro.core import engine\n",
+                "obs/other.py": "from repro.core import engine\n",
+                "core/engine.py": "",
+            },
+        )
+        # Scanning one file still builds the whole-package graph, but
+        # only findings in that file are reported.
+        report = lint_paths([pkg / "obs" / "bad.py"], graph=True)
+        graph_diags = [d for d in report.diagnostics if d.rule == "REP010"]
+        assert len(graph_diags) == 1
+        assert graph_diags[0].path.endswith("bad.py")
+
+    def test_selecting_a_graph_rule_implies_graph(self, tmp_path, capsys):
+        pkg = write_package(
+            tmp_path,
+            "app",
+            {
+                "state.py": TestForkSafety.UNSAFE["state.py"],
+                "engine.py": TestForkSafety.UNSAFE["engine.py"],
+            },
+        )
+        code = lint_main([str(pkg), "--select", "REP012"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP012" in out
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "REP999"]) == 2
+
+    def test_unknown_noqa_id_is_rep000(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import os  # repro: noqa(REP999)\n", encoding="utf-8"
+        )
+        report = lint_paths([path], select={"REP000"})
+        assert [d.rule for d in report.diagnostics] == ["REP000"]
+        assert "'REP999'" in report.diagnostics[0].message
+        assert "no effect" in report.diagnostics[0].message
+
+    def test_unknown_noqa_fires_even_under_select(self, tmp_path):
+        # A typo'd suppression must surface no matter which rules run.
+        path = tmp_path / "mod.py"
+        path.write_text("X = 1  # repro: noqa(REP0O7)\n", encoding="utf-8")
+        report = lint_paths([path], select={"REP013"})
+        assert [d.rule for d in report.diagnostics] == ["REP000"]
+
+    def test_known_ids_and_blanket_noqa_are_not_flagged(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "A = 1  # repro: noqa(REP001, REP013)\nB = 2  # repro: noqa\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([path], select={"REP000"})
+        assert report.diagnostics == ()
+
+    def test_list_rules_includes_graph_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP010", "REP014"):
+            assert rule_id in out
+        assert "[graph]" in out

@@ -23,6 +23,19 @@ def test_src_is_lint_clean():
     assert report.exit_code == 0
 
 
+def test_src_is_graph_clean():
+    """The whole-program rules (REP010–REP014) must also hold: layering,
+    lock discipline, fork-safety, resource lifecycles, env registry."""
+    report = lint_paths([REPO / "src"], graph=True)
+    rendered = "\n".join(d.render() for d in report.diagnostics)
+    assert not report.diagnostics, f"graph lint findings in src/:\n{rendered}"
+    assert report.exit_code == 0
+    # The graph rules actually ran (counts include their zero entries).
+    assert {"REP010", "REP011", "REP012", "REP013", "REP014"} <= set(
+        report.counts
+    )
+
+
 def test_benchmarks_parse_cleanly():
     """Benchmarks are exempt from hot-path rules but must at least parse
     (REP000 fires on syntax errors regardless of scope)."""

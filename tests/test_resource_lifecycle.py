@@ -1,0 +1,117 @@
+"""Regression tests for the REP013 resource-lifecycle fixes.
+
+``repro lint --graph`` found four call sites that built a
+``ShardedFunctionIndex`` (which owns a thread pool) and dropped it
+without ``close()``: the CLI quickstart demo and three experiment
+runners.  These tests pin the fixes by substituting a close-recording
+subclass and asserting every constructed engine is closed — even when
+the body raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+import repro.bench.experiments as experiments
+from repro.cli import main
+from repro.datasets import load
+from repro.parallel import ShardedFunctionIndex
+
+
+class ClosableSpy(ShardedFunctionIndex):
+    """ShardedFunctionIndex that records lifecycle events."""
+
+    created: list["ClosableSpy"] = []
+    closed: list["ClosableSpy"] = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        type(self).created.append(self)
+
+    def close(self) -> None:
+        type(self).closed.append(self)
+        super().close()
+
+
+@pytest.fixture(autouse=True)
+def _reset_spy():
+    ClosableSpy.created = []
+    ClosableSpy.closed = []
+    yield
+    ClosableSpy.created = []
+    ClosableSpy.closed = []
+
+
+@pytest.fixture
+def points():
+    return load("indp", 2000, 4, rng=0).points
+
+
+class TestDemoClosesEngine:
+    def test_quickstart_closes_sharded_index(self, monkeypatch, capsys):
+        monkeypatch.setattr(repro, "ShardedFunctionIndex", ClosableSpy)
+        assert main(["demo", "quickstart", "--n", "2000", "--shards", "2"]) == 0
+        assert len(ClosableSpy.created) == 1
+        assert ClosableSpy.closed == ClosableSpy.created
+
+    def test_quickstart_closes_on_error(self, monkeypatch, capsys):
+        monkeypatch.setattr(repro, "ShardedFunctionIndex", ClosableSpy)
+
+        def boom(self, normal, offset):
+            raise RuntimeError("query failed")
+
+        monkeypatch.setattr(ClosableSpy, "query", boom)
+        with pytest.raises(RuntimeError):
+            main(["demo", "quickstart", "--n", "2000", "--shards", "2"])
+        assert ClosableSpy.closed == ClosableSpy.created
+
+
+class TestExperimentsCloseEngines:
+    @pytest.fixture(autouse=True)
+    def _patch(self, monkeypatch):
+        monkeypatch.setattr(experiments, "ShardedFunctionIndex", ClosableSpy)
+
+    def test_query_experiment(self, points):
+        cell = experiments.run_query_experiment(
+            points, rq=2, n_indices=5, n_queries=2, rng=0, n_shards=2
+        )
+        assert cell["planar_ms"] > 0
+        assert len(ClosableSpy.created) == 1
+        assert ClosableSpy.closed == ClosableSpy.created
+
+    def test_scalability_experiment_closes_every_size(self):
+        rows = experiments.run_scalability_experiment(
+            "indp", (500, 1000), dim=4, n_indices=5, n_queries=2, rng=0,
+            n_shards=2,
+        )
+        assert len(rows) == 2
+        assert len(ClosableSpy.created) == 2  # one engine per size
+        assert ClosableSpy.closed == ClosableSpy.created
+
+    def test_topk_experiment(self, points):
+        rows = experiments.run_topk_experiment(
+            points, ks=(5,), rq=2, n_indices=5, n_queries=2, rng=0, n_shards=2
+        )
+        assert len(rows) == 1
+        assert len(ClosableSpy.created) == 1
+        assert ClosableSpy.closed == ClosableSpy.created
+
+    def test_query_experiment_closes_on_error(self, points, monkeypatch):
+        def boom(self, normal, offset):
+            raise RuntimeError("query failed")
+
+        monkeypatch.setattr(ClosableSpy, "query", boom)
+        with pytest.raises(RuntimeError):
+            experiments.run_query_experiment(
+                points, rq=2, n_indices=5, n_queries=2, rng=0, n_shards=2
+            )
+        assert ClosableSpy.closed == ClosableSpy.created
+
+    def test_monolithic_paths_untouched(self, points):
+        cell = experiments.run_query_experiment(
+            points, rq=2, n_indices=5, n_queries=2, rng=0, n_shards=1
+        )
+        assert cell["planar_ms"] > 0
+        assert ClosableSpy.created == []
