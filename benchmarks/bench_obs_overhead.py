@@ -16,8 +16,15 @@ Arms:
     II verification → materialize → stats) re-inlined here with *no* obs
     code at all, reproducing the pre-instrumentation module.
 
-An informational test also measures the armed-mode cost, which is allowed
-to be visible (it is opt-in) but must stay bounded.
+A second gate covers production telemetry (ISSUE 7): armed at
+``REPRO_OBS_SAMPLE=0.01`` — always-on tracing with 1% head sampling —
+the same query must stay within **5%** of the uninstrumented pipeline,
+because unsampled traces mute every per-query span/metric and pay only
+the trace-id draw plus the ``repro_traces_total`` bump.
+
+An informational test also measures the fully-armed (sample everything)
+cost, which is allowed to be visible (it is opt-in) but must stay
+bounded.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.bench import print_table
 from repro.core import PlanarIndex, ScalarProductQuery
 from repro.core.planar import QueryStats
 from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 
 from conftest import scaled
 
@@ -148,6 +156,93 @@ def test_disabled_obs_overhead_below_two_percent(benchmark):
     assert ratio < 1.02, (
         f"instrumented/uninstrumented median ratio {ratio:.4f} exceeds the "
         f"2% bar ({med_inst * 1e6:.2f} us vs {med_base * 1e6:.2f} us per query)"
+    )
+
+
+def test_armed_sampled_overhead_below_five_percent(benchmark):
+    """Empirical gate: armed at 1% head sampling vs uninstrumented.
+
+    This is the production-telemetry contract: ``REPRO_OBS=1`` with
+    ``REPRO_OBS_SAMPLE=0.01`` keeps tracing and the query log always on
+    while unsampled queries (the ~99%) skip all span/metric bookkeeping
+    via the per-trace mute, so the median per-query cost stays within 5%
+    of the uninstrumented pipeline.
+    """
+    if obs_runtime.ENABLED:
+        import pytest
+
+        pytest.skip("benchmark process running under REPRO_OBS=1")
+
+    rng = np.random.default_rng(13)
+    index, queries = _build(rng)
+
+    def armed_sampled() -> None:
+        for query in queries:
+            index.query(query)
+
+    def uninstrumented() -> None:
+        for query in queries:
+            _uninstrumented_query(index, query)
+
+    uninstrumented()  # warm up caches and BLAS threads
+
+    previous_rate = obs_trace.set_sample_rate(0.01)
+    obs_runtime.enable()
+    try:
+        armed_sampled()  # warm up armed structures
+        # Query-level interleave: both arms run the *same* query
+        # back-to-back (alternating which goes first), so scheduler and
+        # frequency drift hit both arms identically instead of whichever
+        # half-second block it overlaps.  Run-level interleaving swings
+        # by ±20% on noisy CI machines; this shape is stable to ~1%.
+        rounds = 7
+        ratios = []
+        times_inst = []
+        times_base = []
+        for _ in range(rounds):
+            armed_total = 0.0
+            base_total = 0.0
+            for i, query in enumerate(queries):
+                if i & 1:
+                    t0 = time.perf_counter()
+                    index.query(query)
+                    t1 = time.perf_counter()
+                    _uninstrumented_query(index, query)
+                    t2 = time.perf_counter()
+                    armed_total += t1 - t0
+                    base_total += t2 - t1
+                else:
+                    t0 = time.perf_counter()
+                    _uninstrumented_query(index, query)
+                    t1 = time.perf_counter()
+                    index.query(query)
+                    t2 = time.perf_counter()
+                    base_total += t1 - t0
+                    armed_total += t2 - t1
+            times_inst.append(armed_total)
+            times_base.append(base_total)
+            ratios.append(armed_total / base_total)
+        benchmark.pedantic(armed_sampled, rounds=1, iterations=1)
+    finally:
+        obs_runtime.disable()
+        obs_trace.set_sample_rate(previous_rate)
+
+    med_inst = float(np.median(times_inst)) / N_QUERIES
+    med_base = float(np.median(times_base)) / N_QUERIES
+    ratio = float(np.median(ratios))
+    print_table(
+        "Armed-at-1%-sampling overhead on PlanarIndex.query",
+        [
+            {
+                "armed_sampled_us": med_inst * 1e6,
+                "uninstrumented_us": med_base * 1e6,
+                "ratio": ratio,
+            }
+        ],
+    )
+    assert ratio < 1.05, (
+        f"armed-sampled/uninstrumented median ratio {ratio:.4f} exceeds the "
+        f"5% bar ({med_inst * 1e6:.2f} us vs {med_base * 1e6:.2f} us per query)"
     )
 
 

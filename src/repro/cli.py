@@ -33,6 +33,15 @@ Commands
     injects shard errors / stalls / torn writes, and print a survival
     report (see ``docs/reliability.md``).  ``--verify`` checks every
     answer — complete or degraded — against the sequential ground truth.
+``slo``
+    Evaluate the declarative latency / completeness objectives against
+    the recorded metric state and report error-budget burn rates
+    (``repro slo check`` exits nonzero when an objective is violated, so
+    CI can gate on it).
+``top``
+    Live terminal dashboard over the obs state file: per-op query rates
+    and latency quantiles, reliability counters, and the SLO table
+    (``--once`` renders a single frame for CI smoke tests).
 """
 
 from __future__ import annotations
@@ -157,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
         "see docs/reliability.md",
     )
     chaos_module.configure_parser(chaos)
+
+    from repro.obs import slo as slo_module
+
+    slo = sub.add_parser(
+        "slo",
+        help="check latency / completeness objectives against recorded metrics",
+        description="SLO evaluation and error-budget burn rates; "
+        "see docs/observability.md",
+    )
+    slo_module.configure_parser(slo)
+
+    from repro.obs import dashboard as top_module
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over the obs state file",
+        description="terminal dashboard: query rates, latency quantiles, "
+        "reliability counters, SLO table; see docs/observability.md",
+    )
+    top_module.configure_parser(top)
     return parser
 
 
@@ -350,6 +379,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs.cli import run_from_args as obs_run
 
         return obs_run(args)
+    if args.command == "slo":
+        from repro.obs.slo import run_from_args as slo_run
+
+        return slo_run(args)
+    if args.command == "top":
+        from repro.obs.dashboard import run_from_args as top_run
+
+        return top_run(args)
     if args.command == "demo":
         code = _cmd_demo(args)
     elif args.command == "bench":

@@ -276,7 +276,7 @@ class PlanarIndexCollection:
         """
         if cache is None:
             cache = self._cache
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         if self._strategy is SelectionStrategy.MIN_STRETCH:
             position = int(
@@ -304,7 +304,7 @@ class PlanarIndexCollection:
         the chosen index's ranks) so Figures 9/10 metrics are unaffected by
         the routing decision; ``n_verified`` reflects the scan.
         """
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         ids, values = self._store.scan_values(wq.query.normal)
         mask = wq.op.evaluate(values, wq.query.offset)
@@ -342,7 +342,7 @@ class PlanarIndexCollection:
         answer, better worst case (the paper's "query time gets close to
         the baseline" regime).  Pruning statistics stay interval-based.
         """
-        if not _ort.ENABLED:
+        if not _ort.active():
             return self._query_impl(self.working_query(query))[0]
         started = time.perf_counter()
         with _osp.span("collection.query", strategy=self._strategy.value):
@@ -365,7 +365,7 @@ class PlanarIndexCollection:
         per-query :meth:`query` calls (including the cost-based scan
         routing).
         """
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         batch_started = time.perf_counter() if obs_on else 0.0
         n_intervals = 0
         n_scans = 0
@@ -423,7 +423,7 @@ class PlanarIndexCollection:
         across sibling shards so the globally best k-th distance prunes
         every shard's scan (see :meth:`PlanarIndex.topk`).
         """
-        if not _ort.ENABLED:
+        if not _ort.active():
             wq = self.working_query(query)
             return self.select(wq).topk(wq, k, cutoff=cutoff)
         started = time.perf_counter()
@@ -449,7 +449,7 @@ class PlanarIndexCollection:
         the ``strategy="solo"`` series the standalone
         :meth:`PlanarIndex.query_range` entry point reports.
         """
-        if not _ort.ENABLED:
+        if not _ort.active():
             return self.select(wq_high)._query_range_impl(wq_low, wq_high)
         started = time.perf_counter()
         with _osp.span("collection.query_range", strategy=self._strategy.value):
@@ -506,7 +506,7 @@ class PlanarIndexCollection:
             route = "scan"
             result = self._scan_result(wq, best, r_lo, r_hi, n)
         stats = result.stats
-        if _ort.ENABLED:
+        if _ort.active():
             _om.explain_total().inc(route=route)
         return ExplainReport(
             kind="inequality",

@@ -106,7 +106,7 @@ class FeatureStore:
         several times faster than checked fancy indexing, which dominates
         query latency otherwise.
         """
-        if _ort.ENABLED:
+        if _ort.active():
             _om.rows_gathered().inc(ids.size)
         return np.take(self._data, ids, axis=0)
 
@@ -123,7 +123,7 @@ class FeatureStore:
         collection's cost-based router uses it when an index's intermediate
         interval would be more expensive to verify than scanning.
         """
-        if _ort.ENABLED:
+        if _ort.active():
             _om.store_scans().inc()
         values = self._data @ np.ascontiguousarray(normal, dtype=np.float64)
         if self._n_live == self.capacity:

@@ -29,6 +29,7 @@ from ..exceptions import DimensionMismatchError, InvalidQueryError
 from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
+from ..obs import trace as _otr
 from ..reliability.degraded import DegradedInfo
 from ..obs.explain import ExplainReport
 from .collection import PlanarIndexCollection
@@ -73,6 +74,18 @@ class QueryAnswer:
 
     def __len__(self) -> int:
         return int(self.ids.size)
+
+
+def _merge_batch_stats(parts: list[QueryStats]) -> QueryStats:
+    """Sum per-query diagnostics of a batch for its trace's cost record."""
+    return QueryStats(
+        n_total=sum(p.n_total for p in parts),
+        si_size=sum(p.si_size for p in parts),
+        ii_size=sum(p.ii_size for p in parts),
+        li_size=sum(p.li_size for p in parts),
+        n_verified=sum(p.n_verified for p in parts),
+        n_results=sum(p.n_results for p in parts),
+    )
 
 
 class FunctionIndex:
@@ -222,6 +235,20 @@ class FunctionIndex:
         mask = query.evaluate(rows)
         return np.sort(ids[mask])
 
+    def _finish_trace(
+        self, ctx: _otr.TraceContext, answer: QueryAnswer, n_queries: int = 1
+    ) -> None:
+        """Close a monolithic facade trace (shards=1, never degraded)."""
+        if _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
+            _om.answer_completeness().observe(1.0, kind=ctx.kind)
+        _otr.finish(
+            ctx,
+            stats=answer.stats.to_dict if answer.stats is not None else None,
+            shards=1,
+            n_queries=n_queries,
+            results=len(answer),
+        )
+
     def query(
         self,
         normal: np.ndarray,
@@ -229,6 +256,24 @@ class FunctionIndex:
         op: Comparison | str = Comparison.LE,
     ) -> QueryAnswer:
         """Answer the inequality query ``<normal, phi(x)> OP offset`` exactly."""
+        ctx = _otr.begin("inequality")
+        if ctx is None:
+            return self._query_impl(normal, offset, op)
+        try:
+            answer = self._query_impl(normal, offset, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        self._finish_trace(ctx, answer)
+        return answer
+
+    def _query_impl(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> QueryAnswer:
+        """Untraced body of :meth:`query` (shared by the trace wrapper)."""
         spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
         if spq.dim != self._phi.out_dim:
             raise DimensionMismatchError(
@@ -246,7 +291,7 @@ class FunctionIndex:
 
     def _fallback_scan(self, query: ScalarProductQuery, kind: str) -> np.ndarray:
         """Octant-fallback scan, reported under its own metric route."""
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         ids = self._scan(query)
         if obs_on:
@@ -269,6 +314,24 @@ class FunctionIndex:
         :meth:`PlanarIndex.query_range`); falls back to a scan for
         octant-incompatible normals.
         """
+        ctx = _otr.begin("range")
+        if ctx is None:
+            return self._query_range_impl(normal, low, high)
+        try:
+            answer = self._query_range_impl(normal, low, high)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        self._finish_trace(ctx, answer)
+        return answer
+
+    def _query_range_impl(
+        self,
+        normal: np.ndarray,
+        low: float,
+        high: float,
+    ) -> QueryAnswer:
+        """Untraced body of :meth:`query_range`."""
         if not low <= high:
             raise InvalidQueryError(f"empty range ({low}, {high})")
         low_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), low, ">=")
@@ -287,7 +350,7 @@ class FunctionIndex:
         except InvalidQueryError:
             if not self._scan_fallback:
                 raise
-            obs_on = _ort.ENABLED
+            obs_on = _ort.active()
             started = time.perf_counter() if obs_on else 0.0
             ids, rows = self._features.get_all()
             values = rows @ low_q.normal  # repro: noqa(REP001) — explicit opt-in scan fallback (guarded above)
@@ -315,8 +378,40 @@ class FunctionIndex:
         ``normals`` is ``(m, d')`` and ``offsets`` has length ``m``.
         Binary searches are batched per selected index (see
         :meth:`PlanarIndexCollection.query_batch`); octant-incompatible
-        queries fall back to scans individually.
+        queries fall back to scans individually.  The batch is one trace.
         """
+        ctx = _otr.begin("batch")
+        if ctx is None:
+            return self._query_batch_impl(normals, offsets, op)
+        try:
+            answers = self._query_batch_impl(normals, offsets, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        parts = [answer.stats for answer in answers if answer.stats is not None]
+        merged = QueryAnswer(
+            np.empty(0, dtype=np.int64),
+            _merge_batch_stats(parts) if parts else None,
+            False,
+        )
+        if _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
+            _om.answer_completeness().observe(1.0, kind=ctx.kind)
+        _otr.finish(
+            ctx,
+            stats=merged.stats.to_dict if merged.stats is not None else None,
+            shards=1,
+            n_queries=len(answers),
+            results=sum(len(answer) for answer in answers),
+        )
+        return answers
+
+    def _query_batch_impl(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[QueryAnswer]:
+        """Untraced body of :meth:`query_batch`."""
         normals = as_2d_float(normals, "normals")
         offsets = np.ascontiguousarray(offsets, dtype=np.float64)
         if offsets.ndim != 1 or offsets.size != normals.shape[0]:
@@ -357,6 +452,34 @@ class FunctionIndex:
         op: Comparison | str = Comparison.LE,
     ) -> TopKResult:
         """Top-k satisfying points nearest the query hyperplane (Problem 2)."""
+        ctx = _otr.begin("topk")
+        if ctx is None:
+            return self._topk_impl(normal, offset, k, op)
+        try:
+            result = self._topk_impl(normal, offset, k, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        if _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
+            _om.answer_completeness().observe(1.0, kind=ctx.kind)
+        def cost() -> dict:
+            counters = result.stats.to_dict() if result.stats is not None else {}
+            counters["lbs_checked"] = int(result.n_checked)
+            return counters
+
+        _otr.finish(
+            ctx, stats=cost, shards=1, results=int(result.ids.size)
+        )
+        return result
+
+    def _topk_impl(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> TopKResult:
+        """Untraced body of :meth:`topk`."""
         spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
         if spq.dim != self._phi.out_dim:
             raise DimensionMismatchError(
@@ -371,7 +494,7 @@ class FunctionIndex:
                 raise
             from ..scan.baseline import SequentialScan
 
-            obs_on = _ort.ENABLED
+            obs_on = _ort.active()
             started = time.perf_counter() if obs_on else 0.0
             ids, rows = self._features.get_all()
             result = SequentialScan(rows, ids).topk(spq, k)
@@ -454,7 +577,7 @@ class FunctionIndex:
             if not self._scan_fallback:
                 raise
             ids = self._scan(spq)
-            if _ort.ENABLED:
+            if _ort.active():
                 _om.explain_total().inc(route="octant-fallback")
             n = len(self)
             return ExplainReport(

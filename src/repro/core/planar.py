@@ -55,6 +55,7 @@ from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
 from ..obs import spans as _osp
+from ..obs import trace as _otr
 from ..obs.explain import ExplainReport
 from .feature_store import FeatureStore
 from .query import Comparison, ScalarProductQuery
@@ -212,7 +213,7 @@ class PlanarIndex:
             # Build-time keying of the indexed rows: one deliberate matmul.
             self._keys = SortedKeyStore(rows @ self._normal, ids)  # repro: noqa(REP001)
         self._obs_label = str(obs_label)
-        if _ort.ENABLED:
+        if _ort.active():
             _om.indexed_points().set(len(self._keys), index=self._obs_label)
 
     # ------------------------------------------------------------------ #
@@ -250,7 +251,7 @@ class PlanarIndex:
         label = str(label)
         if label == self._obs_label:
             return
-        if _ort.ENABLED:
+        if _ort.active():
             gauge = _om.indexed_points()
             gauge.remove(index=self._obs_label)
             gauge.set(len(self._keys), index=label)
@@ -258,7 +259,7 @@ class PlanarIndex:
 
     def release_obs_label(self) -> None:
         """Retire this index's gauge series (called when it is dropped)."""
-        if _ort.ENABLED:
+        if _ort.active():
             _om.indexed_points().remove(index=self._obs_label)
 
     @property
@@ -345,7 +346,7 @@ class PlanarIndex:
         threshold is folded into the intermediate interval), so they are
         valid for the strict and non-strict operators alike.
         """
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         t_lo, t_hi, tol = self._thresholds(wq)
         r_lo = self._keys.rank_le(t_lo - tol)
@@ -385,9 +386,29 @@ class PlanarIndex:
         Accepts a raw :class:`ScalarProductQuery` (transformed internally)
         or a prebuilt :class:`WorkingQuery` (the collection path, which
         builds it once for all indices).
+
+        Opens a ``query.inequality`` trace root when obs is armed and no
+        outer facade already owns the trace, so standalone index usage
+        gets the same head sampling and query-log records as the
+        collection routes.
         """
+        ctx = _otr.begin("inequality")
+        if ctx is None:
+            return self._query_impl(query)
+        try:
+            result = self._query_impl(query)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        _otr.finish(
+            ctx, stats=result.stats.to_dict, results=result.stats.n_results
+        )
+        return result
+
+    def _query_impl(self, query: ScalarProductQuery | WorkingQuery) -> QueryResult:
+        """Inequality evaluation body shared by traced and nested calls."""
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
-        if not _ort.ENABLED:
+        if not _ort.active():
             r_lo, r_hi, _ = self.interval_ranks(wq)
             return self.finish_query(wq, r_lo, r_hi)
         started = time.perf_counter()
@@ -416,7 +437,7 @@ class PlanarIndex:
         ranks of many queries with one vectorized binary search and then
         finish each query individually.
         """
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         n = len(self._keys)
         if wq.op.is_upper_bound:
             accepted = [self._keys.ids_in_rank_range(0, r_lo)]
@@ -465,7 +486,7 @@ class PlanarIndex:
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
         r_lo, r_hi, n = self.interval_ranks(wq)
         stats = self.finish_query(wq, r_lo, r_hi).stats
-        if _ort.ENABLED:
+        if _ort.active():
             _om.explain_total().inc(route="intervals")
         return ExplainReport(
             kind="inequality",
@@ -503,7 +524,7 @@ class PlanarIndex:
         them with the real selection strategy (matching how ``query`` and
         ``topk`` label).
         """
-        if not _ort.ENABLED:
+        if not _ort.active():
             return self._query_range_impl(wq_low, wq_high)
         started = time.perf_counter()
         result = self._query_range_impl(wq_low, wq_high)
@@ -527,7 +548,7 @@ class PlanarIndex:
         """
         if not np.array_equal(wq_low.query.normal, wq_high.query.normal):
             raise InvalidQueryError("range bounds must share one query normal")
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         # Certain-satisfy rank range of each bound, by its own operator
         # (bounds may have been canonicalized with a negated normal, which
@@ -610,11 +631,38 @@ class PlanarIndex:
         the *global* k-th distance and the cutoff test stays strict, the
         merged result is still exact — a shard may merely stop scanning
         points that can no longer make the global top-k.
+
+        Opens a ``query.topk`` trace root when obs is armed and no outer
+        facade already owns the trace (shard scans dispatched by the
+        sharded engine attach to the engine's trace instead).
         """
+        ctx = _otr.begin("topk")
+        if ctx is None:
+            return self._topk_impl(query, k, cutoff)
+        try:
+            result = self._topk_impl(query, k, cutoff)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        def cost() -> dict:
+            counters = result.stats.to_dict()
+            counters["lbs_checked"] = int(result.n_checked)
+            return counters
+
+        _otr.finish(ctx, stats=cost, results=int(result.ids.size))
+        return result
+
+    def _topk_impl(
+        self,
+        query: ScalarProductQuery | WorkingQuery,
+        k: int,
+        cutoff: SharedCutoff | None = None,
+    ) -> TopKResult:
+        """Algorithm 2 body shared by traced and nested top-k calls."""
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         r_lo, r_hi, n = self.interval_ranks(wq)
         op = wq.op
         buffer = TopKBuffer(k)
@@ -736,12 +784,12 @@ class PlanarIndex:
         self._keys.insert(
             np.ascontiguousarray(ids, dtype=np.int64), rows @ self._normal
         )
-        if _ort.ENABLED:
+        if _ort.active():
             _om.indexed_points().set(len(self._keys), index=self._obs_label)
 
     @array_contract("ids: (m,) int64 cast")
     def delete(self, ids: np.ndarray) -> None:
         """Drop points from this index."""
         self._keys.delete(np.ascontiguousarray(ids, dtype=np.int64))
-        if _ort.ENABLED:
+        if _ort.active():
             _om.indexed_points().set(len(self._keys), index=self._obs_label)

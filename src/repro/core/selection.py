@@ -91,7 +91,7 @@ def angle_cosines(
 def select_min_stretch(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
     """Index position minimizing the maximum intermediate-interval stretch."""
     _require_indices(indices)
-    obs_on = _ort.ENABLED
+    obs_on = _ort.active()
     started = time.perf_counter() if obs_on else 0.0
     scores = [index.max_stretch(wq) for index in indices]
     position = int(np.argmin(scores))
@@ -103,7 +103,7 @@ def select_min_stretch(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
 def select_min_angle(indices: Sequence[PlanarIndex], wq: WorkingQuery) -> int:
     """Index position minimizing the angle to the query hyperplane."""
     _require_indices(indices)
-    obs_on = _ort.ENABLED
+    obs_on = _ort.active()
     started = time.perf_counter() if obs_on else 0.0
     scores = [index.angle_cosine(wq) for index in indices]
     position = int(np.argmax(scores))
@@ -120,7 +120,7 @@ def select_random(
     """Ablation baseline: uniformly random index, blind to the query."""
     _require_indices(indices)
     position = int(as_rng(rng).integers(0, len(indices)))
-    if _ort.ENABLED:
+    if _ort.active():
         _osp.record("select.random", time.perf_counter(), chosen=position)
     return position
 

@@ -61,6 +61,31 @@ ENV_VARS: Tuple[EnvVar, ...] = (
         help="path of the obs state file CLI runs merge their samples into",
     ),
     EnvVar(
+        name="REPRO_OBS_SAMPLE",
+        default="1",
+        help="head-sampling rate in [0, 1] for per-query traces and log records",
+    ),
+    EnvVar(
+        name="REPRO_OBS_SEED",
+        default="0",
+        help="seed of the deterministic trace-id sequence (replayable sampling)",
+    ),
+    EnvVar(
+        name="REPRO_OBS_LOG",
+        default="",
+        help="arm the rotating JSONL query log at this path (empty = off)",
+    ),
+    EnvVar(
+        name="REPRO_OBS_SLOW_MS",
+        default="100",
+        help="slow-query threshold in ms — slow queries log even when unsampled",
+    ),
+    EnvVar(
+        name="REPRO_OBS_SLO",
+        default="",
+        help="JSON file of SLO objectives for repro slo / repro top (empty = defaults)",
+    ),
+    EnvVar(
         name="REPRO_SANITIZE",
         default="0",
         help="arm @array_contract shape/dtype/contiguity/finiteness checks",

@@ -12,17 +12,31 @@ Three cooperating pieces (see ``docs/observability.md``):
 * :mod:`~repro.obs.explain` — structured EXPLAIN reports produced by
   ``PlanarIndex.explain`` / ``IndexCollection.explain``.
 
+Production telemetry on top (this is what the serving layer consumes):
+
+* :mod:`~repro.obs.trace` — deterministic per-query trace ids, head
+  sampling (``REPRO_OBS_SAMPLE``), and cross-thread trace stitching so
+  a sharded query is one tree, not a pile of orphan roots.
+* :mod:`~repro.obs.events` — a rotating JSONL query log
+  (``REPRO_OBS_LOG``): one record per sampled query with latency, cost
+  counters, shard fan-out, retries, and ``DegradedInfo``.
+* :mod:`~repro.obs.slo` — declarative latency/completeness objectives
+  evaluated into error-budget burn rates (``repro slo check``), plus
+  :mod:`~repro.obs.dashboard` (``repro top``).
+
 Everything is **off by default**: the instrumented hot paths check one
-module global (:data:`runtime.ENABLED`) and skip all bookkeeping, with a
-measured cost under 2% on ``PlanarIndex.query``
-(``benchmarks/bench_obs_overhead.py``).  Arm with ``REPRO_OBS=1`` in the
-environment or :func:`enable` at runtime.
+call (:func:`runtime.active`) and skip all bookkeeping, with a measured
+cost under 2% on ``PlanarIndex.query`` — and under 5% when armed at 1%
+head sampling (``benchmarks/bench_obs_overhead.py``).  Arm with
+``REPRO_OBS=1`` in the environment or :func:`enable` at runtime.
 
 This package never imports :mod:`repro.core` — the cores import *us*.
 """
 
 from __future__ import annotations
 
+from .events import configure as configure_query_log
+from .events import tail as tail_query_log
 from .exporters import (
     default_state_path,
     load_state,
@@ -41,7 +55,8 @@ from .metrics import (
     registry,
 )
 from .metrics import reset as reset_metrics
-from .runtime import disable, enable, enabled
+from .runtime import active, disable, enable, enabled
+from .slo import Objective, ObjectiveStatus, evaluate as evaluate_slos
 from .spans import (
     SpanRecord,
     clear_traces,
@@ -52,12 +67,39 @@ from .spans import (
     span,
     traced,
 )
+from .trace import (
+    TraceContext,
+    attach,
+    begin,
+    current,
+    find_trace,
+    finish,
+    sample_rate,
+    set_sample_rate,
+)
 
 __all__ = [
     # runtime switch
     "enable",
     "disable",
     "enabled",
+    "active",
+    # traces
+    "TraceContext",
+    "begin",
+    "finish",
+    "current",
+    "attach",
+    "find_trace",
+    "sample_rate",
+    "set_sample_rate",
+    # query log
+    "configure_query_log",
+    "tail_query_log",
+    # SLOs
+    "Objective",
+    "ObjectiveStatus",
+    "evaluate_slos",
     # metrics
     "LATENCY_BUCKETS",
     "Counter",

@@ -1,0 +1,211 @@
+"""``repro top`` — a live terminal dashboard over the obs state file.
+
+The dashboard is deliberately boring: no curses, no extra dependencies,
+just the cross-process state file (``.repro-obs.json`` /
+``$REPRO_OBS_STATE``) re-read every ``--interval`` seconds, rendered as
+a fixed-width frame, with the screen cleared between frames via ANSI
+escapes.  Because instrumented processes merge their registries into
+the state file on exit (and a long-running service can call
+``merge_into_file`` periodically), ``repro top`` watches any number of
+producers with zero coordination.
+
+Each frame shows:
+
+* per-op query counts and estimated p50/p95/p99 latency, plus the rate
+  since the previous frame (counter deltas / elapsed time);
+* reliability counters — shard retries, degraded answers, injected
+  faults — and mean answer completeness;
+* the SLO table from :mod:`repro.obs.slo`, evaluated against the same
+  snapshot, so "is the error budget burning" sits next to the signals
+  that answer "why".
+
+``--once`` renders a single frame without clearing the screen (CI
+smoke; piping into a file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from . import slo as _slo
+from .exporters import default_state_path, load_state
+from .metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = ["render_frame", "configure_parser", "run_from_args"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _counter_total(reg: MetricsRegistry, name: str) -> float:
+    """Sum of every series of a counter family (0.0 when absent)."""
+    family = reg.get(name)
+    if not isinstance(family, Counter):
+        return 0.0
+    return sum(family.series().values())
+
+
+def _kind_counts(reg: MetricsRegistry, name: str, label: str = "kind") -> Dict[str, float]:
+    """Counter totals grouped by one label (ignoring the others)."""
+    family = reg.get(name)
+    out: Dict[str, float] = {}
+    if not isinstance(family, Counter):
+        return out
+    try:
+        position = family.labelnames.index(label)
+    except ValueError:
+        return out
+    for key, value in family.series().items():
+        out[key[position]] = out.get(key[position], 0.0) + value
+    return out
+
+
+def _latency_row(reg: MetricsRegistry, kind: str) -> str:
+    """p50/p95/p99 of one op kind, formatted in milliseconds."""
+    family = reg.get("repro_query_latency_seconds")
+    if not isinstance(family, Histogram):
+        return f"{'-':>10s} {'-':>10s} {'-':>10s}"
+    cells, _, count = _slo.merge_series(family, kind)
+    if count == 0:
+        return f"{'-':>10s} {'-':>10s} {'-':>10s}"
+    parts = []
+    for quantile in (0.5, 0.95, 0.99):
+        value = _slo.estimate_quantile(family.buckets, cells, quantile)
+        parts.append(f"{value * 1000.0:>8.3f}ms" if not math.isnan(value) else f"{'-':>10s}")
+    return " ".join(parts)
+
+
+def render_frame(
+    reg: MetricsRegistry,
+    objectives: Sequence[_slo.Objective],
+    *,
+    state: Path,
+    previous: Optional[Dict[str, float]] = None,
+    elapsed: float = 0.0,
+) -> tuple[str, Dict[str, float]]:
+    """Render one dashboard frame; returns (text, counter totals).
+
+    ``previous``/``elapsed`` feed the rate column: per-kind query-count
+    deltas divided by the wall time since the last frame.
+    """
+    kind_counts = _kind_counts(reg, "repro_queries_total")
+    totals: Dict[str, float] = dict(kind_counts)
+    lines: List[str] = []
+    lines.append(f"repro top — {state}  ({time.strftime('%H:%M:%S')})")
+    lines.append("")
+    lines.append(
+        f"{'op kind':<12s} {'queries':>10s} {'qps':>8s}   "
+        f"{'p50':>10s} {'p95':>10s} {'p99':>10s}"
+    )
+    for kind in sorted(kind_counts):
+        count = kind_counts[kind]
+        if previous is not None and elapsed > 0:
+            rate = max(0.0, count - previous.get(kind, 0.0)) / elapsed
+            rate_text = f"{rate:>8.1f}"
+        else:
+            rate_text = f"{'-':>8s}"
+        lines.append(
+            f"{kind:<12s} {count:>10.0f} {rate_text}   {_latency_row(reg, kind)}"
+        )
+    if not kind_counts:
+        lines.append("(no query samples in state file yet)")
+    lines.append("")
+    retries = _counter_total(reg, "repro_reliability_shard_retries_total")
+    degraded = _counter_total(reg, "repro_reliability_degraded_queries_total")
+    faults = _counter_total(reg, "repro_reliability_faults_injected_total")
+    traces = _kind_counts(reg, "repro_traces_total", label="sampled")
+    completeness_family = reg.get("repro_answer_completeness")
+    if isinstance(completeness_family, Histogram):
+        _, total, count = _slo.merge_series(completeness_family, "*")
+        completeness = f"{total / count:.4f}" if count else "-"
+    else:
+        completeness = "-"
+    lines.append(
+        f"reliability   retries={retries:.0f} degraded={degraded:.0f} "
+        f"faults={faults:.0f} mean_completeness={completeness}"
+    )
+    sampled = traces.get("1", 0.0)
+    unsampled = traces.get("0", 0.0)
+    lines.append(f"traces        sampled={sampled:.0f} unsampled={unsampled:.0f}")
+    lines.append("")
+    statuses = _slo.evaluate(reg, objectives, publish=False)
+    lines.append(_slo.render_table(statuses))
+    return "\n".join(lines) + "\n", totals
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro top`` options (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between frames (default: 2)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    parser.add_argument(
+        "--state",
+        type=str,
+        default=None,
+        help="obs state file to watch (default: $REPRO_OBS_STATE or ./.repro-obs.json)",
+    )
+    parser.add_argument(
+        "--objectives",
+        type=str,
+        default=None,
+        help="SLO spec file (default: $REPRO_OBS_SLO or built-in defaults)",
+    )
+
+
+def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """``repro top`` entry point; 0 on clean exit, 2 on a bad SLO spec."""
+    stream = stream or sys.stdout
+    state = Path(args.state) if args.state else default_state_path()
+    try:
+        objectives = _slo.load_objectives(
+            Path(args.objectives) if args.objectives else None
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: bad SLO spec: {exc}", file=stream)
+        return 2
+    interval = max(0.1, float(args.interval))
+    previous: Optional[Dict[str, float]] = None
+    last_time = time.monotonic()
+    frames_rendered = 0
+    while True:
+        reg = load_state(state, MetricsRegistry())
+        now = time.monotonic()
+        frame, totals = render_frame(
+            reg,
+            objectives,
+            state=state,
+            previous=previous,
+            elapsed=now - last_time if previous is not None else 0.0,
+        )
+        if args.once:
+            stream.write(frame)
+            return 0
+        stream.write(_CLEAR + frame)
+        stream.flush()
+        previous = totals
+        last_time = now
+        frames_rendered += 1
+        if args.frames and frames_rendered >= args.frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0

@@ -1,0 +1,231 @@
+"""Structured query log: rotating JSONL, one record per sampled query.
+
+The event log is the third leg of the telemetry stool (metrics are
+aggregates, spans are bounded in-memory trees): an append-only JSONL
+file where each line is one facade query with its trace id, op kind,
+latency, per-stage cost counters, shard fan-out, retry count, and full
+``DegradedInfo`` — everything a serving layer needs to answer "what did
+query X actually do" hours later, across process restarts.
+
+Arming: set ``REPRO_OBS_LOG=/path/to/query-log.jsonl`` (the obs layer
+itself must be armed too — no events are emitted while ``REPRO_OBS`` is
+off, because facades never open traces).  Which queries get a record is
+the head-sampler's decision (:mod:`repro.obs.trace`), with two
+overrides: queries slower than ``REPRO_OBS_SLOW_MS`` (default 100 ms)
+and queries that raised are logged even when unsampled — the tail you
+most want is never sampled away.
+
+Rotation is size-based: when the active file would exceed
+``max_bytes`` (default 16 MiB) it is shifted to ``<path>.1`` (existing
+backups shift up, the oldest is dropped), so a long-running process
+holds at most ``backups + 1`` files.  Writes append a single
+``json.dumps`` line under a process-wide lock; nothing here is on the
+hot path of an unsampled query.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "armed",
+    "configure",
+    "configure_from_env",
+    "emit",
+    "slow_ms",
+    "set_slow_ms",
+    "log_path",
+    "iter_records",
+    "tail",
+    "find",
+    "render_line",
+]
+
+#: Rotation threshold for the active log file, in bytes.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+#: Rotated files kept around (``<path>.1`` ... ``<path>.N``).
+DEFAULT_BACKUPS = 2
+#: Default always-log latency threshold, in milliseconds.
+DEFAULT_SLOW_MS = 100.0
+
+_lock = threading.Lock()
+_path: Optional[str] = None
+_max_bytes: int = DEFAULT_MAX_BYTES
+_backups: int = DEFAULT_BACKUPS
+_slow_ms: float = DEFAULT_SLOW_MS
+
+
+def configure(
+    path: Optional[str],
+    *,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+    backups: int = DEFAULT_BACKUPS,
+) -> Optional[str]:
+    """Point the query log at ``path`` (``None`` disarms); returns the old path."""
+    global _path, _max_bytes, _backups
+    with _lock:
+        previous = _path
+        _path = path or None
+        _max_bytes = max(4096, int(max_bytes))
+        _backups = max(0, int(backups))
+    return previous
+
+
+def configure_from_env() -> Optional[str]:
+    """(Re-)read ``REPRO_OBS_LOG`` / ``REPRO_OBS_SLOW_MS``; returns the path."""
+    path = os.environ.get("REPRO_OBS_LOG", "").strip() or None
+    configure(path)
+    raw = os.environ.get("REPRO_OBS_SLOW_MS", "").strip()
+    if raw:
+        try:
+            set_slow_ms(float(raw))
+        except ValueError:
+            pass
+    return path
+
+
+def armed() -> bool:
+    """Whether emitted records have somewhere to go."""
+    return _path is not None  # repro: noqa(REP012) — thread-shared config; workers share one log by design
+
+
+def log_path() -> Optional[str]:
+    """The active query-log path, if armed."""
+    return _path
+
+
+def slow_ms() -> float:
+    """Latency threshold (ms) above which queries log even unsampled."""
+    return _slow_ms  # repro: noqa(REP012) — thread-shared config; workers share one threshold by design
+
+
+def set_slow_ms(threshold: float) -> float:
+    """Set the slow-query threshold in milliseconds; returns the old one."""
+    global _slow_ms
+    previous = _slow_ms
+    _slow_ms = max(0.0, float(threshold))
+    return previous
+
+
+def _rotate_locked(path: str) -> None:
+    """Shift ``path`` into the numbered backup chain (lock already held)."""
+    oldest = f"{path}.{_backups}" if _backups else None
+    if oldest and os.path.exists(oldest):
+        os.remove(oldest)
+    for position in range(_backups - 1, 0, -1):
+        source = f"{path}.{position}"
+        if os.path.exists(source):
+            os.replace(source, f"{path}.{position + 1}")
+    if _backups:
+        os.replace(path, f"{path}.1")
+    else:
+        os.remove(path)
+
+
+def emit(record: Dict[str, Any]) -> None:
+    """Append one record as a JSON line, rotating first if needed.
+
+    Silently drops the record when the log is disarmed (the emit site
+    in :mod:`repro.obs.trace` checks :func:`armed` first, but the check
+    is repeated under the lock so disarming mid-flight is safe).
+    """
+    line = json.dumps(record, separators=(",", ":"), default=str)
+    with _lock:
+        path = _path
+        if path is None:
+            return
+        try:
+            if (
+                os.path.exists(path)
+                and os.path.getsize(path) + len(line) + 1 > _max_bytes
+            ):
+                _rotate_locked(path)
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            # Telemetry must never take a query down with it: a full
+            # disk or yanked directory loses the record, not the answer.
+            return
+
+
+def iter_records(path: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+    """Yield parsed records oldest-first (backups first, then active).
+
+    Unparseable lines (a torn write at a crash boundary) are skipped —
+    the log is an observability artifact, not a ledger.
+    """
+    base = path or _path
+    if base is None:
+        return
+    candidates = [f"{base}.{position}" for position in range(_backups, 0, -1)]
+    candidates.append(base)
+    for candidate in candidates:
+        try:
+            handle: io.TextIOWrapper = open(candidate, "r", encoding="utf-8")
+        except OSError:
+            continue
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+
+
+def tail(count: int = 10, path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """The last ``count`` records, oldest-first within the returned slice."""
+    window: List[Dict[str, Any]] = []
+    for record in iter_records(path):
+        window.append(record)
+        if len(window) > max(1, count) * 4:
+            window = window[-max(1, count) :]
+    return window[-max(1, count) :] if count > 0 else []
+
+
+def find(trace_prefix: str, path: Optional[str] = None) -> Optional[Dict[str, Any]]:
+    """Most recent record whose trace id starts with ``trace_prefix``."""
+    prefix = trace_prefix.strip().lower()
+    if not prefix:
+        return None
+    match: Optional[Dict[str, Any]] = None
+    for record in iter_records(path):
+        if str(record.get("trace_id", "")).startswith(prefix):
+            match = record
+    return match
+
+
+def render_line(record: Dict[str, Any]) -> str:
+    """One-line human rendering of a query-log record (``repro obs tail``)."""
+    trace_id = str(record.get("trace_id", "?"))[:16]
+    op = record.get("op", "?")
+    latency = record.get("latency_ms", 0.0)
+    shards = record.get("shards", 1)
+    retries = record.get("retries", 0)
+    flags = []
+    if record.get("slow"):
+        flags.append("SLOW")
+    if not record.get("sampled", True):
+        flags.append("unsampled")
+    if record.get("error"):
+        flags.append(f"ERROR({record['error'].split(':', 1)[0]})")
+    degraded = record.get("degraded")
+    if degraded:
+        flags.append(f"degraded(completeness={degraded.get('completeness', '?')})")
+    suffix = f"  [{' '.join(flags)}]" if flags else ""
+    return (
+        f"{trace_id}  {op:<10s} {latency:>9.3f} ms  "
+        f"shards={shards} retries={retries}{suffix}"
+    )
+
+
+# Arm from the environment at import time so processes started with
+# REPRO_OBS_LOG set (CI lanes, production services) log from the first
+# query without any explicit setup call.
+configure_from_env()

@@ -41,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "registry",
     "reset",
+    "generation",
     "queries_total",
     "query_latency",
     "interval_points",
@@ -63,6 +64,11 @@ __all__ = [
     "degraded_queries_total",
     "checksum_failures_total",
     "atomic_writes_total",
+    "traces_total",
+    "answer_completeness",
+    "slo_burn_rate",
+    "slo_observed",
+    "slo_ok",
 ]
 
 #: Fixed log-scale latency buckets (seconds): three per decade, 1 µs – 10 s.
@@ -301,6 +307,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, _MetricBase] = {}
         self._lock = threading.Lock()
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # Family management
@@ -358,6 +365,16 @@ class MetricsRegistry:
         """Drop every family and all recorded samples."""
         with self._lock:
             self._metrics.clear()
+            self._generation += 1
+
+    def generation(self) -> int:
+        """Monotonic count of :meth:`reset` calls.
+
+        Hot paths that cache a family object (to skip the registry lock
+        per increment) key their cache on this value so a reset can't
+        leave them writing into a family the registry no longer holds.
+        """
+        return self._generation
 
     def n_samples(self) -> int:
         """Total recorded samples across all families (0 means pristine)."""
@@ -436,6 +453,11 @@ def registry() -> MetricsRegistry:
 def reset() -> None:
     """Clear the default registry (CLI ``repro obs reset`` and tests)."""
     _DEFAULT.reset()
+
+
+def generation() -> int:
+    """Reset generation of the default registry (family-cache key)."""
+    return _DEFAULT.generation()
 
 
 # --------------------------------------------------------------------- #
@@ -644,4 +666,64 @@ def atomic_writes_total() -> Counter:
         "Crash-safe artifact writes committed (temp file fsynced and "
         "renamed over the destination), by artifact.",
         ("artifact",),
+    )
+
+
+def traces_total() -> Counter:
+    """Facade traces begun, by op kind and sampling decision.
+
+    Incremented for *every* trace — sampled or not — so exact query
+    counts survive head sampling (``count / rate`` extrapolation is
+    never needed for throughput).
+    """
+    return _DEFAULT.counter(
+        "repro_traces_total",
+        "Facade query traces begun, by op kind "
+        "(inequality/range/topk/batch) and head-sampling decision.",
+        ("kind", "sampled"),
+    )
+
+
+#: Completeness histogram buckets: fractions of the full answer set.
+COMPLETENESS_BUCKETS: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def answer_completeness() -> Histogram:
+    """Per-answer completeness fraction (1.0 unless degraded), by kind."""
+    return _DEFAULT.histogram(
+        "repro_answer_completeness",
+        "Fraction of the data each answer covered (1.0 unless shards "
+        "were lost and the answer degraded), by op kind.",
+        ("kind",),
+        buckets=COMPLETENESS_BUCKETS,
+    )
+
+
+def slo_burn_rate() -> Gauge:
+    """Error-budget burn rate per declared objective (1.0 = at budget)."""
+    return _DEFAULT.gauge(
+        "repro_slo_burn_rate",
+        "Error-budget burn rate per declared objective; > 1.0 means the "
+        "objective is violated over the evaluated window.",
+        ("objective",),
+    )
+
+
+def slo_observed() -> Gauge:
+    """Observed value per objective (quantile seconds / completeness)."""
+    return _DEFAULT.gauge(
+        "repro_slo_observed",
+        "Observed value per declared objective (estimated latency "
+        "quantile in seconds, or mean completeness fraction).",
+        ("objective",),
+    )
+
+
+def slo_ok() -> Gauge:
+    """1 when the objective is met over the evaluated window, else 0."""
+    return _DEFAULT.gauge(
+        "repro_slo_ok",
+        "Whether each declared objective is currently met (1) or "
+        "violated (0) over the evaluated window.",
+        ("objective",),
     )

@@ -1,0 +1,453 @@
+"""Service-level objectives evaluated from the metrics registry.
+
+An *objective* declares what "healthy" means for one signal:
+
+* ``latency`` — "the p<quantile> of op ``kind`` stays under
+  ``threshold_ms``", estimated from the ``repro_query_latency_seconds``
+  histogram (log-scale buckets, linear interpolation within a bucket);
+* ``completeness`` — "mean answer completeness stays at or above
+  ``floor``", computed exactly from the ``repro_answer_completeness``
+  histogram's sum/count (degraded answers record their
+  ``DegradedInfo.completeness``; healthy answers record 1.0).
+
+Each evaluation produces an **error-budget burn rate**: the fraction of
+the allowed badness actually spent over the evaluated window.  For a
+p99 latency objective the budget is the 1% of queries allowed over the
+threshold, so ``burn = frac_over / 0.01``; for completeness the budget
+is ``1 - floor``, so ``burn = (1 - mean) / (1 - floor)``.  Burn > 1
+means the objective is violated; a serving layer sheds load on
+sustained burn, CI fails the build (``repro slo check`` exits 1).
+
+Results are published as ``repro_slo_burn_rate`` / ``repro_slo_observed``
+/ ``repro_slo_ok`` gauges (labelled by objective name) in the in-process
+registry, so a following ``repro obs export --format prometheus``
+exposes them next to the raw signals they were derived from.
+
+Objectives come from a JSON spec file (``REPRO_OBS_SLO`` or
+``--objectives``)::
+
+    {"objectives": [
+      {"name": "p99-query", "type": "latency", "kind": "inequality",
+       "quantile": 0.99, "threshold_ms": 50},
+      {"name": "completeness", "type": "completeness", "floor": 0.999}
+    ]}
+
+``kind`` may be omitted (or ``"*"``) to aggregate across all op kinds.
+With no spec at all, a permissive default pair (p99 ≤ 500 ms, mean
+completeness ≥ 0.999) keeps ``repro slo check`` and ``repro top``
+useful out of the box.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, TextIO, Tuple
+
+from . import metrics as _metrics
+from .exporters import default_state_path, load_state
+from .metrics import Histogram, HistogramSeries, MetricsRegistry
+from .metrics import registry as _registry
+
+__all__ = [
+    "Objective",
+    "ObjectiveStatus",
+    "DEFAULT_OBJECTIVES",
+    "parse_objectives",
+    "load_objectives",
+    "default_spec_path",
+    "merged_registry",
+    "estimate_quantile",
+    "merge_series",
+    "fraction_over",
+    "evaluate",
+    "render_table",
+    "configure_parser",
+    "run_from_args",
+]
+
+#: Env var naming the objectives spec file (JSON, schema above).
+SPEC_ENV = "REPRO_OBS_SLO"
+
+_LATENCY_METRIC = "repro_query_latency_seconds"
+_COMPLETENESS_METRIC = "repro_answer_completeness"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declared objective; exactly one of the two types."""
+
+    name: str
+    type: str  # "latency" | "completeness"
+    kind: str = "*"  # op-kind filter; "*" aggregates across kinds
+    quantile: float = 0.99  # latency only
+    threshold_ms: float = 500.0  # latency only
+    floor: float = 0.999  # completeness only
+
+    def describe(self) -> str:
+        """Human one-liner of the target."""
+        if self.type == "latency":
+            scope = "all ops" if self.kind == "*" else self.kind
+            return f"p{self.quantile * 100:g}({scope}) <= {self.threshold_ms:g} ms"
+        return f"mean completeness >= {self.floor:g}"
+
+
+@dataclass(frozen=True)
+class ObjectiveStatus:
+    """Evaluation of one objective over the merged registry."""
+
+    objective: Objective
+    observed: float  # quantile seconds / mean completeness (NaN if no data)
+    burn_rate: float
+    ok: bool
+    n_samples: int
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (``repro slo check --json``)."""
+        return {
+            "name": self.objective.name,
+            "target": self.objective.describe(),
+            "observed": None if math.isnan(self.observed) else self.observed,
+            "burn_rate": None if math.isnan(self.burn_rate) else self.burn_rate,
+            "ok": self.ok,
+            "n_samples": self.n_samples,
+        }
+
+
+#: Permissive defaults used when no spec file is configured.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(name="p99-latency", type="latency", quantile=0.99, threshold_ms=500.0),
+    Objective(name="completeness", type="completeness", floor=0.999),
+)
+
+
+def parse_objectives(spec: Mapping) -> Tuple[Objective, ...]:
+    """Validate a spec mapping into :class:`Objective` tuples.
+
+    Raises ``ValueError`` with a pointed message on malformed entries so
+    ``repro slo check`` can exit 2 (usage error) instead of lying.
+    """
+    entries = spec.get("objectives")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("SLO spec must have a non-empty 'objectives' list")
+    objectives: List[Objective] = []
+    seen: set = set()
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"objective #{position} is not an object")
+        name = str(entry.get("name", "")).strip()
+        if not name:
+            raise ValueError(f"objective #{position} is missing 'name'")
+        if name in seen:
+            raise ValueError(f"duplicate objective name {name!r}")
+        seen.add(name)
+        otype = str(entry.get("type", "")).strip()
+        if otype == "latency":
+            quantile = float(entry.get("quantile", 0.99))
+            if not 0.0 < quantile < 1.0:
+                raise ValueError(f"objective {name!r}: quantile must be in (0, 1)")
+            threshold = float(entry.get("threshold_ms", 0.0))
+            if threshold <= 0.0:
+                raise ValueError(f"objective {name!r}: threshold_ms must be > 0")
+            objectives.append(
+                Objective(
+                    name=name,
+                    type="latency",
+                    kind=str(entry.get("kind", "*")) or "*",
+                    quantile=quantile,
+                    threshold_ms=threshold,
+                )
+            )
+        elif otype == "completeness":
+            floor = float(entry.get("floor", 0.999))
+            if not 0.0 < floor <= 1.0:
+                raise ValueError(f"objective {name!r}: floor must be in (0, 1]")
+            objectives.append(
+                Objective(
+                    name=name,
+                    type="completeness",
+                    kind=str(entry.get("kind", "*")) or "*",
+                    floor=floor,
+                )
+            )
+        else:
+            raise ValueError(
+                f"objective {name!r}: type must be 'latency' or 'completeness'"
+            )
+    return tuple(objectives)
+
+
+def default_spec_path() -> Optional[Path]:
+    """Spec path from ``$REPRO_OBS_SLO``, if configured."""
+    raw = os.environ.get(SPEC_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def load_objectives(path: Optional[Path] = None) -> Tuple[Objective, ...]:
+    """Objectives from ``path`` / ``$REPRO_OBS_SLO`` / built-in defaults."""
+    target = path if path is not None else default_spec_path()
+    if target is None:
+        return DEFAULT_OBJECTIVES
+    spec = json.loads(Path(target).read_text(encoding="utf-8"))
+    return parse_objectives(spec)
+
+
+# --------------------------------------------------------------------- #
+# Histogram mathematics
+# --------------------------------------------------------------------- #
+
+
+def merge_series(
+    histogram: Histogram, kind: str
+) -> Tuple[List[int], float, int]:
+    """Cell-wise sum of every series matching the ``kind`` filter.
+
+    Returns (bucket cells incl. overflow, sum, count).  The kind label
+    is matched by name against the family's declared labels; families
+    without a ``kind`` label match everything.
+    """
+    try:
+        kind_pos: Optional[int] = histogram.labelnames.index("kind")
+    except ValueError:
+        kind_pos = None
+    cells = [0] * (len(histogram.buckets) + 1)
+    total = 0.0
+    count = 0
+    for key, series in histogram.series().items():
+        if kind != "*" and kind_pos is not None and key[kind_pos] != kind:
+            continue
+        for position, cell in enumerate(series.counts):
+            cells[position] += cell
+        total += series.total
+        count += series.count
+    return cells, total, count
+
+
+def _interpolated_cdf(
+    bounds: Sequence[float], cells: Sequence[int], value: float
+) -> float:
+    """Estimated count of observations <= ``value`` (linear within bucket)."""
+    running = 0.0
+    lower = 0.0
+    for bound, cell in zip(bounds, cells):
+        if value >= bound:
+            running += cell
+            lower = bound
+            continue
+        if bound > lower:
+            running += cell * (value - lower) / (bound - lower)
+        return running
+    # value beyond the last finite bound: overflow cell counts entirely
+    # below only at +Inf; treat the whole overflow cell as above.
+    return running
+
+
+def estimate_quantile(
+    bounds: Sequence[float], cells: Sequence[int], quantile: float
+) -> float:
+    """Estimate a quantile from cumulative bucket cells.
+
+    Linear interpolation within the containing bucket; observations in
+    the overflow cell report the last finite bound (a deliberate
+    *under*-estimate — the ``fraction_over`` check, not the point
+    estimate, is what gates).
+    """
+    count = sum(cells)
+    if count == 0:
+        return float("nan")
+    target = quantile * count
+    running = 0.0
+    lower = 0.0
+    for bound, cell in zip(bounds, cells):
+        if running + cell >= target and cell > 0:
+            fraction = (target - running) / cell
+            return lower + fraction * (bound - lower)
+        running += cell
+        lower = bound
+    return float(bounds[-1])
+
+
+def fraction_over(
+    bounds: Sequence[float], cells: Sequence[int], value: float
+) -> float:
+    """Estimated fraction of observations strictly above ``value``."""
+    count = sum(cells)
+    if count == 0:
+        return 0.0
+    below = _interpolated_cdf(bounds, cells, value)
+    return max(0.0, 1.0 - below / count)
+
+
+# --------------------------------------------------------------------- #
+# Evaluation
+# --------------------------------------------------------------------- #
+
+
+def _evaluate_latency(objective: Objective, reg: MetricsRegistry) -> ObjectiveStatus:
+    """Latency-quantile objective against ``repro_query_latency_seconds``."""
+    family = reg.get(_LATENCY_METRIC)
+    if not isinstance(family, Histogram):
+        return ObjectiveStatus(objective, float("nan"), 0.0, True, 0)
+    cells, _, count = merge_series(family, objective.kind)
+    if count == 0:
+        return ObjectiveStatus(objective, float("nan"), 0.0, True, 0)
+    threshold_s = objective.threshold_ms / 1000.0
+    observed = estimate_quantile(family.buckets, cells, objective.quantile)
+    over = fraction_over(family.buckets, cells, threshold_s)
+    allowed = 1.0 - objective.quantile
+    burn = over / allowed if allowed > 0 else (math.inf if over > 0 else 0.0)
+    return ObjectiveStatus(objective, observed, burn, burn <= 1.0, count)
+
+
+def _evaluate_completeness(
+    objective: Objective, reg: MetricsRegistry
+) -> ObjectiveStatus:
+    """Completeness-floor objective against ``repro_answer_completeness``."""
+    family = reg.get(_COMPLETENESS_METRIC)
+    if not isinstance(family, Histogram):
+        return ObjectiveStatus(objective, float("nan"), 0.0, True, 0)
+    _, total, count = merge_series(family, objective.kind)
+    if count == 0:
+        return ObjectiveStatus(objective, float("nan"), 0.0, True, 0)
+    mean = total / count
+    budget = 1.0 - objective.floor
+    shortfall = max(0.0, 1.0 - mean)
+    if budget > 0:
+        burn = shortfall / budget
+    else:
+        burn = math.inf if shortfall > 0 else 0.0
+    return ObjectiveStatus(objective, mean, burn, mean >= objective.floor, count)
+
+
+def evaluate(
+    reg: Optional[MetricsRegistry] = None,
+    objectives: Optional[Sequence[Objective]] = None,
+    *,
+    publish: bool = True,
+) -> List[ObjectiveStatus]:
+    """Evaluate every objective; optionally publish ``repro_slo_*`` gauges.
+
+    Objectives with no recorded samples evaluate as *ok* with
+    ``n_samples == 0`` — no traffic spends no error budget — and are
+    rendered distinctly so a silent pipeline cannot masquerade as a
+    healthy one.
+    """
+    reg = reg if reg is not None else _registry()
+    statuses: List[ObjectiveStatus] = []
+    for objective in objectives if objectives is not None else DEFAULT_OBJECTIVES:
+        if objective.type == "latency":
+            status = _evaluate_latency(objective, reg)
+        else:
+            status = _evaluate_completeness(objective, reg)
+        statuses.append(status)
+    if publish:
+        burn_gauge = _metrics.slo_burn_rate()
+        observed_gauge = _metrics.slo_observed()
+        ok_gauge = _metrics.slo_ok()
+        for status in statuses:
+            name = status.objective.name
+            if not math.isnan(status.burn_rate):
+                burn_gauge.set(status.burn_rate, objective=name)
+            if not math.isnan(status.observed):
+                observed_gauge.set(status.observed, objective=name)
+            ok_gauge.set(1.0 if status.ok else 0.0, objective=name)
+    return statuses
+
+
+def render_table(statuses: Sequence[ObjectiveStatus]) -> str:
+    """Fixed-width status table (``repro slo check`` / ``repro top``)."""
+    lines = [
+        f"{'objective':<18s} {'target':<34s} {'observed':>12s} "
+        f"{'burn':>8s} {'n':>8s}  status"
+    ]
+    for status in statuses:
+        objective = status.objective
+        if status.n_samples == 0:
+            observed = "-"
+            burn = "-"
+            verdict = "NO DATA"
+        else:
+            if objective.type == "latency":
+                observed = f"{status.observed * 1000.0:.3f} ms"
+            else:
+                observed = f"{status.observed:.4f}"
+            burn = f"{status.burn_rate:.2f}" if math.isfinite(status.burn_rate) else "inf"
+            verdict = "OK" if status.ok else "VIOLATED"
+        lines.append(
+            f"{objective.name:<18s} {objective.describe():<34s} {observed:>12s} "
+            f"{burn:>8s} {status.n_samples:>8d}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# CLI: ``repro slo check``
+# --------------------------------------------------------------------- #
+
+
+def merged_registry(state: Optional[Path] = None) -> MetricsRegistry:
+    """State file merged with the in-process registry (evaluation input)."""
+    merged = load_state(state if state is not None else default_state_path())
+    merged.restore(_registry().snapshot())
+    return merged
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro slo`` options (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "action",
+        choices=["check"],
+        help="check: evaluate objectives against recorded metrics",
+    )
+    parser.add_argument(
+        "--objectives",
+        type=str,
+        default=None,
+        help="objectives spec file (default: $REPRO_OBS_SLO or built-in defaults)",
+    )
+    parser.add_argument(
+        "--state",
+        type=str,
+        default=None,
+        help="obs state file to evaluate (default: $REPRO_OBS_STATE or ./.repro-obs.json)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat objectives with no recorded samples as violations",
+    )
+
+
+def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """``repro slo`` entry point; CI-friendly exit codes.
+
+    0 = every objective met, 1 = at least one violated (or, with
+    ``--strict``, unevaluable), 2 = spec/usage error.
+    """
+    stream = stream or sys.stdout
+    try:
+        objectives = load_objectives(Path(args.objectives) if args.objectives else None)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: bad SLO spec: {exc}", file=stream)
+        return 2
+    reg = merged_registry(Path(args.state) if args.state else None)
+    statuses = evaluate(reg, objectives)
+    if args.json:
+        payload = {"objectives": [status.to_dict() for status in statuses]}
+        print(json.dumps(payload, indent=2, sort_keys=True), file=stream)
+    else:
+        print(render_table(statuses), file=stream)
+    violated = any(not status.ok for status in statuses)
+    if args.strict and any(status.n_samples == 0 for status in statuses):
+        violated = True
+    return 1 if violated else 0

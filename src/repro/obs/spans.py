@@ -28,11 +28,19 @@ Two APIs, two cost profiles:
     ``time.perf_counter()`` themselves, guarded by a local boolean, so
     the disabled path costs a single branch and no function call::
 
-        obs_on = _rt.ENABLED
+        obs_on = _rt.active()
         t0 = time.perf_counter() if obs_on else 0.0
         ... work ...
         if obs_on:
             record("binary_search", t0)
+
+Spans are thread-local by default, but a trace can be *stitched* across
+threads: :mod:`repro.obs.trace` captures the root span on the issuing
+thread and :func:`adopt`/:func:`release` re-parent a worker thread's
+span stack under it, so sharded queries produce one tree instead of a
+pile of orphan roots.  Child-append is the only cross-thread mutation
+(``list.append``, atomic under the GIL) and the root closes only after
+all workers have been joined.
 
 Everything here is O(1) per span — no per-point work ever happens in
 this module (REP006 stays structurally impossible).
@@ -56,6 +64,10 @@ __all__ = [
     "record",
     "traced",
     "current_span",
+    "open_span",
+    "close_span",
+    "adopt",
+    "release",
     "recent_traces",
     "clear_traces",
     "set_trace_capacity",
@@ -191,13 +203,64 @@ def _finish(rec: SpanRecord, stack: List[SpanRecord]) -> None:
 def span(name: str, **attrs: Any):
     """Open a timed section; nests under any currently-open span.
 
-    Returns a no-op singleton when the observability layer is disabled,
-    so the call is safe (and cheap) on hot paths — though the hottest
-    inner sections should prefer :func:`record`.
+    Returns a no-op singleton when the observability layer is disabled
+    (or this thread is sampling-muted), so the call is safe (and cheap)
+    on hot paths — though the hottest inner sections should prefer
+    :func:`record`.
     """
-    if not _rt.ENABLED:
+    if not _rt.active():
         return _NULL_SPAN
     return _ActiveSpan(name, attrs)
+
+
+def open_span(name: str, **attrs: Any) -> SpanRecord:
+    """Unconditionally open a span and return its in-flight record.
+
+    Building block for :mod:`repro.obs.trace`, which manages root spans
+    whose lifetime does not fit a ``with`` block (opened at a facade's
+    entry, closed after the answer is merged).  Pair every call with
+    :func:`close_span` on the *same thread*.
+    """
+    rec = SpanRecord(name=name, start=0.0, attrs=attrs)
+    _state.stack.append(rec)
+    rec.start = time.perf_counter()
+    return rec
+
+
+def close_span(rec: SpanRecord) -> None:
+    """Close a span opened by :func:`open_span`.
+
+    Mismatched closes recover the same way :func:`span` exits do: the
+    stack is popped through the record rather than corrupting the tree.
+    """
+    rec.duration = time.perf_counter() - rec.start
+    stack = _state.stack
+    while stack:
+        top = stack.pop()
+        if top is rec:
+            break
+    _finish(rec, stack)
+
+
+def adopt(parent: SpanRecord) -> None:
+    """Re-parent this thread's span stack under ``parent``.
+
+    Used by :func:`repro.obs.trace.attach` on executor worker threads:
+    spans opened afterwards become children of ``parent`` (a root span
+    owned by the issuing thread) instead of orphan roots.  The append
+    into ``parent.children`` happens in :func:`_finish` via
+    ``list.append`` — atomic under the GIL — and the owner closes the
+    parent only after joining every worker.  Pair with :func:`release`.
+    """
+    _state.stack.append(parent)
+
+
+def release(parent: SpanRecord) -> None:
+    """Undo :func:`adopt` without closing ``parent``."""
+    stack = _state.stack
+    while stack:
+        if stack.pop() is parent:
+            break
 
 
 def record(name: str, started: float, **attrs: Any) -> None:
@@ -217,9 +280,9 @@ def record(name: str, started: float, **attrs: Any) -> None:
 def traced(name: Optional[str] = None) -> Callable[[_F], _F]:
     """Decorator form of :func:`span`.
 
-    The wrapper checks ``runtime.ENABLED`` first and calls the function
-    directly when disabled, so the overhead off-mode is one attribute
-    read and a branch.
+    The wrapper checks ``runtime.active()`` first and calls the function
+    directly when disabled (or sampling-muted), so the overhead off-mode
+    is one attribute read and a branch.
     """
 
     def decorate(func: _F) -> _F:
@@ -227,7 +290,7 @@ def traced(name: Optional[str] = None) -> Callable[[_F], _F]:
 
         @functools.wraps(func)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            if not _rt.ENABLED:
+            if not _rt.active():
                 return func(*args, **kwargs)
             with _ActiveSpan(span_name, {}):
                 return func(*args, **kwargs)

@@ -96,6 +96,7 @@ from ..geometry.translation import Translator
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
 from ..obs import spans as _osp
+from ..obs import trace as _otr
 from ..reliability import faults as _flt
 from ..reliability.degraded import DegradedInfo, FailurePolicy
 from ..tuning import recorder as _tnr
@@ -407,7 +408,7 @@ class ShardedFunctionIndex:
         )
 
     def _record_shard_sizes(self) -> None:
-        if not _ort.ENABLED:
+        if not _ort.active():
             return
         gauge = _om.shard_points()
         for shard, store in enumerate(self._stores):
@@ -417,6 +418,34 @@ class ShardedFunctionIndex:
     # Fan-out machinery
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _shard_cost(result: object) -> dict[str, int]:
+        """Per-shard cost counters for span annotation (small scalars only).
+
+        Understands the three fan-out result shapes: ``QueryResult``,
+        ``TopKResult`` (adds the LBS ``lbs_checked`` counter), and a
+        batch's ``list[QueryResult]`` (cell-wise sums).  These are the
+        counters the stitched-trace property test reconciles against the
+        merged answer's stats, so they must mirror ``_merge_stats``.
+        """
+        if isinstance(result, list):
+            parts = [entry.stats for entry in result if entry.stats is not None]
+            return {
+                "verified": sum(part.n_verified for part in parts),
+                "ii": sum(part.ii_size for part in parts),
+                "results": sum(part.n_results for part in parts),
+            }
+        stats = getattr(result, "stats", None)
+        cost: dict[str, int] = {}
+        if stats is not None:
+            cost.update(
+                verified=stats.n_verified, ii=stats.ii_size, results=stats.n_results
+            )
+        n_checked = getattr(result, "n_checked", None)
+        if n_checked is not None:
+            cost["lbs_checked"] = int(n_checked)
+        return cost
+
     def _run_shard(
         self, kind: str, shard: int, fn: Callable[[PlanarIndexCollection], _T]
     ) -> _T:
@@ -425,17 +454,44 @@ class ShardedFunctionIndex:
         Span recording uses thread-local stacks, so emitting from pool
         workers is safe; counters take one lock per increment.  The
         ``shard.query`` fault site fires *before* the work, so injected
-        failures never leave partial shard state behind.
+        failures never leave partial shard state behind.  When a trace is
+        attached, the shard's work runs inside a ``shard.<kind>`` span
+        carrying the trace id and per-shard cost counters, so the inner
+        collection spans nest under it in the stitched tree.
         """
         if _flt.ARMED:  # repro: noqa(REP012) — thread-shared by design; a process-pool backend must re-arm faults per worker
             _flt.check("shard.query", shard=shard, kind=kind)
-        obs_on = _ort.ENABLED  # repro: noqa(REP012) — thread-shared by design; a process-pool backend must re-enable obs per worker
-        started = time.perf_counter() if obs_on else 0.0
-        result = fn(self._collections[shard])
-        if obs_on:
-            _osp.record(f"shard.{kind}", started, shard=shard)
-            _om.shard_queries_total().inc(kind=kind, shard=str(shard))
+        if not _ort.active():
+            return fn(self._collections[shard])
+        ctx = _otr.current()
+        attrs: dict[str, object] = {"shard": shard}
+        if ctx is not None:
+            attrs["trace_id"] = ctx.trace_id
+        with _osp.span(f"shard.{kind}", **attrs) as shard_span:
+            try:
+                result = fn(self._collections[shard])
+            except BaseException as exc:  # repro: noqa(REP005) — span annotates the failure kind, then re-raises unchanged
+                shard_span.annotate(error=type(exc).__name__)
+                raise
+            shard_span.annotate(**self._shard_cost(result))
+        _om.shard_queries_total().inc(kind=kind, shard=str(shard))
         return result
+
+    def _run_shard_traced(
+        self,
+        ctx: _otr.TraceContext | None,
+        kind: str,
+        shard: int,
+        fn: Callable[[PlanarIndexCollection], _T],
+    ) -> _T:
+        """Worker-thread entry: restore the issuing query's trace context.
+
+        ``ctx`` is captured on the submitting thread (``_otr.current()``)
+        and re-entered here so the worker inherits both the stitched span
+        tree (sampled traces) and the sampling mute (unsampled ones).
+        """
+        with _otr.attach(ctx):
+            return self._run_shard(kind, shard, fn)
 
     def _execute_wave(
         self,
@@ -462,8 +518,9 @@ class ShardedFunctionIndex:
                 failures[0] = exc
             return results, failures
         executor = self._ensure_executor()
+        ctx = _otr.current()
         futures = {
-            shard: executor.submit(self._run_shard, kind, shard, fn)
+            shard: executor.submit(self._run_shard_traced, ctx, kind, shard, fn)
             for shard in shards
         }
         for shard, future in futures.items():
@@ -551,25 +608,29 @@ class ShardedFunctionIndex:
     def _record_retry(
         self, kind: str, shards: Sequence[int], attempt: int, started: float
     ) -> None:
-        if not _ort.ENABLED:
+        # Reliability counters stay exact under head sampling (ENABLED),
+        # while the span only joins sampled traces (active()).
+        if not _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
             return
         _om.shard_retries_total().inc(len(shards), kind=kind)
-        _osp.record(
-            "shard.retry", started, kind=kind, attempt=attempt, shards=len(shards)
-        )
+        if _ort.active():
+            _osp.record(
+                "shard.retry", started, kind=kind, attempt=attempt, shards=len(shards)
+            )
 
     def _record_degraded(self, kind: str, degraded: DegradedInfo) -> None:
-        if not _ort.ENABLED:
+        if not _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
             return
         _om.degraded_queries_total().inc(kind=kind)
-        _osp.record(
-            "shard.degrade",
-            time.perf_counter(),
-            kind=kind,
-            failed=len(degraded.failed_shards),
-            recovered=len(degraded.recovered_shards),
-            completeness=round(degraded.completeness, 6),
-        )
+        if _ort.active():
+            _osp.record(
+                "shard.degrade",
+                time.perf_counter(),
+                kind=kind,
+                failed=len(degraded.failed_shards),
+                recovered=len(degraded.recovered_shards),
+                completeness=round(degraded.completeness, 6),
+            )
 
     def _map_shards(
         self,
@@ -643,8 +704,18 @@ class ShardedFunctionIndex:
             try:
                 if _flt.ARMED:
                     _flt.check("shard.scan", shard=shard, kind=kind)
+                obs_on = _ort.active()
+                started = time.perf_counter() if obs_on else 0.0
                 results[shard] = recover(shard)
                 scan_recovered.append(shard)
+                if obs_on:
+                    _osp.record(
+                        "shard.recover",
+                        started,
+                        shard=shard,
+                        kind=kind,
+                        **self._shard_cost(results[shard]),
+                    )
             except Exception:  # repro: noqa(REP005) — recovery is best-effort; failures are accounted, not raised
                 failed.append(shard)
         if len(failed) == self._n_shards:
@@ -684,7 +755,7 @@ class ShardedFunctionIndex:
 
     def _fallback_scan(self, spq: ScalarProductQuery, kind: str) -> np.ndarray:
         """Octant-fallback: one scan over the shared store (all shards)."""
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         ids, rows = self._features.get_all()
         mask = spq.evaluate(rows)
@@ -777,6 +848,46 @@ class ShardedFunctionIndex:
     # Queries
     # ------------------------------------------------------------------ #
 
+    def _finish_trace(
+        self,
+        ctx: _otr.TraceContext,
+        *,
+        stats: QueryStats | None,
+        degraded: DegradedInfo | None,
+        results: int,
+        n_queries: int = 1,
+        lbs_checked: int | None = None,
+    ) -> None:
+        """Close a facade trace: completeness observation + query-log record.
+
+        Completeness is observed for *every* trace (sampled or not) so
+        the SLO completeness floor is evaluated over exact data; the
+        per-stage cost counters ride the query-log record, which is
+        emitted per the head-sampling / slow-query rules in
+        :mod:`repro.obs.trace`.
+        """
+        if _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
+            _om.answer_completeness().observe(
+                degraded.completeness if degraded is not None else 1.0,
+                kind=ctx.kind,
+            )
+        def cost() -> dict:
+            counters = stats.to_dict() if stats is not None else {}
+            if lbs_checked is not None:
+                counters = dict(counters)
+                counters["lbs_checked"] = lbs_checked
+            return counters
+
+        _otr.finish(
+            ctx,
+            stats=cost,
+            degraded=degraded,
+            shards=self._n_shards,
+            retries=degraded.retries if degraded is not None else 0,
+            n_queries=n_queries,
+            results=results,
+        )
+
     def query(
         self,
         normal: np.ndarray,
@@ -784,6 +895,26 @@ class ShardedFunctionIndex:
         op: Comparison | str = Comparison.LE,
     ) -> QueryAnswer:
         """Answer ``<normal, phi(x)> OP offset`` exactly, fanned across shards."""
+        ctx = _otr.begin("inequality", shards=self._n_shards)
+        if ctx is None:
+            return self._query_impl(normal, offset, op)
+        try:
+            answer = self._query_impl(normal, offset, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        self._finish_trace(
+            ctx, stats=answer.stats, degraded=answer.degraded, results=len(answer)
+        )
+        return answer
+
+    def _query_impl(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        op: Comparison | str = Comparison.LE,
+    ) -> QueryAnswer:
+        """Untraced body of :meth:`query` (shared by the trace wrapper)."""
         spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
         self._check_dim(spq)
         if _tnr.RECORDING:
@@ -811,8 +942,38 @@ class ShardedFunctionIndex:
 
         The whole plannable batch is shipped to every shard as *one* task
         (each shard batches its own binary searches per selected index),
-        so fan-out overhead is per shard, not per query.
+        so fan-out overhead is per shard, not per query.  The batch is
+        one trace: per-query shard work appears as children of a single
+        ``query.batch`` root.
         """
+        ctx = _otr.begin("batch", shards=self._n_shards)
+        if ctx is None:
+            return self._query_batch_impl(normals, offsets, op)
+        try:
+            answers = self._query_batch_impl(normals, offsets, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        parts = [answer.stats for answer in answers if answer.stats is not None]
+        degraded = next(
+            (answer.degraded for answer in answers if answer.degraded is not None), None
+        )
+        self._finish_trace(
+            ctx,
+            stats=_merge_stats(parts) if parts else None,
+            degraded=degraded,
+            results=sum(len(answer) for answer in answers),
+            n_queries=len(answers),
+        )
+        return answers
+
+    def _query_batch_impl(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[QueryAnswer]:
+        """Untraced body of :meth:`query_batch`."""
         normals = as_2d_float(normals, "normals")
         offsets = np.ascontiguousarray(offsets, dtype=np.float64)
         if offsets.ndim != 1 or offsets.size != normals.shape[0]:
@@ -864,6 +1025,26 @@ class ShardedFunctionIndex:
         high: float,
     ) -> QueryAnswer:
         """Exact BETWEEN query: ``low <= <normal, phi(x)> <= high``."""
+        ctx = _otr.begin("range", shards=self._n_shards)
+        if ctx is None:
+            return self._query_range_impl(normal, low, high)
+        try:
+            answer = self._query_range_impl(normal, low, high)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        self._finish_trace(
+            ctx, stats=answer.stats, degraded=answer.degraded, results=len(answer)
+        )
+        return answer
+
+    def _query_range_impl(
+        self,
+        normal: np.ndarray,
+        low: float,
+        high: float,
+    ) -> QueryAnswer:
+        """Untraced body of :meth:`query_range`."""
         if not low <= high:
             raise InvalidQueryError(f"empty range ({low}, {high})")
         low_q = ScalarProductQuery(np.asarray(normal, dtype=np.float64), low, ">=")
@@ -879,7 +1060,7 @@ class ShardedFunctionIndex:
         except InvalidQueryError:
             if not self._scan_fallback:
                 raise
-            obs_on = _ort.ENABLED
+            obs_on = _ort.active()
             started = time.perf_counter() if obs_on else 0.0
             ids, rows = self._features.get_all()
             values = rows @ low_q.normal  # repro: noqa(REP001) — explicit opt-in scan fallback (guarded above)
@@ -915,6 +1096,31 @@ class ShardedFunctionIndex:
         through one :class:`~repro.core.topk.TopKBuffer` — identical ids,
         distances, and tie-breaks as the monolithic scan.
         """
+        ctx = _otr.begin("topk", shards=self._n_shards)
+        if ctx is None:
+            return self._topk_impl(normal, offset, k, op)
+        try:
+            result = self._topk_impl(normal, offset, k, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        self._finish_trace(
+            ctx,
+            stats=result.stats,
+            degraded=result.degraded,
+            results=int(result.ids.size),
+            lbs_checked=int(result.n_checked),
+        )
+        return result
+
+    def _topk_impl(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> TopKResult:
+        """Untraced body of :meth:`topk`."""
         spq = ScalarProductQuery(np.asarray(normal, dtype=np.float64), offset, op)
         self._check_dim(spq)
         if _tnr.RECORDING:
@@ -926,7 +1132,7 @@ class ShardedFunctionIndex:
                 raise
             from ..scan.baseline import SequentialScan
 
-            obs_on = _ort.ENABLED
+            obs_on = _ort.active()
             started = time.perf_counter() if obs_on else 0.0
             ids, rows = self._features.get_all()
             result = SequentialScan(rows, ids).topk(spq, k)

@@ -157,7 +157,7 @@ class FeatureStoreView:
         concurrently together do the same arithmetic as one monolithic
         scan — split ``S`` ways.
         """
-        if _ort.ENABLED:
+        if _ort.active():
             _om.store_scans().inc()
         ids = self.live_ids()
         values = self._local_rows() @ np.ascontiguousarray(normal, dtype=np.float64)  # repro: noqa(REP001) — shard-local scan, cost-routed by the collection

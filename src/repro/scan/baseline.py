@@ -67,7 +67,7 @@ class SequentialScan:
     def query(self, query: ScalarProductQuery) -> np.ndarray:
         """All point ids satisfying the inequality, ascending."""
         self._check(query)
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         mask = query.evaluate(self._features)
         result = np.sort(self._ids[mask])
@@ -85,7 +85,7 @@ class SequentialScan:
         self._check(query)
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
-        obs_on = _ort.ENABLED
+        obs_on = _ort.active()
         started = time.perf_counter() if obs_on else 0.0
         values = self._features @ query.normal
         mask = query.op.evaluate(values, query.offset)

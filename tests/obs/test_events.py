@@ -1,0 +1,139 @@
+"""Unit tests for the rotating JSONL query log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events as obs_events
+
+
+@pytest.fixture
+def log(tmp_path):
+    """An armed query log in a tmp dir, restored on teardown."""
+    path = tmp_path / "queries.jsonl"
+    previous = obs_events.configure(str(path))
+    yield path
+    obs_events.configure(previous)
+
+
+def _record(index: int, **extra) -> dict:
+    base = {
+        "ts": 1000.0 + index,
+        "trace_id": f"{index:016x}",
+        "op": "inequality",
+        "latency_ms": 1.5,
+        "sampled": True,
+        "slow": False,
+        "shards": 1,
+        "retries": 0,
+        "n_queries": 1,
+        "degraded": None,
+    }
+    base.update(extra)
+    return base
+
+
+class TestConfigure:
+    def test_configure_returns_previous_and_disarms_on_none(self, tmp_path):
+        previous = obs_events.configure(str(tmp_path / "a.jsonl"))
+        try:
+            assert obs_events.armed()
+            assert obs_events.log_path() == str(tmp_path / "a.jsonl")
+        finally:
+            restored = obs_events.configure(previous)
+            assert restored == str(tmp_path / "a.jsonl")
+        if previous is None:
+            assert not obs_events.armed()
+
+    def test_slow_ms_set_and_restore(self):
+        previous = obs_events.set_slow_ms(12.5)
+        try:
+            assert obs_events.slow_ms() == 12.5
+        finally:
+            obs_events.set_slow_ms(previous)
+        assert obs_events.slow_ms() == previous
+
+    def test_emit_swallows_os_errors(self, tmp_path):
+        # Pointing the log at a directory makes every write fail; emit
+        # must swallow it — telemetry never takes a query down.
+        previous = obs_events.configure(str(tmp_path))
+        try:
+            obs_events.emit(_record(0))
+        finally:
+            obs_events.configure(previous)
+
+
+class TestRoundtrip:
+    def test_emit_then_tail_oldest_first(self, log):
+        for index in range(5):
+            obs_events.emit(_record(index))
+        tail = obs_events.tail(3, str(log))
+        assert [r["trace_id"] for r in tail] == [
+            f"{i:016x}" for i in (2, 3, 4)
+        ]
+
+    def test_iter_records_skips_torn_lines(self, log):
+        obs_events.emit(_record(0))
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": \n')
+        obs_events.emit(_record(1))
+        records = list(obs_events.iter_records(str(log)))
+        assert [r["trace_id"] for r in records] == [
+            "0000000000000000",
+            "0000000000000001",
+        ]
+
+    def test_find_returns_last_match_by_prefix(self, log):
+        obs_events.emit(_record(0, op="inequality"))
+        obs_events.emit(_record(0, op="topk"))  # same id, later record
+        obs_events.emit(_record(1))
+        found = obs_events.find("0000000000000000", str(log))
+        assert found is not None and found["op"] == "topk"
+        assert obs_events.find("ffff", str(log)) is None
+
+    def test_records_are_single_json_lines(self, log):
+        obs_events.emit(_record(7, degraded={"completeness": 0.75}))
+        lines = log.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["degraded"]["completeness"] == 0.75
+
+
+class TestRotation:
+    def test_rotates_and_keeps_backups(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        previous = obs_events.configure(str(path), max_bytes=4096, backups=2)
+        try:
+            pad = "x" * 200  # ~300 bytes per record → rotate every ~13
+            for index in range(60):
+                obs_events.emit(_record(index, pad=pad))
+            assert path.exists()
+            assert (tmp_path / "q.jsonl.1").exists()
+            assert (tmp_path / "q.jsonl.2").exists()
+            assert not (tmp_path / "q.jsonl.3").exists()
+            assert path.stat().st_size <= 4096 + 400
+            # iter_records stitches backups oldest-first before the active
+            # file, so the retained window stays contiguous and ordered.
+            ids = [int(r["trace_id"], 16) for r in obs_events.iter_records(str(path))]
+            assert ids == sorted(ids)
+            assert ids[-1] == 59
+        finally:
+            obs_events.configure(previous)
+
+
+class TestRenderLine:
+    def test_flags(self):
+        plain = obs_events.render_line(_record(1))
+        assert "inequality" in plain and "0000000000000001" in plain
+        slow = obs_events.render_line(_record(2, slow=True))
+        assert "SLOW" in slow
+        unsampled = obs_events.render_line(_record(3, sampled=False))
+        assert "unsampled" in unsampled
+        errored = obs_events.render_line(_record(4, error="ValueError: boom"))
+        assert "ERROR" in errored and "ValueError" in errored
+        degraded = obs_events.render_line(
+            _record(5, degraded={"completeness": 0.5, "failed_shards": [1]})
+        )
+        assert "degraded" in degraded and "0.5" in degraded

@@ -116,8 +116,11 @@ class TestMetricsRecorded:
         normal = uniform_model.sample_normal(4)
         small_index.query(normal, 30.0 * float(normal.sum()))
         trace = recent_traces()[-1]
-        assert trace.name == "collection.query"
-        child_names = {child.name for child in trace.children}
+        # The facade now opens a trace root; the collection span nests under it.
+        assert trace.name == "query.inequality"
+        assert "trace_id" in trace.attrs
+        (collection,) = [c for c in trace.children if c.name == "collection.query"]
+        child_names = {child.name for child in collection.children}
         assert "select" in child_names
         assert "binary_search" in child_names
         assert child_names & {"verify_II", "materialize", "scan"}
@@ -126,8 +129,10 @@ class TestMetricsRecorded:
         normal = uniform_model.sample_normal(5)
         small_index.topk(normal, 80.0 * float(normal.sum()), k=10)
         trace = recent_traces()[-1]
-        assert trace.name == "collection.topk"
-        child_names = {child.name for child in trace.children}
+        assert trace.name == "query.topk"
+        assert "trace_id" in trace.attrs
+        (collection,) = [c for c in trace.children if c.name == "collection.topk"]
+        child_names = {child.name for child in collection.children}
         assert "binary_search" in child_names
 
     def test_prometheus_export_has_acceptance_series(

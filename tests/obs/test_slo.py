@@ -1,0 +1,342 @@
+"""Unit tests for SLO objectives, burn rates, and ``repro slo check``."""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import slo as obs_slo
+from repro.obs.metrics import MetricsRegistry
+
+
+def _latency_registry(samples_by_kind, buckets=(0.1, 1.0)):
+    """Isolated registry with a latency histogram built from raw samples."""
+    reg = MetricsRegistry()
+    hist = reg.histogram(
+        "repro_query_latency_seconds", "test fixture", ("kind", "route"), buckets
+    )
+    for kind, samples in samples_by_kind.items():
+        for value in samples:
+            hist.observe(value, kind=kind, route="intervals")
+    return reg
+
+
+def _completeness_registry(samples_by_kind):
+    reg = MetricsRegistry()
+    hist = reg.histogram(
+        "repro_answer_completeness",
+        "test fixture",
+        ("kind",),
+        obs_metrics.COMPLETENESS_BUCKETS,
+    )
+    for kind, samples in samples_by_kind.items():
+        for value in samples:
+            hist.observe(value, kind=kind)
+    return reg
+
+
+class TestParseObjectives:
+    def test_valid_spec_roundtrip(self):
+        spec = {
+            "objectives": [
+                {
+                    "name": "p95-topk",
+                    "type": "latency",
+                    "kind": "topk",
+                    "quantile": 0.95,
+                    "threshold_ms": 50,
+                },
+                {"name": "whole", "type": "completeness", "floor": 0.99},
+            ]
+        }
+        first, second = obs_slo.parse_objectives(spec)
+        assert first.kind == "topk" and first.quantile == 0.95
+        assert first.describe() == "p95(topk) <= 50 ms"
+        assert second.floor == 0.99 and second.kind == "*"
+
+    @pytest.mark.parametrize(
+        ("spec", "match"),
+        [
+            ({}, "non-empty 'objectives'"),
+            ({"objectives": []}, "non-empty 'objectives'"),
+            ({"objectives": ["nope"]}, "not an object"),
+            ({"objectives": [{"type": "latency"}]}, "missing 'name'"),
+            (
+                {
+                    "objectives": [
+                        {"name": "a", "type": "completeness"},
+                        {"name": "a", "type": "completeness"},
+                    ]
+                },
+                "duplicate",
+            ),
+            (
+                {"objectives": [{"name": "a", "type": "latency", "quantile": 1.0}]},
+                "quantile",
+            ),
+            (
+                {"objectives": [{"name": "a", "type": "latency", "threshold_ms": 0}]},
+                "threshold_ms",
+            ),
+            (
+                {"objectives": [{"name": "a", "type": "completeness", "floor": 0.0}]},
+                "floor",
+            ),
+            ({"objectives": [{"name": "a", "type": "availability"}]}, "type"),
+        ],
+    )
+    def test_rejects_malformed_specs(self, spec, match):
+        with pytest.raises(ValueError, match=match):
+            obs_slo.parse_objectives(spec)
+
+    def test_load_objectives_defaults_without_spec(self, monkeypatch):
+        monkeypatch.delenv(obs_slo.SPEC_ENV, raising=False)
+        assert obs_slo.load_objectives() == obs_slo.DEFAULT_OBJECTIVES
+
+    def test_load_objectives_reads_env_spec(self, monkeypatch, tmp_path):
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps(
+                {"objectives": [{"name": "only", "type": "completeness"}]}
+            ),
+            encoding="utf-8",
+        )
+        monkeypatch.setenv(obs_slo.SPEC_ENV, str(spec))
+        (objective,) = obs_slo.load_objectives()
+        assert objective.name == "only"
+
+
+class TestHistogramMath:
+    def test_estimate_quantile_interpolates(self):
+        # 100 observations uniform over [0, 0.1): p50 sits mid-bucket.
+        assert obs_slo.estimate_quantile((0.1, 1.0), [100, 0, 0], 0.5) == pytest.approx(
+            0.05
+        )
+        assert math.isnan(obs_slo.estimate_quantile((0.1, 1.0), [0, 0, 0], 0.5))
+
+    def test_estimate_quantile_overflow_reports_last_bound(self):
+        assert obs_slo.estimate_quantile((0.1, 1.0), [0, 0, 10], 0.99) == 1.0
+
+    def test_fraction_over(self):
+        cells = [80, 0, 20]  # 20% in the overflow cell
+        assert obs_slo.fraction_over((0.1, 1.0), cells, 0.1) == pytest.approx(0.2)
+        assert obs_slo.fraction_over((0.1, 1.0), cells, 5.0) == pytest.approx(0.2)
+        assert obs_slo.fraction_over((0.1, 1.0), [], 0.1) == 0.0
+
+    def test_merge_series_kind_filter(self):
+        reg = _latency_registry(
+            {"inequality": [0.05] * 3, "topk": [0.05] * 7}
+        )
+        hist = reg.get("repro_query_latency_seconds")
+        _, _, count_all = obs_slo.merge_series(hist, "*")
+        _, _, count_topk = obs_slo.merge_series(hist, "topk")
+        assert count_all == 10
+        assert count_topk == 7
+
+
+class TestEvaluate:
+    def test_latency_within_budget(self):
+        # 5% of queries over the 100 ms threshold; p90 objective allows 10%.
+        reg = _latency_registry({"inequality": [0.05] * 95 + [2.0] * 5})
+        objective = obs_slo.Objective(
+            name="p90", type="latency", quantile=0.9, threshold_ms=100.0
+        )
+        (status,) = obs_slo.evaluate(reg, [objective], publish=False)
+        assert status.ok
+        assert status.burn_rate == pytest.approx(0.5)
+        assert status.n_samples == 100
+
+    def test_latency_burns_budget(self):
+        # 20% over threshold against a 10% budget: burn 2x, violated.
+        reg = _latency_registry({"inequality": [0.05] * 80 + [2.0] * 20})
+        objective = obs_slo.Objective(
+            name="p90", type="latency", quantile=0.9, threshold_ms=100.0
+        )
+        (status,) = obs_slo.evaluate(reg, [objective], publish=False)
+        assert not status.ok
+        assert status.burn_rate == pytest.approx(2.0)
+
+    def test_latency_kind_filter_isolates_ops(self):
+        reg = _latency_registry(
+            {"inequality": [2.0] * 50, "topk": [0.05] * 50}
+        )
+        bad = obs_slo.Objective(
+            name="ineq", type="latency", kind="inequality", quantile=0.9,
+            threshold_ms=100.0,
+        )
+        good = obs_slo.Objective(
+            name="topk", type="latency", kind="topk", quantile=0.9,
+            threshold_ms=100.0,
+        )
+        statuses = obs_slo.evaluate(reg, [bad, good], publish=False)
+        assert [status.ok for status in statuses] == [False, True]
+
+    def test_completeness_mean_is_exact(self):
+        reg = _completeness_registry({"inequality": [1.0] * 99 + [0.5]})
+        objective = obs_slo.Objective(
+            name="complete", type="completeness", floor=0.999
+        )
+        (status,) = obs_slo.evaluate(reg, [objective], publish=False)
+        assert status.observed == pytest.approx(0.995)
+        assert status.burn_rate == pytest.approx(5.0)
+        assert not status.ok
+
+    def test_completeness_within_floor(self):
+        reg = _completeness_registry({"inequality": [1.0] * 99 + [0.5]})
+        objective = obs_slo.Objective(
+            name="complete", type="completeness", floor=0.99
+        )
+        (status,) = obs_slo.evaluate(reg, [objective], publish=False)
+        assert status.ok
+        assert status.burn_rate == pytest.approx(0.5)
+
+    def test_no_data_is_ok_but_flagged(self):
+        statuses = obs_slo.evaluate(
+            MetricsRegistry(), obs_slo.DEFAULT_OBJECTIVES, publish=False
+        )
+        for status in statuses:
+            assert status.ok
+            assert status.n_samples == 0
+            assert math.isnan(status.observed)
+        table = obs_slo.render_table(statuses)
+        assert "NO DATA" in table
+
+    def test_publish_sets_gauges(self):
+        reg = _completeness_registry({"inequality": [0.5] * 10})
+        objective = obs_slo.Objective(
+            name="pub-test-objective", type="completeness", floor=0.999
+        )
+        obs_slo.evaluate(reg, [objective], publish=True)
+        assert obs_metrics.slo_ok().value(objective="pub-test-objective") == 0.0
+        assert obs_metrics.slo_burn_rate().value(
+            objective="pub-test-objective"
+        ) == pytest.approx(500.0)
+
+    def test_render_table_marks_violations(self):
+        reg = _completeness_registry({"inequality": [0.5] * 4})
+        objective = obs_slo.Objective(name="c", type="completeness", floor=0.999)
+        table = obs_slo.render_table(obs_slo.evaluate(reg, [objective], publish=False))
+        assert "VIOLATED" in table
+
+
+class TestRunFromArgs:
+    def _args(self, tmp_path, **overrides):
+        values = {
+            "action": "check",
+            "objectives": None,
+            "state": str(tmp_path / "no-such-state.json"),
+            "json": False,
+            "strict": False,
+        }
+        values.update(overrides)
+        return argparse.Namespace(**values)
+
+    def _spec(self, tmp_path, objectives):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": objectives}), encoding="utf-8")
+        return str(path)
+
+    def test_exit_zero_on_lenient_objective(self, tmp_path):
+        spec = self._spec(
+            tmp_path,
+            [
+                {
+                    "name": "lenient",
+                    "type": "latency",
+                    "quantile": 0.99,
+                    "threshold_ms": 1e9,
+                }
+            ],
+        )
+        stream = io.StringIO()
+        code = obs_slo.run_from_args(
+            self._args(tmp_path, objectives=spec), stream
+        )
+        assert code == 0
+
+    def test_exit_one_on_violation(self, tmp_path):
+        # The unique kind keeps the check isolated from whatever the
+        # in-process registry accumulated earlier in the test session
+        # (merged_registry overlays it on the state file).
+        state = tmp_path / "state.json"
+        reg = _completeness_registry({"unit-slo-kind": [0.5] * 10})
+        state.write_text(
+            json.dumps(reg.snapshot()), encoding="utf-8"
+        )
+        spec = self._spec(
+            tmp_path,
+            [
+                {
+                    "name": "c",
+                    "type": "completeness",
+                    "kind": "unit-slo-kind",
+                    "floor": 0.999,
+                }
+            ],
+        )
+        stream = io.StringIO()
+        code = obs_slo.run_from_args(
+            self._args(tmp_path, objectives=spec, state=str(state)), stream
+        )
+        assert code == 1
+        assert "VIOLATED" in stream.getvalue()
+
+    def test_exit_two_on_bad_spec(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        stream = io.StringIO()
+        code = obs_slo.run_from_args(
+            self._args(tmp_path, objectives=str(bad)), stream
+        )
+        assert code == 2
+        assert "bad SLO spec" in stream.getvalue()
+
+    def test_strict_turns_no_data_into_failure(self, tmp_path):
+        spec = self._spec(
+            tmp_path,
+            [
+                {
+                    "name": "ghost",
+                    "type": "latency",
+                    "kind": "no-such-kind",
+                    "threshold_ms": 100,
+                }
+            ],
+        )
+        stream = io.StringIO()
+        assert (
+            obs_slo.run_from_args(self._args(tmp_path, objectives=spec), stream) == 0
+        )
+        assert (
+            obs_slo.run_from_args(
+                self._args(tmp_path, objectives=spec, strict=True), stream
+            )
+            == 1
+        )
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        spec = self._spec(
+            tmp_path,
+            [
+                {
+                    "name": "c",
+                    "type": "completeness",
+                    "kind": "unit-slo-kind",
+                    "floor": 0.999,
+                }
+            ],
+        )
+        stream = io.StringIO()
+        code = obs_slo.run_from_args(
+            self._args(tmp_path, objectives=spec, json=True), stream
+        )
+        payload = json.loads(stream.getvalue())
+        (entry,) = payload["objectives"]
+        assert entry["name"] == "c"
+        assert entry["n_samples"] == 0 and entry["ok"] is True
+        assert code == 0

@@ -1,0 +1,243 @@
+"""Unit tests for trace contexts: ids, head sampling, facade protocol."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import clear_traces, recent_traces
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture
+def tracing():
+    """Armed obs with full sampling and a restored trace-id sequence."""
+    was_enabled = obs_runtime.ENABLED
+    obs_runtime.enable()
+    rate = obs_trace.set_sample_rate(1.0)
+    obs_trace.set_seed(0)
+    clear_traces()
+    yield
+    clear_traces()
+    obs_trace.set_sample_rate(rate)
+    obs_trace.set_seed(0)
+    if not was_enabled:
+        obs_runtime.disable()
+
+
+class TestIds:
+    def test_ids_deterministic_per_seed(self, tracing):
+        obs_trace.set_seed(42)
+        first = [obs_trace._next_id() for _ in range(5)]
+        obs_trace.set_seed(42)
+        second = [obs_trace._next_id() for _ in range(5)]
+        assert first == second
+        obs_trace.set_seed(43)
+        assert [obs_trace._next_id() for _ in range(5)] != first
+
+    def test_reset_ids_restarts_sequence(self, tracing):
+        obs_trace.set_seed(7)
+        first = obs_trace._next_id()
+        obs_trace.reset_ids()
+        assert obs_trace._next_id() == first
+
+    def test_ids_are_nonzero_64bit(self, tracing):
+        for _ in range(100):
+            id64 = obs_trace._next_id()
+            assert 0 < id64 < 2**64
+
+
+class TestSampling:
+    def test_pure_function_of_id_bits(self, tracing):
+        id64 = obs_trace._next_id()
+        assert obs_trace.is_sampled(id64, 0.5) == obs_trace.is_sampled(id64, 0.5)
+
+    def test_rate_extremes(self, tracing):
+        id64 = obs_trace._next_id()
+        assert obs_trace.is_sampled(id64, 1.0)
+        assert not obs_trace.is_sampled(id64, 0.0)
+
+    def test_rate_roughly_respected(self, tracing):
+        obs_trace.set_seed(3)
+        kept = sum(
+            obs_trace.is_sampled(obs_trace._next_id(), 0.1) for _ in range(2000)
+        )
+        assert 100 < kept < 300  # ~200 expected; splitmix64 is uniform
+
+    def test_set_sample_rate_clamps_and_returns_previous(self, tracing):
+        previous = obs_trace.set_sample_rate(7.5)
+        assert obs_trace.sample_rate() == 1.0
+        obs_trace.set_sample_rate(-1.0)
+        assert obs_trace.sample_rate() == 0.0
+        obs_trace.set_sample_rate(previous)
+
+
+class TestFacadeProtocol:
+    def test_begin_none_when_disarmed(self):
+        was_enabled = obs_runtime.ENABLED
+        obs_runtime.disable()
+        try:
+            assert obs_trace.begin("inequality") is None
+        finally:
+            if was_enabled:
+                obs_runtime.enable()
+
+    def test_begin_none_when_nested(self, tracing):
+        ctx = obs_trace.begin("batch")
+        assert ctx is not None
+        try:
+            assert obs_trace.begin("inequality") is None
+        finally:
+            obs_trace.finish(ctx)
+
+    def test_sampled_trace_opens_root_span(self, tracing):
+        ctx = obs_trace.begin("inequality")
+        assert ctx is not None and ctx.sampled
+        assert obs_trace.current() is ctx
+        with obs_spans.span("child"):
+            pass
+        obs_trace.finish(ctx, stats={"n_verified": 3})
+        assert obs_trace.current() is None
+        roots = recent_traces()
+        assert [root.name for root in roots] == ["query.inequality"]
+        assert roots[0].attrs["trace_id"] == ctx.trace_id
+        assert roots[0].attrs["n_verified"] == 3
+        assert [child.name for child in roots[0].children] == ["child"]
+
+    def test_unsampled_trace_mutes_telemetry(self, tracing):
+        obs_trace.set_sample_rate(0.0)
+        before = obs_metrics.registry().n_samples()
+        ctx = obs_trace.begin("inequality")
+        assert ctx is not None and not ctx.sampled
+        assert not obs_runtime.active()  # per-query telemetry is muted
+        with obs_spans.span("child"):
+            pass
+        obs_trace.finish(ctx)
+        assert obs_runtime.active()
+        assert recent_traces() == []
+        # Only the exact traces_total counter moved.
+        counter = obs_metrics.traces_total()
+        assert counter.value(kind="inequality", sampled="0") >= 1.0
+        assert obs_metrics.registry().n_samples() >= before
+
+    def test_traces_total_counts_every_trace(self, tracing):
+        counter = obs_metrics.traces_total()
+        sampled_before = counter.value(kind="range", sampled="1")
+        ctx = obs_trace.begin("range")
+        obs_trace.finish(ctx)
+        assert counter.value(kind="range", sampled="1") == sampled_before + 1
+
+    def test_abort_closes_and_marks_error(self, tracing):
+        ctx = obs_trace.begin("topk")
+        obs_trace.abort(ctx, ValueError("boom"))
+        assert obs_trace.current() is None
+        root = recent_traces()[-1]
+        assert root.attrs["error"] == "ValueError"
+
+    def test_find_trace_by_prefix(self, tracing):
+        ctx = obs_trace.begin("inequality")
+        obs_trace.finish(ctx)
+        assert obs_trace.find_trace(ctx.trace_id[:6]) is not None
+        assert obs_trace.find_trace("not-a-trace") is None
+
+
+class TestAttach:
+    def test_attach_none_is_noop(self, tracing):
+        with obs_trace.attach(None):
+            assert obs_trace.current() is None
+
+    def test_attach_sampled_stitches_worker_spans(self, tracing):
+        ctx = obs_trace.begin("inequality")
+
+        def worker():
+            with obs_trace.attach(ctx):
+                assert obs_trace.current() is ctx
+                with obs_spans.span("shard.work", shard=0):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        obs_trace.finish(ctx)
+        roots = recent_traces()
+        assert len(roots) == 1, "worker span must stitch, not orphan"
+        assert [child.name for child in roots[0].children] == ["shard.work"]
+
+    def test_attach_unsampled_mutes_worker(self, tracing):
+        obs_trace.set_sample_rate(0.0)
+        ctx = obs_trace.begin("inequality")
+        observed = {}
+
+        def worker():
+            with obs_trace.attach(ctx):
+                observed["active"] = obs_runtime.active()
+            observed["after"] = obs_runtime.active()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        obs_trace.finish(ctx)
+        assert observed == {"active": False, "after": True}
+
+
+class TestQueryLogIntegration:
+    def test_sampled_trace_emits_record(self, tracing, tmp_path):
+        log = tmp_path / "q.jsonl"
+        previous = obs_events.configure(str(log))
+        try:
+            ctx = obs_trace.begin("inequality")
+            obs_trace.finish(ctx, stats={"n_verified": 5}, results=2)
+        finally:
+            obs_events.configure(previous)
+        (record,) = obs_events.tail(5, str(log))
+        assert record["trace_id"] == ctx.trace_id
+        assert record["op"] == "inequality"
+        assert record["sampled"] is True
+        assert record["cost"]["n_verified"] == 5
+        assert record["results"] == 2
+        assert record["degraded"] is None
+        assert record["trace"]["name"] == "query.inequality"
+
+    def test_unsampled_fast_trace_not_logged(self, tracing, tmp_path):
+        log = tmp_path / "q.jsonl"
+        obs_trace.set_sample_rate(0.0)
+        previous = obs_events.configure(str(log))
+        try:
+            ctx = obs_trace.begin("inequality")
+            obs_trace.finish(ctx)
+        finally:
+            obs_events.configure(previous)
+        assert obs_events.tail(5, str(log)) == []
+
+    def test_slow_unsampled_trace_always_logged(self, tracing, tmp_path):
+        log = tmp_path / "q.jsonl"
+        obs_trace.set_sample_rate(0.0)
+        previous = obs_events.configure(str(log))
+        threshold = obs_events.set_slow_ms(0.0)  # everything is "slow"
+        try:
+            ctx = obs_trace.begin("inequality")
+            obs_trace.finish(ctx)
+        finally:
+            obs_events.set_slow_ms(threshold)
+            obs_events.configure(previous)
+        (record,) = obs_events.tail(5, str(log))
+        assert record["slow"] is True
+        assert record["sampled"] is False
+        assert "trace" not in record  # unsampled records carry no span tree
+
+    def test_errored_trace_always_logged(self, tracing, tmp_path):
+        log = tmp_path / "q.jsonl"
+        obs_trace.set_sample_rate(0.0)
+        previous = obs_events.configure(str(log))
+        try:
+            ctx = obs_trace.begin("topk")
+            obs_trace.abort(ctx, RuntimeError("shard exploded"))
+        finally:
+            obs_events.configure(previous)
+        (record,) = obs_events.tail(5, str(log))
+        assert record["error"].startswith("RuntimeError")

@@ -112,12 +112,18 @@ class TestObsCommand:
         state = tmp_path / "state.json"
         monkeypatch.setenv("REPRO_OBS_STATE", str(state))
         from repro.obs import runtime as obs_runtime
+        from repro.obs import trace as obs_trace
 
         was_enabled = obs_runtime.ENABLED
         obs_runtime.enable()
+        # Pin full sampling: the sampled chaos lane runs this suite with
+        # REPRO_OBS_SAMPLE below 1, which would mute the per-query
+        # counters this test asserts on.
+        rate = obs_trace.set_sample_rate(1.0)
         try:
             assert main(["demo", "quickstart", "--n", "2000"]) == 0
         finally:
+            obs_trace.set_sample_rate(rate)
             if not was_enabled:
                 obs_runtime.disable()
         capsys.readouterr()
@@ -125,3 +131,173 @@ class TestObsCommand:
         payload = json.loads(state.read_text())
         names = {entry["name"] for entry in payload["metrics"]}
         assert "repro_queries_total" in names
+
+
+class TestTelemetryCommands:
+    """ISSUE 7 surfaces: obs tail / obs trace, slo check, top."""
+
+    def _emit_records(self, path):
+        from repro.obs import events as obs_events
+
+        previous = obs_events.configure(str(path))
+        try:
+            for index in range(3):
+                obs_events.emit(
+                    {
+                        "ts": 1000.0 + index,
+                        "trace_id": f"{index + 1:016x}",
+                        "op": "inequality",
+                        "latency_ms": 2.0,
+                        "sampled": True,
+                        "slow": False,
+                        "shards": 4,
+                        "retries": 0,
+                        "n_queries": 1,
+                        "degraded": None,
+                    }
+                )
+        finally:
+            obs_events.configure(previous)
+
+    def test_obs_tail_renders_records(self, tmp_path, capsys):
+        log = tmp_path / "queries.jsonl"
+        self._emit_records(log)
+        assert main(["obs", "tail", "--log", str(log), "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0000000000000002" in out and "0000000000000003" in out
+        assert "0000000000000001" not in out
+
+    def test_obs_tail_json(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "queries.jsonl"
+        self._emit_records(log)
+        assert main(["obs", "tail", "--log", str(log), "--json", "-n", "1"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["op"] == "inequality" and record["shards"] == 4
+
+    def test_obs_tail_without_log_fails(self, capsys):
+        from repro.obs import events as obs_events
+
+        previous = obs_events.configure(None)
+        try:
+            assert main(["obs", "tail"]) == 1
+        finally:
+            obs_events.configure(previous)
+        assert "no query log configured" in capsys.readouterr().out
+
+    def test_obs_trace_from_ring_buffer(self, capsys):
+        from repro.obs import clear_traces
+        from repro.obs import runtime as obs_runtime
+        from repro.obs import trace as obs_trace
+
+        was_enabled = obs_runtime.ENABLED
+        obs_runtime.enable()
+        rate = obs_trace.set_sample_rate(1.0)
+        try:
+            ctx = obs_trace.begin("inequality")
+            obs_trace.finish(ctx, stats={"n_verified": 9})
+            assert main(["obs", "trace", ctx.trace_id[:8]]) == 0
+        finally:
+            obs_trace.set_sample_rate(rate)
+            clear_traces()
+            if not was_enabled:
+                obs_runtime.disable()
+        out = capsys.readouterr().out
+        assert "query.inequality" in out
+        assert ctx.trace_id in out
+
+    def test_obs_trace_falls_back_to_query_log(self, tmp_path, capsys):
+        log = tmp_path / "queries.jsonl"
+        self._emit_records(log)
+        assert main(["obs", "trace", "0000000000000002", "--log", str(log)]) == 0
+        assert "0000000000000002" in capsys.readouterr().out
+
+    def test_obs_trace_no_match(self, tmp_path, capsys):
+        log = tmp_path / "queries.jsonl"
+        self._emit_records(log)
+        assert main(["obs", "trace", "feedface", "--log", str(log)]) == 1
+        assert "no trace matching" in capsys.readouterr().out
+
+    def test_obs_trace_requires_target(self, capsys):
+        assert main(["obs", "trace"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_slo_check_ok(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "objectives": [
+                        {
+                            "name": "lenient",
+                            "type": "latency",
+                            "quantile": 0.99,
+                            "threshold_ms": 1e9,
+                        }
+                    ]
+                }
+            )
+        )
+        state = tmp_path / "state.json"
+        assert (
+            main(
+                ["slo", "check", "--objectives", str(spec), "--state", str(state)]
+            )
+            == 0
+        )
+        assert "lenient" in capsys.readouterr().out
+
+    def test_slo_check_violation_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.metrics import COMPLETENESS_BUCKETS, MetricsRegistry
+
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "repro_answer_completeness",
+            "fixture",
+            ("kind",),
+            COMPLETENESS_BUCKETS,
+        )
+        for _ in range(10):
+            hist.observe(0.5, kind="cli-slo-kind")
+        state = tmp_path / "state.json"
+        state.write_text(json.dumps(reg.snapshot()))
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "objectives": [
+                        {
+                            "name": "completeness",
+                            "type": "completeness",
+                            "kind": "cli-slo-kind",
+                            "floor": 0.999,
+                        }
+                    ]
+                }
+            )
+        )
+        assert (
+            main(
+                ["slo", "check", "--objectives", str(spec), "--state", str(state)]
+            )
+            == 1
+        )
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_slo_check_bad_spec_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["slo", "check", "--objectives", str(bad)]) == 2
+        assert "bad SLO spec" in capsys.readouterr().out
+
+    def test_top_once_renders_frame(self, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        assert main(["top", "--once", "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "objective" in out  # the embedded SLO table
