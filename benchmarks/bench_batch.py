@@ -8,6 +8,7 @@ workload.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -18,9 +19,11 @@ from repro.datasets import Workload, load
 
 from conftest import scaled
 
+_N_POINTS = scaled(60_000)
+
 
 def test_batch_vs_single(benchmark):
-    points = load("indp", scaled(60_000), 6, rng=0).points
+    points = load("indp", _N_POINTS, 6, rng=0).points
     workload = Workload.for_points(points, rq=2)
     index = FunctionIndex(points, workload.model, n_indices=64, rng=0)
     queries = workload.sample_queries(64, rng=1)
@@ -55,3 +58,13 @@ def test_batch_vs_single(benchmark):
     # Identical answers were asserted; batching must not be slower by more
     # than measurement noise.
     assert row["batched_ms"] < row["single_ms"] * 1.25
+    # GEMM batching gate: with real cores behind BLAS and the full-size
+    # dataset, one (queries x points) matmul plus grouped searchsorted
+    # must beat the per-query loop by >= 5x.  Skip-guarded like the
+    # core-count gates in bench_parallel so laptops and smoke runs
+    # (REPRO_BENCH_SCALE < 1) still verify answers and print the ratio.
+    if len(points) >= 60_000 and (os.cpu_count() or 1) >= 4:
+        assert row["amortization_x"] >= 5.0, (
+            f"GEMM batching reached only {row['amortization_x']:.2f}x "
+            f"over the per-query loop"
+        )

@@ -26,7 +26,16 @@ __all__ = ["FeatureStore"]
 
 
 class FeatureStore:
-    """Growable ``(capacity, d')`` matrix with liveness tracking."""
+    """Growable ``(capacity, d')`` matrix with liveness tracking.
+
+    Invariant: a point id *is* its row position in ``_data``, forever.
+    Appends assign ids at the current capacity, deletes only flip the
+    liveness bit (rows are never compacted), and dead ids are never
+    reused — so ``live_ids()`` can derive ids from positions and row
+    gathers can index directly by id without a translation table.
+    Anything that compacts or reorders ``_data`` in place would break
+    every :class:`~repro.core.sorted_keys.SortedKeyStore` built on top.
+    """
 
     @array_contract("features: (n, d) float64 cast promote")
     def __init__(self, features: np.ndarray) -> None:
@@ -41,6 +50,37 @@ class FeatureStore:
         # caches — e.g. a shard view's materialized row slice — can
         # invalidate with one integer comparison.
         self._version = 0
+        self._writable = True
+
+    @classmethod
+    def from_backing(cls, data: np.ndarray) -> "FeatureStore":
+        """Read-only store over an externally owned (typically memmap) matrix.
+
+        ``data`` is bound directly — no copy, no finiteness re-check (the
+        persistence layer checksums what it wrote) — so a multi-GB matrix
+        costs nothing to open and its pages are shared across forked
+        shard workers.  All rows are live: persistence compacts dead rows
+        out at save time.  Mutations raise; load with ``mode="copy"`` to
+        get a writable store.
+        """
+        if data.ndim != 2 or data.dtype != np.float64:
+            raise ValueError(
+                f"backing must be a float64 matrix, got {data.dtype} {data.shape}"
+            )
+        store = cls.__new__(cls)
+        store._data = data
+        store._live = np.ones(data.shape[0], dtype=bool)
+        store._n_live = int(data.shape[0])
+        store._version = 0
+        store._writable = False
+        return store
+
+    def _require_writable(self) -> None:
+        if not self._writable:
+            raise ValueError(
+                "this FeatureStore is a read-only (memmap) backing; "
+                "load the index with mode='copy' to mutate it"
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -63,8 +103,19 @@ class FeatureStore:
         """Mutation counter; changes whenever rows or liveness change."""
         return self._version
 
+    @property
+    def writable(self) -> bool:
+        """False for read-only (memmap) backings — mutations will raise."""
+        return self._writable
+
     def live_ids(self) -> np.ndarray:
-        """Ids of all live rows, ascending."""
+        """Ids of all live rows, ascending.
+
+        Positions and ids coincide by the class invariant (ids are row
+        positions and rows are never compacted), so deriving ids from
+        ``nonzero(_live)`` is exact even after delete/append churn —
+        pinned by ``test_live_ids_survive_churn``.
+        """
         return np.nonzero(self._live)[0].astype(np.int64)
 
     def is_live(self, point_id: int) -> bool:
@@ -131,9 +182,29 @@ class FeatureStore:
         ids = self.live_ids()
         return ids, values[ids]
 
+    @array_contract("normals: (m, d) float64 cast promote")
+    def scan_values_many(self, normals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, values)`` of every live row under ``m`` normals at once.
+
+        ``values`` has shape ``(n_live, m)`` with column ``j`` equal to
+        ``scan_values(normals[j])[1]`` — one GEMM instead of ``m``
+        matrix-vector products, which is what makes batched scan-routed
+        queries cheap.  Counts ``m`` store scans (each column is one
+        logical scan).
+        """
+        normals = as_2d_float(normals, "normals")
+        if _ort.active():
+            _om.store_scans().inc(normals.shape[0])
+        values = self._data @ np.ascontiguousarray(normals.T)
+        if self._n_live == self.capacity:
+            return np.arange(self.capacity, dtype=np.int64), values
+        ids = self.live_ids()
+        return ids, values[ids]
+
     @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
     def update(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Replace the feature vectors of existing live rows."""
+        self._require_writable()
         ids = self._check_ids(ids)
         rows = as_2d_float(rows, "rows")
         if rows.shape != (ids.size, self.dim):
@@ -147,6 +218,7 @@ class FeatureStore:
     @array_contract("rows: (m, d) float64 cast promote", returns="(m,) int64")
     def append(self, rows: np.ndarray) -> np.ndarray:
         """Add new rows; returns their freshly assigned ids."""
+        self._require_writable()
         rows = as_2d_float(rows, "rows")
         if rows.shape[1] != self.dim:
             raise DimensionMismatchError(
@@ -165,6 +237,7 @@ class FeatureStore:
     @array_contract("ids: (m,) int64 cast")
     def delete(self, ids: np.ndarray) -> None:
         """Mark rows dead; their ids become permanently invalid."""
+        self._require_writable()
         ids = self._check_ids(ids)
         unique = np.unique(ids)
         if unique.size != ids.size:

@@ -167,6 +167,35 @@ class FunctionIndex:
                 self._rng,
             )
 
+    @classmethod
+    def _from_prebuilt(
+        cls,
+        points: FeatureStore,
+        features: FeatureStore,
+        translator: Translator,
+        collection: PlanarIndexCollection,
+        feature_map: FeatureMap,
+        query_model: QueryModel,
+        scan_fallback: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> "FunctionIndex":
+        """Bind a facade over already-constructed components.
+
+        The persistence load path: format v3 stores the derived state
+        (features, per-index sorted keys), so nothing here re-applies
+        ``phi``, re-observes the translator, or re-keys indices.
+        """
+        self = cls.__new__(cls)
+        self._phi = feature_map
+        self._model = query_model
+        self._scan_fallback = bool(scan_fallback)
+        self._rng = as_rng(rng)
+        self._points = points
+        self._features = features
+        self._translator = translator
+        self._collection = collection
+        return self
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -507,6 +536,96 @@ class FunctionIndex:
                 )
             return result
 
+    def topk_batch(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[TopKResult]:
+        """Answer a batch of top-k queries sharing one operator and ``k``.
+
+        Candidate verification is batched per selected index with one
+        GEMM (see :meth:`PlanarIndexCollection.topk_batch`); each query's
+        LBS cutoff scan still runs individually.  Octant-incompatible
+        queries fall back to sequential-scan top-k one by one.  The batch
+        is one trace.
+        """
+        ctx = _otr.begin("batch_topk")
+        if ctx is None:
+            return self._topk_batch_impl(normals, offsets, k, op)
+        try:
+            results = self._topk_batch_impl(normals, offsets, k, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        if _ort.ENABLED:  # repro: noqa(REP012) — thread-shared flag; a process-pool backend must re-enable obs per worker
+            _om.answer_completeness().observe(1.0, kind=ctx.kind)
+        parts = [result.stats for result in results if result.stats is not None]
+        merged = _merge_batch_stats(parts) if parts else None
+
+        def cost() -> dict:
+            counters = merged.to_dict() if merged is not None else {}
+            counters["lbs_checked"] = sum(int(r.n_checked) for r in results)
+            return counters
+
+        _otr.finish(
+            ctx,
+            stats=cost,
+            shards=1,
+            n_queries=len(results),
+            results=sum(int(r.ids.size) for r in results),
+        )
+        return results
+
+    def _topk_batch_impl(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[TopKResult]:
+        """Untraced body of :meth:`topk_batch`."""
+        normals = as_2d_float(normals, "normals")
+        offsets = np.ascontiguousarray(offsets, dtype=np.float64)
+        if offsets.ndim != 1 or offsets.size != normals.shape[0]:
+            raise DimensionMismatchError(
+                f"{offsets.size} offsets for {normals.shape[0]} normals"
+            )
+        if normals.shape[0] and normals.shape[1] != self._phi.out_dim:
+            raise DimensionMismatchError(
+                f"queries have dimension {normals.shape[1]}, feature space "
+                f"has {self._phi.out_dim}"
+            )
+        queries = [
+            ScalarProductQuery(normals[row], float(offsets[row]), op)
+            for row in range(normals.shape[0])
+        ]
+        if _tnr.RECORDING:
+            for spq in queries:
+                _tnr.record_query(spq.normal, spq.offset, spq.op.value, "topk", k)
+        plannable: list[int] = []
+        results: list[TopKResult | None] = [None] * len(queries)
+        for position, spq in enumerate(queries):
+            try:
+                self._collection.working_query(spq)
+            except InvalidQueryError:
+                if not self._scan_fallback:
+                    raise
+                from ..scan.baseline import SequentialScan
+
+                ids, rows = self._features.get_all()
+                results[position] = SequentialScan(rows, ids).topk(spq, k)
+                continue
+            plannable.append(position)
+        if plannable:
+            batched = self._collection.topk_batch(
+                [queries[p] for p in plannable], k
+            )
+            for position, result in zip(plannable, batched):
+                results[position] = result
+        return results  # type: ignore[return-value]
+
     def explain(
         self,
         normal: np.ndarray,
@@ -668,6 +787,11 @@ class FunctionIndex:
 
     def delete_points(self, ids: np.ndarray) -> None:
         """Remove points from the index."""
+        # Fail before touching the collection: deleting from the indices
+        # first and then hitting a read-only (memmap) store would leave
+        # the two out of lockstep.
+        if not self._features.writable:
+            self._features.delete(np.empty(0, dtype=np.int64))  # raises
         ids = np.ascontiguousarray(ids, dtype=np.int64)
         self._collection.delete(ids)
         self._features.delete(ids)

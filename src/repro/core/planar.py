@@ -175,6 +175,7 @@ class PlanarIndex:
         ids: np.ndarray | None = None,
         precomputed: tuple[np.ndarray, np.ndarray] | None = None,
         obs_label: str = "solo",
+        presorted: bool = False,
     ) -> None:
         normal = as_1d_float(normal, "normal")
         if normal.size != store.dim:
@@ -202,7 +203,10 @@ class PlanarIndex:
             # id array is already vetted.
             ids, keys = precomputed
             self._keys = SortedKeyStore(
-                keys, np.ascontiguousarray(ids, np.int64), trusted=True
+                keys,
+                np.ascontiguousarray(ids, np.int64),
+                trusted=True,
+                presorted=presorted,
             )
         else:
             if ids is None:
@@ -430,12 +434,22 @@ class PlanarIndex:
         counts.inc(li, interval="li", index=label)
         _om.verified_points().inc(n_verified, kind=kind)
 
-    def finish_query(self, wq: WorkingQuery, r_lo: int, r_hi: int) -> QueryResult:
+    def finish_query(
+        self,
+        wq: WorkingQuery,
+        r_lo: int,
+        r_hi: int,
+        precomputed: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> QueryResult:
         """Complete an inequality query from precomputed interval ranks.
 
         Split out of :meth:`query` so batch evaluation can compute the
         ranks of many queries with one vectorized binary search and then
-        finish each query individually.
+        finish each query individually.  ``precomputed`` optionally
+        carries ``(verify_ids, values)`` — the sorted intermediate-interval
+        ids and their scalar products ``<a, phi(x)>`` under the canonical
+        query normal — produced by the collection's batched GEMM so the
+        per-query finish only applies the operator mask.
         """
         obs_on = _ort.active()
         n = len(self._keys)
@@ -448,12 +462,19 @@ class PlanarIndex:
         # sequential (np.take over ascending ids), which is the dominant
         # cost of verification at numpy speeds.
         started = time.perf_counter() if obs_on else 0.0
-        verify_ids = np.sort(self._keys.ids_in_rank_range(r_lo, r_hi))
-        n_verified = int(verify_ids.size)
-        if n_verified:
-            feats = self._store.take_rows(verify_ids)
-            mask = wq.query.evaluate(feats)
-            accepted.append(verify_ids[mask])
+        if precomputed is None:
+            verify_ids = np.sort(self._keys.ids_in_rank_range(r_lo, r_hi))
+            n_verified = int(verify_ids.size)
+            if n_verified:
+                feats = self._store.take_rows(verify_ids)
+                mask = wq.query.evaluate(feats)
+                accepted.append(verify_ids[mask])
+        else:
+            verify_ids, values = precomputed
+            n_verified = int(verify_ids.size)
+            if n_verified:
+                mask = wq.op.evaluate(values, wq.query.offset)
+                accepted.append(verify_ids[mask])
         if obs_on:
             _osp.record("verify_II", started, n_verified=n_verified)
             started = time.perf_counter()
@@ -662,18 +683,43 @@ class PlanarIndex:
         if k <= 0:
             raise InvalidQueryError(f"k must be positive, got {k}")
         wq = query if isinstance(query, WorkingQuery) else self.working_query(query)
-        obs_on = _ort.active()
         r_lo, r_hi, n = self.interval_ranks(wq)
+        ids_ii = np.sort(self._keys.ids_in_rank_range(r_lo, r_hi))
+        return self._topk_from_ii(wq, k, cutoff, r_lo, r_hi, n, ids_ii, None)
+
+    def _topk_from_ii(
+        self,
+        wq: WorkingQuery,
+        k: int,
+        cutoff: SharedCutoff | None,
+        r_lo: int,
+        r_hi: int,
+        n: int,
+        ids_ii: np.ndarray,
+        values_ii: np.ndarray | None,
+    ) -> TopKResult:
+        """Algorithm 2 from precomputed interval ranks and II candidates.
+
+        ``ids_ii`` must be the sorted intermediate-interval ids.
+        ``values_ii`` optionally carries their scalar products
+        ``<a, phi(x)>`` under the canonical query normal (the collection's
+        batched GEMM supplies them); when None they are computed here.
+        The LBS cutoff scan that follows is inherently sequential per
+        query, so only the II verification is batchable.
+        """
+        obs_on = _ort.active()
         op = wq.op
         buffer = TopKBuffer(k)
         n_checked = 0
 
         started = time.perf_counter() if obs_on else 0.0
-        ids_ii = np.sort(self._keys.ids_in_rank_range(r_lo, r_hi))
         if ids_ii.size:
             n_checked += int(ids_ii.size)
-            feats = self._store.take_rows(ids_ii)
-            values = feats @ wq.query.normal
+            if values_ii is None:
+                feats = self._store.take_rows(ids_ii)
+                values = feats @ wq.query.normal
+            else:
+                values = values_ii
             mask = op.evaluate(values, wq.query.offset)
             distances = np.abs(values[mask] - wq.query.offset) / wq.norm
             buffer.offer_many(distances, ids_ii[mask])
@@ -763,6 +809,18 @@ class PlanarIndex:
     # Dynamic maintenance (Section 4.4)
     # ------------------------------------------------------------------ #
 
+    def _compute_keys(self, rows: np.ndarray) -> np.ndarray:
+        """Scalar keys ``<c, phi(x)>`` for maintenance-supplied feature rows.
+
+        Single shared implementation (layout normalization included) so
+        :meth:`rekey` and :meth:`insert` cannot drift apart in how they
+        key rows — both must match the build-time keying exactly or
+        maintained indices would return different answers than rebuilt
+        ones.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        return rows @ self._normal
+
     @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
     def rekey(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Update keys after the features of existing points changed.
@@ -772,17 +830,15 @@ class PlanarIndex:
         responsible for having already updated the shared store and grown
         the translator.
         """
-        rows = np.ascontiguousarray(rows, dtype=np.float64)
         self._keys.update_batch(
-            np.ascontiguousarray(ids, dtype=np.int64), rows @ self._normal
+            np.ascontiguousarray(ids, dtype=np.int64), self._compute_keys(rows)
         )
 
     @array_contract("ids: (m,) int64 cast", "rows: (m, d) float64 cast")
     def insert(self, ids: np.ndarray, rows: np.ndarray) -> None:
         """Index newly appended points (one feature row per id)."""
-        rows = np.ascontiguousarray(rows, dtype=np.float64)
         self._keys.insert(
-            np.ascontiguousarray(ids, dtype=np.int64), rows @ self._normal
+            np.ascontiguousarray(ids, dtype=np.int64), self._compute_keys(rows)
         )
         if _ort.active():
             _om.indexed_points().set(len(self._keys), index=self._obs_label)

@@ -41,10 +41,18 @@ class SortedKeyStore:
         keys: np.ndarray,
         ids: np.ndarray | None = None,
         trusted: bool = False,
+        presorted: bool = False,
     ) -> None:
         """``trusted=True`` skips finiteness/uniqueness validation — used by
         bulk index construction where the same vetted id array backs many
-        sibling indices (validation would otherwise dominate build time)."""
+        sibling indices (validation would otherwise dominate build time).
+
+        ``presorted=True`` additionally binds ``keys``/``ids`` as the
+        already-ascending order without the argsort pass or a copy — the
+        memmap load path uses it so opening a persisted index never pages
+        the key arrays in.  Keys must genuinely be ascending; this is not
+        validated (the persistence layer wrote them from a sorted store).
+        """
         keys = as_1d_float(keys, "keys")
         if not trusted and not np.all(np.isfinite(keys)):
             raise ValueError("keys must be finite")
@@ -58,9 +66,13 @@ class SortedKeyStore:
                 raise DimensionMismatchError(f"{ids.size} ids for {keys.size} keys")
             if not trusted and np.unique(ids).size != ids.size:
                 raise ValueError("ids must be unique")
-        order = np.argsort(keys, kind="stable")
-        self._keys = keys[order]
-        self._ids = ids[order]
+        if presorted:
+            self._keys = keys
+            self._ids = ids
+        else:
+            order = np.argsort(keys, kind="stable")
+            self._keys = keys[order]
+            self._ids = ids[order]
         # id -> key map, built lazily on first lookup and invalidated by
         # mutations: queries and maintenance never need it.
         self._key_map: dict[int, float] | None = None

@@ -5,9 +5,14 @@
 data into ``S`` shards, each owning its own
 :class:`~repro.core.collection.PlanarIndexCollection` over a
 :class:`~repro.parallel.view.FeatureStoreView` of one shared feature store.
-Queries fan out across shards on a thread pool — numpy releases the GIL
-inside ``matmul`` and ``searchsorted``, so the per-shard interval splits and
-verification products genuinely overlap without process-level parallelism.
+Queries fan out across shards on a thread pool by default — numpy releases
+the GIL inside ``matmul`` and ``searchsorted``, so the per-shard interval
+splits and verification products genuinely overlap without process-level
+parallelism.  ``backend="process"`` (or ``REPRO_SHARD_BACKEND=process``)
+switches query fan-outs to forked worker processes
+(:mod:`repro.parallel.process`), which also overlap the pure-Python
+sections and share memmap'd store pages; answers are bit-identical across
+backends.
 
 Exactness
 ---------
@@ -67,6 +72,7 @@ import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
@@ -100,12 +106,16 @@ from ..obs import trace as _otr
 from ..reliability import faults as _flt
 from ..reliability.degraded import DegradedInfo, FailurePolicy
 from ..tuning import recorder as _tnr
+from .process import ProcessShardPool, fork_available
 from .sharding import SHARD_POLICIES, assign_shards
 from .view import FeatureStoreView
 
-__all__ = ["ShardedFunctionIndex"]
+__all__ = ["ShardedFunctionIndex", "SHARD_BACKENDS"]
 
 _T = TypeVar("_T")
+
+#: Supported shard fan-out backends.
+SHARD_BACKENDS = ("thread", "process")
 
 #: Exception families treated as *caller errors* during maintenance:
 #: deterministic validation failures that every shard would report
@@ -153,8 +163,16 @@ class ShardedFunctionIndex:
         Shard-membership policy, ``"round_robin"`` or ``"hash"``
         (:mod:`repro.parallel.sharding`).
     max_workers:
-        Thread-pool size for the fan-out; defaults to
+        Worker-pool size for the fan-out; defaults to
         ``min(n_shards, cpu_count)``.
+    backend:
+        Fan-out backend, ``"thread"`` (default) or ``"process"``.
+        Threads overlap the GIL-releasing numpy sections; processes
+        (fork-based, see :mod:`repro.parallel.process`) overlap the
+        pure-Python sections too and share memmap'd store pages.
+        ``None`` resolves ``REPRO_SHARD_BACKEND`` at construction,
+        falling back to ``thread``.  Answers are bit-identical across
+        backends.
     failure_policy:
         What to do when a shard of a fan-out fails:
         :class:`~repro.reliability.degraded.FailurePolicy` or its string
@@ -198,12 +216,24 @@ class ShardedFunctionIndex:
         query_timeout_s: float | None = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        backend: str | None = None,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         if policy not in SHARD_POLICIES:
             raise ValueError(
                 f"unknown shard policy {policy!r}; choose from {SHARD_POLICIES}"
+            )
+        if backend is None:
+            backend = os.environ.get("REPRO_SHARD_BACKEND", "").strip() or "thread"
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {backend!r}; choose from {SHARD_BACKENDS}"
+            )
+        if backend == "process" and not fork_available():
+            raise ValueError(
+                "backend='process' requires the fork start method, which this "
+                "platform does not provide; use backend='thread'"
             )
         if query_timeout_s is not None and not query_timeout_s > 0:
             raise ValueError(
@@ -238,6 +268,8 @@ class ShardedFunctionIndex:
             else int(max_workers)
         )
         self._executor: ThreadPoolExecutor | None = None
+        self._backend = str(backend)
+        self._process_pool: ProcessShardPool | None = None
         self._failure_policy = FailurePolicy.parse(failure_policy)
         self._query_timeout_s = (
             None if query_timeout_s is None else float(query_timeout_s)
@@ -295,19 +327,41 @@ class ShardedFunctionIndex:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool.
+        """Shut down the fan-out worker pools (thread and process).
 
-        Idempotent and exception-safe: the executor reference is cleared
+        Idempotent and exception-safe: each pool reference is cleared
         *before* shutdown, so a second :meth:`close` (or closing after an
         in-query failure) is a no-op, and shutdown errors are swallowed —
         teardown must never mask the exception that triggered it.
         """
+        pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            try:
+                pool.shutdown()
+            except Exception:  # repro: noqa(REP005) — close() must never raise (teardown path)
+                pass
         executor, self._executor = self._executor, None
         if executor is None:
             return
         try:
             executor.shutdown(wait=True, cancel_futures=True)
         except Exception:  # repro: noqa(REP005) — close() must never raise (teardown path)
+            pass
+
+    def _invalidate_process_pool(self) -> None:
+        """Discard the forked worker pool (mutation barrier / teardown).
+
+        Workers snapshot the engine at fork time, so every mutation calls
+        this before changing state; the next process fan-out forks a
+        fresh pool that sees the current stores, keys, and translator.
+        Never raises — it runs on teardown paths too.
+        """
+        pool, self._process_pool = self._process_pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown()
+        except Exception:  # repro: noqa(REP005) — teardown must never mask the mutation/exception that triggered it
             pass
 
     def __enter__(self) -> "ShardedFunctionIndex":
@@ -323,6 +377,18 @@ class ShardedFunctionIndex:
                 thread_name_prefix="repro-shard",
             )
         return self._executor
+
+    def _ensure_process_pool(self) -> ProcessShardPool:
+        pool = self._process_pool
+        if pool is not None and pool.fault_generation != _flt.GENERATION:
+            # arm()/disarm() happened after the workers forked; their
+            # inherited plan is stale, so refork under the current one.
+            self._invalidate_process_pool()
+            pool = None
+        if pool is None:
+            pool = ProcessShardPool(self, self._max_workers)
+            self._process_pool = pool
+        return pool
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -347,6 +413,11 @@ class ShardedFunctionIndex:
     def policy(self) -> str:
         """Shard-membership policy."""
         return self._policy
+
+    @property
+    def backend(self) -> str:
+        """Resolved fan-out backend (``thread`` or ``process``)."""
+        return self._backend
 
     @property
     def failure_policy(self) -> FailurePolicy:
@@ -544,6 +615,82 @@ class ShardedFunctionIndex:
                 failures[shard] = exc
         return results, failures
 
+    def _execute_process_wave(
+        self,
+        kind: str,
+        task: tuple,
+        shards: Sequence[int],
+        deadline: float | None,
+        fail_fast: bool,
+    ) -> tuple[dict[int, _T], dict[int, BaseException]]:
+        """Run a task descriptor on ``shards`` via forked worker processes.
+
+        Mirrors :meth:`_execute_wave` semantics — per-shard deadline
+        budgets, ``fail_fast`` cancellation of queued work — over the
+        process backend.  Workers return ``(result, span, metrics)``;
+        sampled traces get the worker's ``shard.<kind>`` span tree
+        grafted under the query root here, on the issuing thread, and the
+        worker's counter/histogram deltas folded into the parent registry
+        — so stitched traces and per-query series look identical across
+        backends.  Faults that *fired* in a worker and surfaced as
+        :class:`InjectedFaultError` are re-counted here (the worker-side
+        increment died with its registry copy).  A broken pool (worker
+        hard death) fails the affected shards and discards the pool so
+        the next fan-out forks a fresh one.
+        """
+        results: dict[int, _T] = {}
+        failures: dict[int, BaseException] = {}
+        pool = self._ensure_process_pool()
+        ctx = _otr.current()
+        sampled = bool(ctx is not None and ctx.sampled and _ort.ENABLED)
+        trace_id = ctx.trace_id if sampled and ctx is not None else None
+        graft = ctx.root if sampled and ctx is not None else None
+        futures = {
+            shard: pool.submit(shard, kind, task, trace_id, sampled)
+            for shard in shards
+        }
+        obs_on = _ort.active()
+        broken = False
+        for shard, future in futures.items():
+            if fail_fast and failures:
+                future.cancel()
+                continue
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                result, span, metrics = future.result(timeout=remaining)
+            except _FutTimeout:
+                future.cancel()
+                failures[shard] = QueryTimeoutError(
+                    f"shard {shard} missed the {self._query_timeout_s}s "
+                    f"deadline during {kind} fan-out",
+                    shard=shard,
+                    kind=kind,
+                )
+                continue
+            except Exception as exc:  # repro: noqa(REP005) — fan-out failure boundary, classified by policy
+                failures[shard] = exc
+                if isinstance(exc, BrokenProcessPool):
+                    broken = True
+                elif _ort.ENABLED and isinstance(exc, InjectedFaultError) and exc.site:
+                    # The worker counted the fire into its own registry
+                    # copy and then died with it; mirror the thread
+                    # backend by counting it here.
+                    _om.faults_injected_total().inc(site=exc.site, kind="error")
+                continue
+            results[shard] = result
+            if span is not None and graft is not None:
+                span.attrs.update(self._shard_cost(result))
+                graft.children.append(span)
+            if metrics is not None:
+                _om.registry().restore(metrics)
+            if obs_on:
+                _om.shard_queries_total().inc(kind=kind, shard=str(shard))
+        if broken:
+            self._invalidate_process_pool()
+        return results, failures
+
     def _gather_fast(
         self,
         kind: str,
@@ -637,8 +784,16 @@ class ShardedFunctionIndex:
         kind: str,
         fn: Callable[[PlanarIndexCollection], _T],
         recover: Callable[[int], _T] | None = None,
+        task: tuple | None = None,
     ) -> tuple[list[_T | None], DegradedInfo | None]:
         """Run ``fn`` against every shard under the failure policy.
+
+        ``task`` is the fan-out's picklable descriptor for the process
+        backend (see :mod:`repro.parallel.process`); when the engine was
+        built with ``backend="process"`` and the layout is actually
+        sharded, the wave executes on forked workers instead of ``fn`` on
+        threads — same answers, same failure handling.  Fan-outs without
+        a descriptor (maintenance) always run in the parent.
 
         Returns ``(results, degraded)`` where ``results[shard]`` is the
         shard's slice (or ``None`` for an unrecovered shard under a
@@ -650,6 +805,9 @@ class ShardedFunctionIndex:
         """
         policy = self._failure_policy
         timeout = self._query_timeout_s
+        use_process = (
+            task is not None and self._backend == "process" and self._n_shards > 1
+        )
         if (
             self._n_shards == 1
             and timeout is None
@@ -659,7 +817,12 @@ class ShardedFunctionIndex:
             # Hot path: monolithic layout, no reliability features active.
             return [self._run_shard(kind, 0, fn)], None
         shards = list(range(self._n_shards))
-        if timeout is None and not _flt.ARMED and not _ort.ENABLED:
+        if use_process:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            results, failures = self._execute_process_wave(
+                kind, task, shards, deadline, fail_fast=policy is FailurePolicy.RAISE
+            )
+        elif timeout is None and not _flt.ARMED and not _ort.ENABLED:
             # Disarmed fast path: no deadlines to track, no fault sites to
             # probe, no telemetry to stamp — submit the shard work directly
             # (skipping the `_run_shard` wrapper frame) and only pay for
@@ -688,9 +851,14 @@ class ShardedFunctionIndex:
                 wave_deadline = (
                     None if timeout is None else time.monotonic() + timeout
                 )
-                recovered_wave, failures = self._execute_wave(
-                    kind, fn, retry_shards, wave_deadline, fail_fast=False
-                )
+                if use_process:
+                    recovered_wave, failures = self._execute_process_wave(
+                        kind, task, retry_shards, wave_deadline, fail_fast=False
+                    )
+                else:
+                    recovered_wave, failures = self._execute_wave(
+                        kind, fn, retry_shards, wave_deadline, fail_fast=False
+                    )
                 retries += len(retry_shards)
                 results.update(recovered_wave)
                 retry_recovered.extend(recovered_wave)
@@ -929,6 +1097,7 @@ class ShardedFunctionIndex:
             "inequality",
             lambda collection: collection.query(spq),
             recover=lambda shard: self._recover_inequality(spq, shard),
+            task=("inequality", spq),
         )
         return self._merge_inequality(results, degraded)
 
@@ -945,7 +1114,19 @@ class ShardedFunctionIndex:
         so fan-out overhead is per shard, not per query.  The batch is
         one trace: per-query shard work appears as children of a single
         ``query.batch`` root.
+
+        Validation and the empty-batch short-circuit run *before* the
+        trace opens: a malformed or zero-query batch emits no trace, no
+        spans, and no counters (it did no fan-out work to account for).
         """
+        normals = as_2d_float(normals, "normals")
+        offsets = np.ascontiguousarray(offsets, dtype=np.float64)
+        if offsets.ndim != 1 or offsets.size != normals.shape[0]:
+            raise DimensionMismatchError(
+                f"{offsets.size} offsets for {normals.shape[0]} normals"
+            )
+        if normals.shape[0] == 0:
+            return []
         ctx = _otr.begin("batch", shards=self._n_shards)
         if ctx is None:
             return self._query_batch_impl(normals, offsets, op)
@@ -973,13 +1154,7 @@ class ShardedFunctionIndex:
         offsets: np.ndarray,
         op: Comparison | str = Comparison.LE,
     ) -> list[QueryAnswer]:
-        """Untraced body of :meth:`query_batch`."""
-        normals = as_2d_float(normals, "normals")
-        offsets = np.ascontiguousarray(offsets, dtype=np.float64)
-        if offsets.ndim != 1 or offsets.size != normals.shape[0]:
-            raise DimensionMismatchError(
-                f"{offsets.size} offsets for {normals.shape[0]} normals"
-            )
+        """Untraced body of :meth:`query_batch` (inputs pre-validated)."""
         queries = [
             ScalarProductQuery(normals[row], float(offsets[row]), op)
             for row in range(normals.shape[0])
@@ -1007,6 +1182,7 @@ class ShardedFunctionIndex:
                 "batch",
                 lambda collection: collection.query_batch(subset),
                 recover=lambda shard: self._recover_batch(subset, shard),
+                task=("batch", subset),
             )
             for slot, position in enumerate(plannable):
                 answers[position] = self._merge_inequality(
@@ -1078,6 +1254,7 @@ class ShardedFunctionIndex:
             "range",
             lambda collection: collection.query_range(wq_low, wq_high),
             recover=lambda shard: self._recover_range(low_q, high_q, shard),
+            task=("range", low_q, high_q),
         )
         return self._merge_inequality(results, degraded)
 
@@ -1144,11 +1321,15 @@ class ShardedFunctionIndex:
                     time.perf_counter() - started, kind="topk", route="octant-fallback"
                 )
             return result
+        # SharedCutoff publishes cross-shard pruning bounds between threads;
+        # the process backend runs per-shard cutoffs instead (the worker
+        # passes cutoff=None) — still exact, see repro.parallel.process.
         cutoff = SharedCutoff()
         results, degraded = self._map_shards(
             "topk",
             lambda collection: collection.topk(spq, k, cutoff=cutoff),
             recover=lambda shard: self._recover_topk(spq, k, shard),
+            task=("topk", spq, k),
         )
         if len(results) == 1 and degraded is None and results[0] is not None:
             return results[0]
@@ -1208,6 +1389,7 @@ class ShardedFunctionIndex:
 
     def insert_points(self, new_points: np.ndarray) -> np.ndarray:
         """Add new data points; returns their assigned (global) ids."""
+        self._invalidate_process_pool()
         new_points = as_2d_float(new_points, "new_points")
         require_finite_rows(new_points, "new_points")
         features = self._phi(new_points)
@@ -1233,6 +1415,7 @@ class ShardedFunctionIndex:
 
     def delete_points(self, ids: np.ndarray) -> None:
         """Remove points from the engine."""
+        self._invalidate_process_pool()
         ids = np.ascontiguousarray(ids, dtype=np.int64)
         for shard, mask in enumerate(self._owned(ids)):
             if np.any(mask):
@@ -1247,6 +1430,7 @@ class ShardedFunctionIndex:
 
     def update_points(self, ids: np.ndarray, new_points: np.ndarray) -> None:
         """Change the raw values of existing points; re-key owning shards."""
+        self._invalidate_process_pool()
         ids = np.ascontiguousarray(ids, dtype=np.int64)
         new_points = as_2d_float(new_points, "new_points")
         require_finite_rows(new_points, "new_points")
@@ -1271,6 +1455,7 @@ class ShardedFunctionIndex:
         All shards share the same normals and the same cosine redundancy
         rule, so their verdicts agree; the common verdict is returned.
         """
+        self._invalidate_process_pool()
         verdicts = [
             self._maintain(
                 "add_index",
@@ -1285,6 +1470,7 @@ class ShardedFunctionIndex:
 
     def drop_index(self, position: int) -> None:
         """Drop the index at ``position`` from every shard."""
+        self._invalidate_process_pool()
         for shard in range(self._n_shards):
             self._maintain(
                 "drop_index",

@@ -1,0 +1,242 @@
+"""Process-pool shard backend for :class:`~repro.parallel.engine.ShardedFunctionIndex`.
+
+The thread backend relies on numpy releasing the GIL inside ``matmul`` /
+``searchsorted``; pure-Python sections of the per-shard work (grouping,
+stats assembly, span bookkeeping) still serialize.  This backend fans
+shard work out to **forked worker processes** instead, so those sections
+overlap too.  It is selected with ``backend="process"`` (or the
+``REPRO_SHARD_BACKEND`` environment variable) and changes *scheduling
+only* — answers stay bit-identical to the thread backend and the
+monolithic facade.
+
+Design
+------
+Workers are forked, never spawned: the parent registers the engine in a
+module-level mapping *before* the pool forks, and each child inherits the
+whole engine — feature stores, key arrays, translator — by copy-on-write.
+Nothing per-task is pickled except a small *task descriptor* (the query
+parameters) and the result, so fan-out cost is independent of index size.
+When the feature store is a memmap backing (``load_index(...,
+mode="mmap")``) the page cache is physically shared across workers, so
+``S`` processes cost one copy of the data.
+
+Because workers snapshot the engine at fork time, every mutation
+(insert/update/delete, add/drop index) **invalidates the pool**; the next
+query forks fresh workers that see the current state.  Maintenance
+fan-outs themselves always run in the parent.
+
+Semantics carried over from the thread backend:
+
+* the ``shard.query`` fault site fires *inside the worker* (the armed
+  plan is inherited through the fork; firing counters advance per
+  worker process).  Arming or disarming *after* the fork bumps the
+  fault-plan generation, which the owning engine checks before every
+  fan-out — a stale pool is discarded and reforked, so ``injected()``
+  context managers behave exactly as under the thread backend;
+* worker failures — including injected faults and deadline misses —
+  pickle back to the parent, where the retry / degrade / raise policy
+  machinery handles them exactly as for thread failures;
+* sampled traces stitch: the worker records its ``shard.<kind>`` span
+  tree manually and ships it home with the result, and the parent grafts
+  it under the query's root span, so ``repro obs trace`` shows one tree
+  regardless of backend;
+* unsampled traces mute worker-side telemetry for the duration of the
+  task.
+
+The one intentional difference: shared top-k cutoffs
+(:class:`~repro.core.topk.SharedCutoff`) are thread-only, so process
+top-k fan-outs run Algorithm 2 with per-shard cutoffs.  The merged
+answer is unchanged (each shard still returns its exact local top-k);
+only cross-shard pruning is forgone.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Optional
+
+from ..core.planar import WorkingQuery
+from ..obs import metrics as _om
+from ..obs import runtime as _ort
+from ..obs import spans as _osp
+from ..reliability import faults as _flt
+
+__all__ = ["ProcessShardPool", "fork_available"]
+
+# "ShardedFunctionIndex" annotations below stay string-valued on purpose:
+# importing repro.parallel.engine here would close an import cycle
+# (engine imports this module at load time).
+
+#: Engines reachable from forked workers, keyed by registration token.
+#: Populated in the parent BEFORE the pool forks, so children inherit the
+#: mapping (and the engines behind it) copy-on-write; a worker never sees
+#: a token registered after its fork because the engine invalidates the
+#: pool on every mutation and re-registers on the next fork.
+_ENGINES: dict[int, "ShardedFunctionIndex"] = {}  # repro: noqa(REP012) — populated pre-fork by design; workers read their COW snapshot
+
+_token_lock = threading.Lock()
+_next_token = 0
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method.
+
+    The backend requires fork (not spawn): workers must inherit the
+    engine's in-memory state, which is never pickled.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _register(engine: "ShardedFunctionIndex") -> int:
+    """Make ``engine`` visible to workers forked after this call."""
+    global _next_token
+    with _token_lock:
+        _next_token += 1
+        token = _next_token
+    _ENGINES[token] = engine  # repro: noqa(REP012) — pre-fork registration; see module docstring
+    return token
+
+
+def _unregister(token: int) -> None:
+    _ENGINES.pop(token, None)  # repro: noqa(REP012) — parent-side cleanup; workers hold their own COW copy
+
+
+def _apply(engine: "ShardedFunctionIndex", shard: int, task: tuple) -> Any:
+    """Execute one task descriptor against the worker's shard collection.
+
+    Descriptors carry only query *parameters*; anything derived from
+    engine state (working queries, octant translation) is rebuilt here
+    against the worker's forked snapshot, which matches the parent's
+    state because mutations invalidate the pool.
+    """
+    collection = engine._collections[shard]
+    kind = task[0]
+    if kind == "inequality":
+        return collection.query(task[1])
+    if kind == "batch":
+        return collection.query_batch(task[1])
+    if kind == "range":
+        wq_low = WorkingQuery.build(task[1], engine._translator)
+        wq_high = WorkingQuery.build(task[2], engine._translator)
+        return collection.query_range(wq_low, wq_high)
+    if kind == "topk":
+        # SharedCutoff is thread-local machinery; per-shard cutoffs are
+        # still exact (merely less cross-shard pruning).
+        return collection.topk(task[1], task[2], cutoff=None)
+    raise ValueError(f"unknown process task kind {kind!r}")
+
+
+def _run_task(
+    token: int,
+    shard: int,
+    kind: str,
+    task: tuple,
+    trace_id: Optional[str],
+    sampled: bool,
+) -> tuple:
+    """Worker entry: one shard's slice of one query fan-out.
+
+    Returns ``(result, span, metrics)``.  For sampled traces ``span`` is
+    the shard's completed :class:`~repro.obs.spans.SpanRecord` tree (the
+    parent grafts it under the query root) and ``metrics`` is a registry
+    snapshot of *this task's* counter/histogram increments — the worker
+    registry is a fork-time copy the parent never sees, so the deltas
+    ship home with the result and the parent folds them back in.  Both
+    are ``None`` for unsampled tasks (muted, as in the thread backend)
+    and when observability is off.
+    """
+    engine = _ENGINES.get(token)
+    if engine is None:  # pragma: no cover - defensive: pool outlived registration
+        raise RuntimeError(f"no engine registered under token {token} in worker")
+    if _flt.ARMED:  # repro: noqa(REP012) — per-worker divergence is the point: the armed plan is fork-inherited and counters advance per process
+        _flt.check("shard.query", shard=shard, kind=kind)
+    if not (sampled and _ort.ENABLED):  # repro: noqa(REP012) — fork-inherited obs arming; the parent decides sampling and passes it in
+        if _ort.ENABLED:
+            # Unsampled trace: silence the collection's per-query
+            # telemetry in this worker, mirroring the thread backend's
+            # attach()-mute.
+            _ort.mute()
+        try:
+            return _apply(engine, shard, task), None, None
+        finally:
+            if _ort.ENABLED:
+                _ort.unmute()
+    # Clear inherited/accumulated samples so the post-task snapshot is
+    # exactly this task's delta.  The worker registry is disposable: the
+    # parent's registry is the durable one.
+    _om.reset()
+    attrs: dict[str, Any] = {"shard": shard, "backend": "process"}
+    if trace_id is not None:
+        attrs["trace_id"] = trace_id
+    root = _osp.open_span(f"shard.{kind}", **attrs)
+    try:
+        result = _apply(engine, shard, task)
+    except BaseException as exc:  # repro: noqa(REP005) — span annotates the failure kind, then re-raises unchanged
+        root.attrs["error"] = type(exc).__name__
+        _osp.close_span(root)
+        raise
+    _osp.close_span(root)
+    metrics = _om.registry().snapshot()
+    # Gauges describe *current parent state* (index sizes, shard points);
+    # a worker's fork-time view must not overwrite them on restore.
+    metrics["metrics"] = [
+        entry
+        for entry in metrics["metrics"]
+        if entry["type"] != "gauge" and entry["series"]
+    ]
+    return result, root, metrics
+
+
+class ProcessShardPool:
+    """A fork-context :class:`ProcessPoolExecutor` bound to one engine.
+
+    Construction registers the engine for worker visibility; workers fork
+    lazily on first submit, inheriting everything registered so far.  The
+    pool must be discarded (see :meth:`shutdown`) whenever the engine
+    mutates — the owning engine does this from every maintenance method.
+    """
+
+    def __init__(self, engine: "ShardedFunctionIndex", max_workers: int) -> None:
+        if not fork_available():
+            raise ValueError(
+                "backend='process' requires the fork start method, which this "
+                "platform does not provide; use backend='thread'"
+            )
+        self._token = _register(engine)
+        # Workers inherit the fault plan armed at fork time; the owning
+        # engine compares this against the live generation and discards
+        # the pool when arm()/disarm() happened since.
+        self.fault_generation = _flt.GENERATION
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+
+    def submit(
+        self,
+        shard: int,
+        kind: str,
+        task: tuple,
+        trace_id: Optional[str],
+        sampled: bool,
+    ) -> Future:
+        """Schedule one shard task; returns the pending future."""
+        executor = self._executor
+        if executor is None:  # pragma: no cover - defensive: submit after shutdown
+            raise RuntimeError("process shard pool is shut down")
+        return executor.submit(_run_task, self._token, shard, kind, task, trace_id, sampled)
+
+    def shutdown(self) -> None:
+        """Tear the pool down and drop the worker-visible registration.
+
+        Idempotent; queued-but-unstarted tasks are cancelled.  Workers
+        exit once in-flight tasks drain — their copy-on-write snapshot
+        dies with them, which is what makes this the engine's mutation
+        barrier.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        _unregister(self._token)

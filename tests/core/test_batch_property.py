@@ -100,6 +100,95 @@ class TestBatchEqualsSingles:
             assert np.array_equal(chosen.ids, interval_side.ids)
 
 
+class TestTopkBatchEqualsSingles:
+    """``topk_batch`` (GEMM-batched Algorithm 2 candidates) vs the loop."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        case=batch_cases(),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    def test_topk_batch_is_loop_of_singles(self, case, k):
+        index, normals, offsets, op = _build(case)
+        batch = index.topk_batch(normals, offsets, k, op)
+        assert len(batch) == normals.shape[0]
+        for row, result in enumerate(batch):
+            single = index.topk(normals[row], float(offsets[row]), k, op)
+            assert np.array_equal(result.ids, single.ids)
+            assert np.array_equal(result.distances, single.distances)
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=batch_cases(), k=st.integers(min_value=1, max_value=8))
+    def test_topk_batch_forced_routes_agree(self, case, k):
+        index, normals, offsets, op = _build(case)
+        default = index.topk_batch(normals, offsets, k, op)
+        with mock.patch("repro.core.collection._SCAN_FALLBACK_FRACTION", 0.0):
+            intervals = index.topk_batch(normals, offsets, k, op)
+        for chosen, interval_side in zip(default, intervals):
+            assert np.array_equal(chosen.ids, interval_side.ids)
+            assert np.array_equal(chosen.distances, interval_side.distances)
+
+
+class TestAwkwardInputLayouts:
+    """Mixed-dtype / non-contiguous batch inputs answer identically to
+    clean float64 C-order arrays (satellite regression: the GEMM path
+    must canonicalize before multiplying, not assume layout)."""
+
+    def _index(self, dim=3, seed=3):
+        rng = np.random.default_rng(seed)
+        points = rng.integers(1, 30, size=(120, dim)).astype(np.float64)
+        model = QueryModel.uniform(dim=dim, low=1.0, high=5.0, rq=4)
+        index = FunctionIndex(points, model, n_indices=3, rng=seed)
+        normals = rng.integers(1, 6, size=(6, dim)).astype(np.float64)
+        offsets = np.asarray(
+            [float(np.round(0.5 * n @ points.max(axis=0))) for n in normals]
+        )
+        return index, normals, offsets
+
+    def _assert_same_answers(self, index, normals, offsets, alt_normals, alt_offsets):
+        clean = index.query_batch(normals, offsets)
+        awkward = index.query_batch(alt_normals, alt_offsets)
+        for a, b in zip(clean, awkward):
+            assert np.array_equal(a.ids, b.ids)
+        clean_topk = index.topk_batch(normals, offsets, 7)
+        awkward_topk = index.topk_batch(alt_normals, alt_offsets, 7)
+        for a, b in zip(clean_topk, awkward_topk):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+    def test_float32_inputs(self):
+        index, normals, offsets = self._index()
+        # Integer-valued, so the float32 round-trip is exact.
+        self._assert_same_answers(
+            index,
+            normals,
+            offsets,
+            normals.astype(np.float32),
+            offsets.astype(np.float32),
+        )
+
+    def test_fortran_order_normals(self):
+        index, normals, offsets = self._index()
+        fortran = np.asfortranarray(normals)
+        assert not fortran.flags["C_CONTIGUOUS"]
+        self._assert_same_answers(index, normals, offsets, fortran, offsets)
+
+    def test_strided_views(self):
+        index, normals, offsets = self._index()
+        doubled = np.repeat(normals, 2, axis=0)
+        view = doubled[::2]
+        assert not view.flags["OWNDATA"]
+        offsets_view = np.repeat(offsets, 2)[::2]
+        self._assert_same_answers(index, normals, offsets, view, offsets_view)
+
+    def test_reversed_column_view(self):
+        index, normals, offsets = self._index()
+        reversed_copy = normals[:, ::-1].copy()
+        view = reversed_copy[:, ::-1]  # negative column stride, equals normals
+        assert not view.flags["C_CONTIGUOUS"]
+        self._assert_same_answers(index, normals, offsets, view, offsets)
+
+
 class TestEmptyBatch:
     def test_empty_batch_returns_empty_list(self):
         rng = np.random.default_rng(0)

@@ -101,3 +101,89 @@ class TestMutation:
 
     def test_memory_bytes_positive(self, store):
         assert store.memory_bytes() >= 4 * 3 * 8
+
+class TestLiveIdsInvariant:
+    def test_live_ids_survive_churn(self):
+        """Pin the ids==positions invariant under heavy interleaved churn.
+
+        ``live_ids`` derives ids from ``nonzero(_live)`` positions; that
+        is only correct because rows are never compacted and dead ids are
+        never reused.  This regression drives many delete/append rounds
+        and cross-checks against an explicitly tracked id set, and that
+        every surviving id still fetches the row it was assigned.
+        """
+        rng = np.random.default_rng(11)
+        rows = rng.normal(size=(8, 3))
+        store = FeatureStore(rows)
+        expected = {i: rows[i].copy() for i in range(8)}
+        for round_no in range(25):
+            live = sorted(expected)
+            if len(live) > 2:
+                victims = rng.choice(live, size=rng.integers(1, 3), replace=False)
+                store.delete(np.asarray(sorted(victims), dtype=np.int64))
+                for victim in victims:
+                    del expected[int(victim)]
+            fresh = rng.normal(size=(int(rng.integers(1, 4)), 3))
+            new_ids = store.append(fresh)
+            for offset, new_id in enumerate(new_ids):
+                expected[int(new_id)] = fresh[offset].copy()
+            assert np.array_equal(store.live_ids(), sorted(expected))
+            got = store.get(np.asarray(sorted(expected), dtype=np.int64))
+            assert np.array_equal(got, np.vstack([expected[i] for i in sorted(expected)]))
+        # Scan paths must agree with the surviving id set too.
+        ids, values = store.scan_values(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(ids, sorted(expected))
+        ids_many, values_many = store.scan_values_many(
+            np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        )
+        assert np.array_equal(ids_many, sorted(expected))
+        assert np.allclose(values_many[:, 0], values)
+
+
+class TestScanValuesMany:
+    def test_columns_match_single_scans(self, store):
+        normals = np.array([[1.0, 0.0, 0.0], [0.5, 2.0, -1.0], [3.0, 3.0, 3.0]])
+        ids_many, values_many = store.scan_values_many(normals)
+        assert values_many.shape == (len(store), 3)
+        for column, normal in enumerate(normals):
+            ids_one, values_one = store.scan_values(normal)
+            assert np.array_equal(ids_many, ids_one)
+            assert np.array_equal(values_many[:, column], values_one)
+
+    def test_columns_match_after_deletes(self, store):
+        store.delete(np.array([1]))
+        normals = np.array([[1.0, 1.0, 1.0], [2.0, 0.0, 1.0]])
+        ids_many, values_many = store.scan_values_many(normals)
+        assert np.array_equal(ids_many, [0, 2, 3])
+        for column, normal in enumerate(normals):
+            _, values_one = store.scan_values(normal)
+            assert np.array_equal(values_many[:, column], values_one)
+
+
+class TestReadOnlyBacking:
+    def test_from_backing_binds_without_copy(self):
+        data = np.arange(12.0).reshape(4, 3)
+        store = FeatureStore.from_backing(data)
+        assert store._data is data
+        assert not store.writable
+        assert len(store) == 4
+
+    def test_from_backing_rejects_non_float64(self):
+        with pytest.raises(ValueError, match="float64"):
+            FeatureStore.from_backing(np.arange(12, dtype=np.int32).reshape(4, 3))
+
+    def test_mutations_raise(self):
+        store = FeatureStore.from_backing(np.arange(12.0).reshape(4, 3))
+        with pytest.raises(ValueError, match="read-only"):
+            store.update(np.array([0]), np.ones((1, 3)))
+        with pytest.raises(ValueError, match="read-only"):
+            store.append(np.ones((1, 3)))
+        with pytest.raises(ValueError, match="read-only"):
+            store.delete(np.array([0]))
+
+    def test_reads_still_work(self):
+        data = np.arange(12.0).reshape(4, 3)
+        store = FeatureStore.from_backing(data)
+        assert np.array_equal(store.get(np.array([1, 2])), data[1:3])
+        ids, values = store.scan_values(np.array([1.0, 1.0, 1.0]))
+        assert np.array_equal(values, data.sum(axis=1))

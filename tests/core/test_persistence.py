@@ -117,3 +117,153 @@ class TestErrors:
         path.write_bytes(b"not a zip archive")
         with pytest.raises(PersistenceError):
             load_index(path)
+
+
+def _assert_same_answers(a, b, model, rng, n=5):
+    """Same answer *sets* by point value — save compacts ids to row
+    positions, so raw ids are not comparable across a churned save."""
+    for _ in range(n):
+        normal = model.sample_normal(rng)
+        offset = float(rng.uniform(100, 800))
+        pa = a.get_points(a.query(normal, offset).ids)
+        pb = b.get_points(b.query(normal, offset).ids)
+        assert pa.shape == pb.shape
+        order_a = np.lexsort(pa.T)
+        order_b = np.lexsort(pb.T)
+        assert np.array_equal(pa[order_a], pb[order_b])
+
+
+class TestV3RoundTrip:
+    def test_default_save_is_v3_directory(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        assert path.is_dir()
+        assert (path / "manifest.json").exists()
+        assert (path / "features.npy").exists()
+
+    def test_round_trip_after_churn(self, identity_index, tmp_path, rng):
+        points, model, index = identity_index
+        index.delete_points(np.arange(50, dtype=np.int64))
+        index.insert_points(rng.uniform(1, 100, size=(30, 3)))
+        path = save_index(index, tmp_path / "churn")
+        loaded = load_index(path)
+        assert len(loaded) == len(index)
+        _assert_same_answers(index, loaded, model, rng)
+
+    def test_auto_mode_memmaps_v3(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        loaded = load_index(path)
+        assert isinstance(loaded._features._data, np.memmap)
+
+    def test_save_over_existing_directory(self, identity_index, tmp_path, rng):
+        points, model, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        index.delete_points(np.arange(100, dtype=np.int64))
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == 400
+        # The retired previous index is cleaned up, not left beside it.
+        assert [p.name for p in tmp_path.iterdir()] == ["idx"]
+
+    def test_v2_archive_still_loads(self, identity_index, tmp_path, rng):
+        _, model, index = identity_index
+        path = save_index(index, tmp_path / "legacy", version=2)
+        assert path.suffix == ".npz"
+        loaded = load_index(path)
+        _assert_same_answers(index, loaded, model, rng)
+
+
+class TestV3Modes:
+    def test_mmap_load_is_read_only(self, identity_index, tmp_path, rng):
+        points, model, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        loaded = load_index(path, mode="mmap")
+        assert not loaded._features.writable
+        with pytest.raises(ValueError, match="read-only"):
+            loaded.insert_points(rng.uniform(1, 100, size=(5, 3)))
+        with pytest.raises(ValueError, match="read-only"):
+            loaded.delete_points(np.arange(5, dtype=np.int64))
+        with pytest.raises(ValueError, match="read-only"):
+            loaded.update_points(
+                np.arange(5, dtype=np.int64), rng.uniform(1, 100, size=(5, 3))
+            )
+        # Failed mutations must not have desynced stores from indices.
+        _assert_same_answers(index, loaded, model, rng)
+
+    def test_copy_load_supports_maintenance(self, identity_index, tmp_path, rng):
+        points, model, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        loaded = load_index(path, mode="copy")
+        assert loaded._features.writable
+        loaded.delete_points(np.arange(20, dtype=np.int64))
+        index.delete_points(np.arange(20, dtype=np.int64))
+        new = rng.uniform(1, 100, size=(15, 3))
+        loaded.insert_points(new)
+        index.insert_points(new)
+        _assert_same_answers(index, loaded, model, rng)
+
+    def test_mmap_mode_rejects_legacy_npz(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "legacy", version=2)
+        with pytest.raises(PersistenceError, match="cannot be memory-mapped"):
+            load_index(path, mode="mmap")
+
+
+class TestV3Corruption:
+    """Referenced from tests/reliability/test_persistence_faults.py — v3
+    directory corruption detection lives here."""
+
+    def test_bit_flip_in_small_array_detected(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        target = path / "normals.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF  # flip data bits, not the npy header
+        target.write_bytes(bytes(blob))
+        # Small arrays are checksum-verified even in mmap mode.
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_index(path, mode="mmap")
+
+    def test_bit_flip_in_bulk_array_detected_by_copy_mode(
+        self, identity_index, tmp_path
+    ):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        target = path / "features.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_index(path, mode="copy")
+
+    def test_missing_array_file(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        (path / "keys_0.npy").unlink()
+        with pytest.raises(PersistenceError, match="keys_0"):
+            load_index(path)
+
+    def test_malformed_manifest(self, identity_index, tmp_path):
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        (path / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_index(path)
+
+    def test_directory_without_manifest_rejected(self, tmp_path):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        with pytest.raises(PersistenceError, match="manifest"):
+            load_index(bare)
+
+    def test_missing_checksum_manifest_key(self, identity_index, tmp_path):
+        import json
+
+        _, _, index = identity_index
+        path = save_index(index, tmp_path / "idx")
+        manifest = json.loads((path / "manifest.json").read_text("utf-8"))
+        del manifest["checksums"]
+        (path / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(PersistenceError, match="checksum manifest"):
+            load_index(path)

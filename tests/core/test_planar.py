@@ -209,6 +209,51 @@ class TestDynamicMaintenance:
         expected = brute_force_ids(live_rows, query, live_ids)
         assert np.array_equal(index.query(query).ids, expected)
 
+    def test_rekey_and_insert_share_key_computation(self, rng):
+        """Both maintenance entry points rebuild keys through one helper
+        (``_compute_keys``); this drives each with awkward inputs —
+        float32 rows, Fortran order, strided views — and checks the
+        stored keys are the float64 ``rows @ normal`` products exactly.
+        """
+        features = rng.uniform(1, 100, size=(80, 3)).copy()
+        store = FeatureStore(features)
+        translator = Translator(np.ones(3))
+        translator.observe(features)
+        normal = np.array([2.0, 1.0, 3.0])
+        index = PlanarIndex(normal, store, translator)
+
+        # rekey with a float32 Fortran-order matrix.
+        moved = np.asfortranarray(
+            rng.uniform(1, 100, size=(12, 3)).astype(np.float32)
+        )
+        ids = np.arange(12, dtype=np.int64)
+        store.update(ids, moved)
+        index.rekey(ids, moved)
+        expected_keys = np.ascontiguousarray(moved, dtype=np.float64) @ normal
+        rank = np.searchsorted(index._keys.sorted_keys, expected_keys)
+        # Every rekeyed id sits at a position whose stored key equals the
+        # exact float64 product.
+        for row, point_id in enumerate(ids):
+            positions = np.nonzero(index._keys.sorted_ids == point_id)[0]
+            assert index._keys.sorted_keys[positions[0]] == expected_keys[row]
+        del rank
+
+        # insert with a strided (every-other-row) view.
+        block = rng.uniform(1, 100, size=(20, 3))
+        fresh = block[::2]
+        new_ids = store.append(fresh)
+        index.insert(new_ids, fresh)
+        inserted_keys = np.ascontiguousarray(fresh, dtype=np.float64) @ normal
+        for row, point_id in enumerate(new_ids):
+            positions = np.nonzero(index._keys.sorted_ids == point_id)[0]
+            assert index._keys.sorted_keys[positions[0]] == inserted_keys[row]
+
+        # And the index still answers exactly over the churned store.
+        live_ids, live_rows = store.get_all()
+        query = ScalarProductQuery(np.array([1.0, 2.0, 1.0]), 250.0)
+        expected = brute_force_ids(live_rows, query, live_ids)
+        assert np.array_equal(index.query(query).ids, expected)
+
 
 @given(
     features=hnp.arrays(

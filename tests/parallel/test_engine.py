@@ -220,6 +220,88 @@ class TestShardLayout:
         sharded.close()
 
 
+class TestBatchShortCircuits:
+    """Regression: degenerate batches must not open traces or fan out."""
+
+    def test_empty_batch_emits_no_trace_or_metrics(
+        self, uniform_points, uniform_model, n_shards, obs_enabled
+    ):
+        from repro.obs import spans as obs_spans
+
+        with ShardedFunctionIndex(
+            uniform_points, uniform_model, n_indices=4, rng=0, n_shards=n_shards
+        ) as sharded:
+            dim = uniform_points.shape[1]
+            before_traces = len(obs_spans.recent_traces())
+            before_total = obs_metrics.traces_total().value(kind="batch", sampled="1")
+            before_shards = {
+                shard: obs_metrics.shard_queries_total().value(
+                    kind="batch", shard=str(shard)
+                )
+                for shard in range(n_shards)
+            }
+            assert sharded.query_batch(np.empty((0, dim)), np.empty(0)) == []
+            assert len(obs_spans.recent_traces()) == before_traces
+            assert (
+                obs_metrics.traces_total().value(kind="batch", sampled="1")
+                == before_total
+            )
+            for shard in range(n_shards):
+                assert (
+                    obs_metrics.shard_queries_total().value(
+                        kind="batch", shard=str(shard)
+                    )
+                    == before_shards[shard]
+                )
+
+    def test_mismatched_batch_raises_before_trace(
+        self, uniform_points, uniform_model, n_shards, obs_enabled
+    ):
+        from repro.obs import spans as obs_spans
+
+        with ShardedFunctionIndex(
+            uniform_points, uniform_model, n_indices=4, rng=0, n_shards=n_shards
+        ) as sharded:
+            dim = uniform_points.shape[1]
+            before_traces = len(obs_spans.recent_traces())
+            with pytest.raises(ValueError):
+                sharded.query_batch(np.ones((2, dim)), np.ones(3))
+            # Validation failed before the trace opened: no aborted trace.
+            assert len(obs_spans.recent_traces()) == before_traces
+
+    def test_all_fallback_batch_skips_shard_fanout(
+        self, mixed_sign_points, mixed_sign_model, n_shards, obs_enabled
+    ):
+        """A batch where every query needs the octant fallback answers by
+        whole-store scans — no per-shard fan-out, no shard spans."""
+        from repro.obs import spans as obs_spans
+
+        with ShardedFunctionIndex(
+            mixed_sign_points, mixed_sign_model, n_indices=4, rng=0, n_shards=n_shards
+        ) as sharded:
+            # Signs incompatible with the model octant in either form.
+            normals = np.ones((3, mixed_sign_points.shape[1]))
+            offsets = np.array([5.0, 10.0, 15.0])
+            before = {
+                shard: obs_metrics.shard_queries_total().value(
+                    kind="batch", shard=str(shard)
+                )
+                for shard in range(n_shards)
+            }
+            answers = sharded.query_batch(normals, offsets)
+            assert all(answer.used_fallback for answer in answers)
+            for shard in range(n_shards):
+                assert (
+                    obs_metrics.shard_queries_total().value(
+                        kind="batch", shard=str(shard)
+                    )
+                    == before[shard]
+                )
+            root = obs_spans.recent_traces()[-1]
+            assert root.name == "query.batch"
+            assert not [c for c in root.children if c.name.startswith("shard.")]
+
+
 class TestShardObservability:
     def test_per_shard_series(
         self, uniform_points, uniform_model, n_shards, obs_enabled

@@ -87,3 +87,27 @@ class TestCacheInvalidation:
         assert view.memory_bytes() == 0
         view.get_all()
         assert view.memory_bytes() > 0
+
+    def test_live_ids_survive_churn(self, base):
+        """View churn mirror of the store's ids==positions pin: after
+        interleaved base deletes and appends, each view's live ids are
+        exactly the owned, live subset, and scans stay exact."""
+        rng = np.random.default_rng(3)
+        views = [FeatureStoreView(base, shard, 3, "round_robin") for shard in range(3)]
+        for _ in range(10):
+            live = base.live_ids()
+            victims = rng.choice(live, size=2, replace=False)
+            base.delete(np.sort(victims).astype(np.int64))
+            base.append(rng.uniform(1.0, 10.0, size=(3, 3)))
+            merged = np.sort(np.concatenate([view.live_ids() for view in views]))
+            assert np.array_equal(merged, base.live_ids())
+            normal = np.asarray([1.0, 2.0, 3.0])
+            for view in views:
+                ids, values = view.scan_values(normal)
+                assert np.array_equal(ids, view.live_ids())
+                assert np.allclose(values, base.get(ids) @ normal)
+                ids_many, values_many = view.scan_values_many(
+                    np.vstack([normal, normal[::-1]])
+                )
+                assert np.array_equal(ids_many, ids)
+                assert np.allclose(values_many[:, 0], values)
