@@ -77,6 +77,7 @@ ARCHITECTURE: Dict[str, frozenset] = {
     ),
     "reliability": frozenset({"exceptions"}),
     "scan": frozenset({"_util", "analysis", "core", "exceptions", "obs"}),
+    "serve": frozenset({"exceptions", "obs", "parallel"}),
     "sqlfunc": frozenset({"_util", "core", "exceptions"}),
     "tuning": frozenset({"core", "exceptions", "obs", "reliability"}),
 }

@@ -42,6 +42,11 @@ Commands
     Live terminal dashboard over the obs state file: per-op query rates
     and latency quantiles, reliability counters, and the SLO table
     (``--once`` renders a single frame for CI smoke tests).
+``serve``
+    Run the asyncio HTTP query service: micro-batched ``/query`` and
+    ``/topk`` over a sharded engine, per-tenant admission control, and
+    the ``/metrics`` / ``/healthz`` / ``/slo`` operational endpoints
+    (see ``docs/serving.md`` and ``docs/operations.md``).
 """
 
 from __future__ import annotations
@@ -186,6 +191,17 @@ def build_parser() -> argparse.ArgumentParser:
         "reliability counters, SLO table; see docs/observability.md",
     )
     top_module.configure_parser(top)
+
+    from repro.serve import cli as serve_module
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP query service (micro-batching, tenant quotas)",
+        description="asyncio HTTP front-end over the sharded engine; "
+        "see docs/serving.md and docs/operations.md",
+    )
+    serve_module.configure_parser(serve)
+    _add_parallel_args(serve)
     return parser
 
 
@@ -403,6 +419,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.reliability.cli import run_from_args as chaos_run
 
         code = chaos_run(args)
+    elif args.command == "serve":
+        from repro.serve.cli import run_from_args as serve_run
+
+        code = serve_run(args)
     else:
         code = _cmd_datasets(args)
     _save_obs_state()

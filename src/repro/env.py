@@ -121,6 +121,31 @@ ENV_VARS: Tuple[EnvVar, ...] = (
         help="default shard-failure policy for engines built without one",
     ),
     EnvVar(
+        name="REPRO_SERVE_BATCH_WINDOW_MS",
+        default="2",
+        help="micro-batcher coalescing window in ms (0 = no coalescing)",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_BATCH_MAX",
+        default="64",
+        help="max requests coalesced into one engine batch call",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_QUEUE_DEPTH",
+        default="256",
+        help="admission queue bound; requests beyond it are shed with 429",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_BROWNOUT",
+        default="0.8",
+        help="queue-depth fraction at which best-effort tenants are shed (brownout)",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_TENANTS",
+        default="",
+        help="JSON file of per-tenant quotas/priorities (empty = one unlimited tenant)",
+    ),
+    EnvVar(
         name="REPRO_BENCH_SCALE",
         default="1",
         help="scale factor for benchmark dataset sizes (10 ≈ paper scale)",

@@ -69,6 +69,11 @@ __all__ = [
     "slo_burn_rate",
     "slo_observed",
     "slo_ok",
+    "serve_requests_total",
+    "serve_request_seconds",
+    "serve_batch_size",
+    "serve_shed_total",
+    "serve_queue_depth",
 ]
 
 #: Fixed log-scale latency buckets (seconds): three per decade, 1 µs – 10 s.
@@ -726,4 +731,57 @@ def slo_ok() -> Gauge:
         "Whether each declared objective is currently met (1) or "
         "violated (0) over the evaluated window.",
         ("objective",),
+    )
+
+
+def serve_requests_total() -> Counter:
+    """Serving-layer requests, by tenant, op, and terminal status."""
+    return _DEFAULT.counter(
+        "repro_serve_requests_total",
+        "HTTP query-service requests, by tenant, op (query/topk), and "
+        "terminal status (ok/shed/error).",
+        ("tenant", "op", "status"),
+    )
+
+
+def serve_request_seconds() -> Histogram:
+    """End-to-end served request latency (admission to response), by op."""
+    return _DEFAULT.histogram(
+        "repro_serve_request_seconds",
+        "End-to-end served request latency in seconds, admission through "
+        "response, by op (query/topk).",
+        ("op",),
+    )
+
+
+#: Micro-batch size buckets: powers of two up to the default size cap.
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def serve_batch_size() -> Histogram:
+    """Requests coalesced per engine batch call, by op."""
+    return _DEFAULT.histogram(
+        "repro_serve_batch_size",
+        "Requests the micro-batcher coalesced into each engine batch "
+        "call, by op (query/topk); mean = amortization factor.",
+        ("op",),
+        buckets=BATCH_SIZE_BUCKETS,
+    )
+
+
+def serve_shed_total() -> Counter:
+    """Requests shed by admission control, by tenant and reason."""
+    return _DEFAULT.counter(
+        "repro_serve_shed_total",
+        "Requests rejected with 429 by admission control, by tenant and "
+        "reason (quota/queue_full/brownout).",
+        ("tenant", "reason"),
+    )
+
+
+def serve_queue_depth() -> Gauge:
+    """Admitted requests currently queued ahead of the batcher."""
+    return _DEFAULT.gauge(
+        "repro_serve_queue_depth",
+        "Admitted requests currently waiting in the serving queue.",
     )

@@ -993,6 +993,16 @@ class ShardedFunctionIndex:
         ids, rows = self._stores[shard].get_all()
         return SequentialScan(rows, ids).topk(spq, k)
 
+    def _recover_topk_batch(
+        self, queries: Sequence[ScalarProductQuery], k: int, shard: int
+    ) -> list[TopKResult]:
+        """Exact fallback for one failed shard of a batched top-k fan-out."""
+        from ..scan.baseline import SequentialScan
+
+        ids, rows = self._stores[shard].get_all()
+        scan = SequentialScan(rows, ids)
+        return [scan.topk(spq, k) for spq in queries]
+
     @staticmethod
     def _merge_inequality(
         results: Sequence[QueryResult | None],
@@ -1331,6 +1341,112 @@ class ShardedFunctionIndex:
             recover=lambda shard: self._recover_topk(spq, k, shard),
             task=("topk", spq, k),
         )
+        return self._merge_topk(results, k, degraded)
+
+    def topk_batch(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[TopKResult]:
+        """Answer a batch of top-k queries sharing one operator and ``k``.
+
+        The whole plannable batch ships to every shard as *one* task (each
+        shard runs :meth:`PlanarIndexCollection.topk_batch`, batching its
+        candidate verification per selected index), and each query's
+        per-shard top-k sets merge through one
+        :class:`~repro.core.topk.TopKBuffer` — identical ids, distances,
+        and tie-breaks as per-query :meth:`topk` calls.  Like
+        :meth:`query_batch`, validation and the empty-batch short-circuit
+        run before the trace opens.
+        """
+        normals = as_2d_float(normals, "normals")
+        offsets = np.ascontiguousarray(offsets, dtype=np.float64)
+        if offsets.ndim != 1 or offsets.size != normals.shape[0]:
+            raise DimensionMismatchError(
+                f"{offsets.size} offsets for {normals.shape[0]} normals"
+            )
+        if k <= 0:
+            raise InvalidQueryError(f"k must be positive, got {k}")
+        if normals.shape[0] == 0:
+            return []
+        ctx = _otr.begin("batch_topk", shards=self._n_shards)
+        if ctx is None:
+            return self._topk_batch_impl(normals, offsets, k, op)
+        try:
+            results = self._topk_batch_impl(normals, offsets, k, op)
+        except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
+            _otr.abort(ctx, exc)
+            raise
+        parts = [result.stats for result in results if result.stats is not None]
+        degraded = next(
+            (result.degraded for result in results if result.degraded is not None),
+            None,
+        )
+        self._finish_trace(
+            ctx,
+            stats=_merge_stats(parts) if parts else None,
+            degraded=degraded,
+            results=sum(int(result.ids.size) for result in results),
+            n_queries=len(results),
+            lbs_checked=sum(int(result.n_checked) for result in results),
+        )
+        return results
+
+    def _topk_batch_impl(
+        self,
+        normals: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+        op: Comparison | str = Comparison.LE,
+    ) -> list[TopKResult]:
+        """Untraced body of :meth:`topk_batch` (inputs pre-validated)."""
+        queries = [
+            ScalarProductQuery(normals[row], float(offsets[row]), op)
+            for row in range(normals.shape[0])
+        ]
+        if _tnr.RECORDING:
+            for spq in queries:
+                _tnr.record_query(spq.normal, spq.offset, spq.op.value, "topk", k)
+        plannable: list[int] = []
+        results: list[TopKResult | None] = [None] * len(queries)
+        for position, spq in enumerate(queries):
+            self._check_dim(spq)
+            try:
+                self._working_or_raise(spq)
+            except InvalidQueryError:
+                if not self._scan_fallback:
+                    raise
+                from ..scan.baseline import SequentialScan
+
+                ids, rows = self._features.get_all()
+                results[position] = SequentialScan(rows, ids).topk(spq, k)
+                continue
+            plannable.append(position)
+        if plannable:
+            subset = [queries[position] for position in plannable]
+            per_shard, degraded = self._map_shards(
+                "batch_topk",
+                lambda collection: collection.topk_batch(subset, k),
+                recover=lambda shard: self._recover_topk_batch(subset, k, shard),
+                task=("batch_topk", subset, k),
+            )
+            for slot, position in enumerate(plannable):
+                shard_slices = [
+                    shard_results[slot] if shard_results is not None else None
+                    for shard_results in per_shard
+                ]
+                results[position] = self._merge_topk(shard_slices, k, degraded)
+        return results  # type: ignore[return-value]
+
+    def _merge_topk(
+        self,
+        results: Sequence[TopKResult | None],
+        k: int,
+        degraded: DegradedInfo | None,
+    ) -> TopKResult:
+        """Merge one query's per-shard top-k slices into the global answer."""
         if len(results) == 1 and degraded is None and results[0] is not None:
             return results[0]
         present = [result for result in results if result is not None]

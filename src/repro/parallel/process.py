@@ -125,6 +125,8 @@ def _apply(engine: "ShardedFunctionIndex", shard: int, task: tuple) -> Any:
         # SharedCutoff is thread-local machinery; per-shard cutoffs are
         # still exact (merely less cross-shard pruning).
         return collection.topk(task[1], task[2], cutoff=None)
+    if kind == "batch_topk":
+        return collection.topk_batch(task[1], task[2])
     raise ValueError(f"unknown process task kind {kind!r}")
 
 

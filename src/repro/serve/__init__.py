@@ -1,0 +1,34 @@
+"""Serving layer: an asyncio HTTP front-end over the sharded engine.
+
+Turns concurrent network requests into the batched engine calls the
+parallel layer answers cheaply: a micro-batcher coalesces requests
+within a small time/size window into single ``query_batch`` /
+``topk_batch`` calls (answers bit-identical to direct library use), and
+per-tenant admission control — token-bucket quotas, priority classes, a
+bounded queue with brownout shedding — keeps overload at the front door
+instead of inside the engine.  See ``docs/serving.md`` for the guide and
+``docs/operations.md`` for the operator runbook.
+
+Entry points: ``python -m repro serve`` (CLI),
+:func:`~repro.serve.service.serve_in_thread` (embedded), and the classes
+below for custom wiring.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, TokenBucket
+from .batcher import MicroBatcher, PendingRequest
+from .config import ServiceConfig, TenantSpec, load_tenants
+from .service import QueryService, ServerHandle, serve_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "MicroBatcher",
+    "PendingRequest",
+    "QueryService",
+    "ServerHandle",
+    "ServiceConfig",
+    "TenantSpec",
+    "TokenBucket",
+    "load_tenants",
+    "serve_in_thread",
+]

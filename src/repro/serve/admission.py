@@ -1,0 +1,157 @@
+"""Per-tenant admission control: token buckets, priorities, load shedding.
+
+Admission runs *before* a request enters the batching queue and decides
+in O(1) whether to accept it or shed it with ``429 Too Many Requests``:
+
+* **quota** — each tenant owns a token bucket (``rate`` tokens/second,
+  ``burst`` capacity); an empty bucket sheds with a ``Retry-After``
+  computed from the refill rate, so a well-behaved client that honors
+  the header never sheds twice in a row;
+* **queue_full** — the bounded queue protects the engine: once
+  ``queue_depth`` requests are waiting, everyone sheds;
+* **brownout** — the soft limit: once the queue passes
+  ``brownout_fraction × queue_depth``, best-effort tenants
+  (``priority > 0``) shed early so interactive traffic keeps its queue
+  room.  This is the serving-layer analogue of the reliability layer's
+  ``degrade`` policy — partial service before no service — and the two
+  compose: brownout sheds load at the front door while degraded answers
+  account for shard loss behind it (see ``docs/serving.md``).
+
+Everything here is synchronous and lock-free under the asyncio event
+loop (one decision per request, no awaits); the monotonic clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .config import ServiceConfig, TenantSpec
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]
+
+#: Suggested client back-off when shedding on queue pressure: one batch
+#: window is too optimistic, a full second too pessimistic.
+_QUEUE_RETRY_S = 0.1
+
+
+class TokenBucket:
+    """Classic token bucket; ``rate <= 0`` means unlimited.
+
+    Tokens refill continuously at ``rate`` per second up to ``burst``.
+    :meth:`try_acquire` takes one token or reports the wait until the
+    next one is available.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._tokens = self.burst
+        self._clock = clock
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._updated = now
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; never blocks."""
+        if self.rate <= 0:
+            return True
+        self._refill(self._clock())
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (0 when one is available)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill(self._clock())
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    tenant: TenantSpec
+    reason: str = ""  #: "" | "quota" | "queue_full" | "brownout"
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Applies the config's quotas and shedding rules to one request."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._brownout_depth = max(
+            1, int(config.brownout_fraction * config.queue_depth)
+        )
+
+    @property
+    def brownout_depth(self) -> int:
+        """Queue depth at which best-effort tenants start shedding."""
+        return self._brownout_depth
+
+    def _bucket(self, spec: TenantSpec) -> TokenBucket:
+        bucket = self._buckets.get(spec.name)
+        if bucket is None:
+            bucket = self._buckets[spec.name] = TokenBucket(
+                spec.rate, spec.burst, self._clock
+            )
+        return bucket
+
+    def admit(self, tenant: str, queue_depth: int) -> AdmissionDecision:
+        """Decide one request: quota first, then queue bound, then brownout.
+
+        ``queue_depth`` is the number of admitted requests currently
+        waiting (the service passes its live gauge).  Quota is checked
+        first so a greedy tenant burns its own bucket, not the queue's
+        headroom.
+        """
+        spec = self._config.resolve_tenant(tenant)
+        bucket = self._bucket(spec)
+        if not bucket.try_acquire():
+            return AdmissionDecision(
+                admitted=False,
+                tenant=spec,
+                reason="quota",
+                retry_after_s=max(bucket.retry_after(), 0.001),
+            )
+        if queue_depth >= self._config.queue_depth:
+            return AdmissionDecision(
+                admitted=False,
+                tenant=spec,
+                reason="queue_full",
+                retry_after_s=_QUEUE_RETRY_S,
+            )
+        if spec.priority > 0 and queue_depth >= self._brownout_depth:
+            return AdmissionDecision(
+                admitted=False,
+                tenant=spec,
+                reason="brownout",
+                retry_after_s=_QUEUE_RETRY_S,
+            )
+        return AdmissionDecision(admitted=True, tenant=spec)

@@ -1,0 +1,173 @@
+"""Serving-layer configuration: batch window, queue bounds, tenant quotas.
+
+Every knob is an env-registry flag (``REPRO_SERVE_*`` in
+:mod:`repro.env`) so operators configure a deployment the same way they
+configure the rest of the runtime — see ``docs/operations.md`` for the
+consolidated table.  :meth:`ServiceConfig.from_env` is the single place
+the serving layer reads the process environment; constructor arguments
+exist for tests and embedding.
+
+Tenant quotas live in a small JSON file (``REPRO_SERVE_TENANTS``)::
+
+    {"tenants": [
+        {"name": "dashboard", "rate": 0,   "burst": 1,  "priority": 0},
+        {"name": "analytics", "rate": 200, "burst": 50, "priority": 1}
+    ]}
+
+``rate`` is the token-bucket refill rate in requests/second (``<= 0``
+means unlimited), ``burst`` the bucket capacity, and ``priority`` the
+shedding class: priority 0 (*interactive*) is shed only when the queue
+is full, priority > 0 (*best-effort*) is shed early during brownouts.
+When no file is configured every tenant name maps to one unlimited
+interactive tenant; when a file is configured, names it does not list
+are admitted as unlimited **best-effort** tenants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["ServiceConfig", "TenantSpec", "load_tenants"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Admission parameters for one tenant."""
+
+    name: str
+    rate: float = 0.0  #: token refill rate, requests/second (<= 0 = unlimited)
+    burst: float = 1.0  #: bucket capacity (max requests admitted at once)
+    priority: int = 0  #: 0 = interactive, > 0 = best-effort (brownout-shed)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.rate > 0 and self.burst < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: burst must be >= 1 when rate-limited, "
+                f"got {self.burst}"
+            )
+        if self.priority < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: priority must be >= 0, got {self.priority}"
+            )
+
+
+def load_tenants(path: str | Path) -> dict[str, TenantSpec]:
+    """Parse a tenant-quota JSON file into a name → spec mapping."""
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    entries = spec.get("tenants")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: tenant spec must have a 'tenants' list")
+    tenants: dict[str, TenantSpec] = {}
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ValueError(f"{path}: tenants[{position}] must be an object with 'name'")
+        tenant = TenantSpec(
+            name=str(entry["name"]),
+            rate=float(entry.get("rate", 0.0)),
+            burst=float(entry.get("burst", 1.0)),
+            priority=int(entry.get("priority", 0)),
+        )
+        if tenant.name in tenants:
+            raise ValueError(f"{path}: duplicate tenant {tenant.name!r}")
+        tenants[tenant.name] = tenant
+    return tenants
+
+
+def _parse_float(raw: str, default: float) -> float:
+    """Parse a float env value, falling back to ``default`` on junk."""
+    raw = raw.strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _parse_int(raw: str, default: int) -> int:
+    """Parse an int env value, falling back to ``default`` on junk."""
+    raw = raw.strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Resolved serving-layer configuration.
+
+    ``batch_window_s == 0`` disables coalescing entirely (strict
+    passthrough: one engine call per request) — that is the baseline the
+    ``bench_serve`` amortization gate compares against.
+    """
+
+    batch_window_s: float = 0.002
+    batch_max: int = 64
+    queue_depth: int = 256
+    brownout_fraction: float = 0.8
+    tenants: Mapping[str, TenantSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ValueError(f"batch window must be >= 0, got {self.batch_window_s}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch max must be >= 1, got {self.batch_max}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {self.queue_depth}")
+        if not 0.0 < self.brownout_fraction <= 1.0:
+            raise ValueError(
+                f"brownout fraction must be in (0, 1], got {self.brownout_fraction}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """Build the configuration from ``REPRO_SERVE_*`` variables.
+
+        This is the serving layer's only environment read; every variable
+        is declared in :mod:`repro.env` and documented in
+        ``docs/operations.md`` (both machine-checked).  Junk values fall
+        back to the documented defaults rather than failing startup.
+        """
+        window_ms = max(
+            0.0, _parse_float(os.environ.get("REPRO_SERVE_BATCH_WINDOW_MS", ""), 2.0)
+        )
+        tenants_path = os.environ.get("REPRO_SERVE_TENANTS", "").strip()
+        return cls(
+            batch_window_s=window_ms / 1000.0,
+            batch_max=max(
+                1, _parse_int(os.environ.get("REPRO_SERVE_BATCH_MAX", ""), 64)
+            ),
+            queue_depth=max(
+                1, _parse_int(os.environ.get("REPRO_SERVE_QUEUE_DEPTH", ""), 256)
+            ),
+            brownout_fraction=min(
+                1.0,
+                max(
+                    0.01, _parse_float(os.environ.get("REPRO_SERVE_BROWNOUT", ""), 0.8)
+                ),
+            ),
+            tenants=load_tenants(tenants_path) if tenants_path else {},
+        )
+
+    def resolve_tenant(self, name: str) -> TenantSpec:
+        """The admission spec governing ``name``.
+
+        Configured tenants get their declared quota.  With no tenant file
+        at all, every name is an unlimited interactive tenant; with a
+        file, unlisted names are admitted unlimited but *best-effort*
+        (priority 1), so registered tenants keep their brownout shelter.
+        """
+        spec = self.tenants.get(name)
+        if spec is not None:
+            return spec
+        return TenantSpec(name=name, priority=1 if self.tenants else 0)

@@ -1,0 +1,146 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+Just enough protocol for the query service: request-line + header
+parsing, ``Content-Length`` bodies, keep-alive, and JSON/text response
+rendering.  Deliberately not a framework — the endpoint surface is five
+routes (``docs/serving.md``), and the reproduction's no-dependency rule
+(README) applies to the serving layer too.
+
+Limits: request line and headers are capped at 16 KiB, bodies at 8 MiB
+(a batch of float64 normals is small); chunked transfer encoding is not
+accepted.  Violations fail the connection with 400/413 rather than
+buffering unbounded input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "render_response"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure mapped to an error response."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON, raising :class:`HttpError` 400 on junk."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request from the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input and
+    ``asyncio.IncompleteReadError`` / ``ConnectionError`` on transport
+    failures mid-request (the connection handler drops the connection
+    either way).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > _MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}") from exc
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds the limit")
+        if length:
+            body = await reader.readexactly(length)
+    path = target.split("?", 1)[0]
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: Any,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response; dict/list bodies are JSON-encoded."""
+    if isinstance(body, (dict, list)):
+        payload = json.dumps(body).encode("utf-8")
+    elif isinstance(body, str):
+        payload = body.encode("utf-8")
+    else:
+        payload = bytes(body)
+    reason = _REASONS.get(status, "Unknown")
+    headers: list[Tuple[str, str]] = [
+        ("Content-Type", content_type),
+        ("Content-Length", str(len(payload))),
+        ("Connection", "keep-alive" if keep_alive else "close"),
+    ]
+    if extra_headers:
+        headers.extend(extra_headers.items())
+    head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers
+    )
+    return head.encode("latin-1") + b"\r\n" + payload

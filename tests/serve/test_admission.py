@@ -1,0 +1,164 @@
+"""Admission control: token buckets, shedding order, brownout priorities.
+
+All tests drive the controller with an injectable fake clock, so quota
+refill is deterministic — no sleeps, no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionController, ServiceConfig, TenantSpec, TokenBucket
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_nonpositive(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.retry_after() == 0.0
+
+    def test_burst_then_exhaustion(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_is_continuous(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s x 0.5s = exactly one token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_names_the_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.retry_after() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)  # a long idle period must not bank tokens
+        assert [bucket.try_acquire() for _ in range(3)] == [True, True, False]
+
+
+def make_controller(clock=None, **config_kwargs):
+    config = ServiceConfig(**config_kwargs)
+    return AdmissionController(config, clock=clock or FakeClock())
+
+
+class TestAdmissionOrder:
+    def test_admits_by_default(self):
+        decision = make_controller().admit("anyone", queue_depth=0)
+        assert decision.admitted
+        assert decision.reason == ""
+
+    def test_quota_shed_carries_retry_after(self):
+        clock = FakeClock()
+        controller = make_controller(
+            clock=clock,
+            tenants={"slow": TenantSpec("slow", rate=1.0, burst=1.0)},
+        )
+        assert controller.admit("slow", queue_depth=0).admitted
+        decision = controller.admit("slow", queue_depth=0)
+        assert not decision.admitted
+        assert decision.reason == "quota"
+        assert decision.retry_after_s == pytest.approx(1.0)
+
+    def test_quota_checked_before_queue(self):
+        """A greedy tenant burns its own bucket even when the queue is
+        also full — the shed reason names the tenant's problem."""
+        clock = FakeClock()
+        controller = make_controller(
+            clock=clock,
+            queue_depth=4,
+            tenants={"slow": TenantSpec("slow", rate=1.0, burst=1.0)},
+        )
+        assert controller.admit("slow", queue_depth=0).admitted
+        decision = controller.admit("slow", queue_depth=10)
+        assert decision.reason == "quota"
+
+    def test_queue_full_sheds_everyone(self):
+        controller = make_controller(queue_depth=8)
+        decision = controller.admit("anyone", queue_depth=8)
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert decision.retry_after_s > 0
+
+    def test_brownout_sheds_only_best_effort(self):
+        controller = make_controller(
+            queue_depth=10,
+            brownout_fraction=0.5,
+            tenants={
+                "vip": TenantSpec("vip", priority=0),
+                "batch": TenantSpec("batch", priority=1),
+            },
+        )
+        assert controller.brownout_depth == 5
+        # In the brownout band: best-effort sheds, interactive sails.
+        assert controller.admit("vip", queue_depth=7).admitted
+        decision = controller.admit("batch", queue_depth=7)
+        assert not decision.admitted
+        assert decision.reason == "brownout"
+        # Below the band both are admitted.
+        assert controller.admit("batch", queue_depth=4).admitted
+
+    def test_brownout_depth_is_at_least_one(self):
+        controller = make_controller(queue_depth=2, brownout_fraction=0.01)
+        assert controller.brownout_depth == 1
+
+
+class TestStarvationBound:
+    """A greedy best-effort neighbor cannot starve an interactive tenant."""
+
+    def test_interactive_survives_greedy_best_effort_flood(self):
+        controller = make_controller(
+            queue_depth=10,
+            brownout_fraction=0.6,
+            tenants={
+                "vip": TenantSpec("vip", priority=0),
+                "greedy": TenantSpec("greedy", priority=1),
+            },
+        )
+        # The greedy tenant floods: it fills the queue to the brownout
+        # threshold, after which *it* sheds while vip keeps landing —
+        # all the way until the queue is genuinely full.
+        depth = 0
+        greedy_admitted = 0
+        while controller.admit("greedy", queue_depth=depth).admitted:
+            greedy_admitted += 1
+            depth += 1
+        assert greedy_admitted == controller.brownout_depth  # capped at 6
+        for _ in range(depth, 10):
+            assert controller.admit("vip", queue_depth=depth).admitted
+            depth += 1
+        # Only a full queue stops interactive traffic.
+        assert controller.admit("vip", queue_depth=10).reason == "queue_full"
+
+    def test_unlisted_tenants_are_best_effort_when_file_present(self):
+        controller = make_controller(
+            queue_depth=10,
+            brownout_fraction=0.5,
+            tenants={"vip": TenantSpec("vip", priority=0)},
+        )
+        assert controller.admit("stranger", queue_depth=7).reason == "brownout"
+        assert controller.admit("vip", queue_depth=7).admitted

@@ -1,0 +1,231 @@
+"""Micro-batcher edge cases: coalescing, passthrough, flush policy, errors.
+
+Each test runs the batcher under a private event loop (``asyncio.run``)
+against a real (small) engine, so the executor handoff and the
+bit-identity of grouped calls are exercised for real.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.serve import MicroBatcher, PendingRequest
+
+from .conftest import build_engine, integer_queries
+
+
+@pytest.fixture(scope="module")
+def engine_and_queries():
+    engine, points = build_engine(n=300, dim=3, seed=2)
+    normals, offsets = integer_queries(points, m=16, seed=3)
+    yield engine, normals, offsets
+    engine.close()
+
+
+def _request(normals, offsets, i, op="query", k=0, comparison="<="):
+    return PendingRequest(
+        op=op, normal=normals[i], offset=float(offsets[i]),
+        comparison=comparison, k=k, tenant="t",
+    )
+
+
+def _run_batch(engine, requests, *, window_s, batch_max=64):
+    """Start a batcher, enqueue ``requests`` concurrently, await answers."""
+
+    async def main():
+        batcher = MicroBatcher(engine, window_s=window_s, batch_max=batch_max)
+        batcher.start()
+        try:
+            results = await asyncio.gather(
+                *(batcher.enqueue(r) for r in requests),
+                return_exceptions=True,
+            )
+        finally:
+            await batcher.stop()
+        return results, batcher.stats(), batcher.outstanding
+
+    return asyncio.run(main())
+
+
+class TestCoalescing:
+    def test_same_tick_burst_coalesces_into_one_batch(self, engine_and_queries):
+        engine, normals, offsets = engine_and_queries
+        requests = [_request(normals, offsets, i) for i in range(8)]
+        results, stats, outstanding = _run_batch(
+            engine, requests, window_s=0.25
+        )
+        assert stats["batches"] == 1
+        assert stats["max_batch"] == 8
+        assert outstanding == 0
+        for i, (answer, _trace) in enumerate(results):
+            direct = engine.query(normals[i], float(offsets[i]))
+            assert np.array_equal(answer.ids, direct.ids)
+
+    def test_batch_max_splits_the_burst(self, engine_and_queries):
+        engine, normals, offsets = engine_and_queries
+        requests = [_request(normals, offsets, i) for i in range(7)]
+        _results, stats, _ = _run_batch(
+            engine, requests, window_s=0.25, batch_max=3
+        )
+        assert stats["batches"] == 3  # 3 + 3 + 1
+        assert stats["max_batch"] == 3
+
+    def test_mixed_ops_group_within_one_batch(self, engine_and_queries):
+        """One batch may mix /query and /topk; groups resolve separately
+        but the batch is counted once."""
+        engine, normals, offsets = engine_and_queries
+        requests = [
+            _request(normals, offsets, 0),
+            _request(normals, offsets, 1, op="topk", k=5),
+            _request(normals, offsets, 2, comparison=">"),
+        ]
+        results, stats, _ = _run_batch(engine, requests, window_s=0.25)
+        assert stats["batches"] == 1
+        (ineq, _), (topk, _), (gt, _) = results
+        assert np.array_equal(
+            ineq.ids, engine.query(normals[0], float(offsets[0])).ids
+        )
+        direct_topk = engine.topk(normals[1], float(offsets[1]), k=5)
+        assert np.array_equal(topk.ids, direct_topk.ids)
+        assert np.array_equal(topk.distances, direct_topk.distances)
+        assert np.array_equal(
+            gt.ids, engine.query(normals[2], float(offsets[2]), ">").ids
+        )
+
+
+class TestPassthroughAndFlush:
+    def test_window_zero_is_strict_passthrough(self, engine_and_queries):
+        engine, normals, offsets = engine_and_queries
+        requests = [_request(normals, offsets, i) for i in range(6)]
+        _results, stats, _ = _run_batch(engine, requests, window_s=0.0)
+        assert stats["batches"] == 6
+        assert stats["max_batch"] == 1
+
+    def test_idle_single_request_flushes_before_the_window(
+        self, engine_and_queries
+    ):
+        """A lone request on an idle service must not wait out the window:
+        with a 5 s window the answer still arrives in well under a second."""
+        engine, normals, offsets = engine_and_queries
+
+        async def main():
+            batcher = MicroBatcher(engine, window_s=5.0, batch_max=64)
+            batcher.start()
+            try:
+                start = time.perf_counter()
+                answer, _trace = await batcher.enqueue(
+                    _request(normals, offsets, 0)
+                )
+                elapsed = time.perf_counter() - start
+            finally:
+                await batcher.stop()
+            return answer, elapsed
+
+        answer, elapsed = asyncio.run(main())
+        assert elapsed < 1.0
+        assert np.array_equal(
+            answer.ids, engine.query(normals[0], float(offsets[0])).ids
+        )
+
+    def test_empty_queue_window_dispatches_partial_batch(
+        self, engine_and_queries
+    ):
+        """Requests arriving while a window is open join it; the window
+        closes at the deadline even though batch_max was never reached."""
+        engine, normals, offsets = engine_and_queries
+
+        async def main():
+            batcher = MicroBatcher(engine, window_s=0.2, batch_max=64)
+            batcher.start()
+            try:
+                first = asyncio.ensure_future(
+                    batcher.enqueue(_request(normals, offsets, 0))
+                )
+                await asyncio.sleep(0.02)  # the window is now open
+                second = asyncio.ensure_future(
+                    batcher.enqueue(_request(normals, offsets, 1))
+                )
+                results = await asyncio.gather(first, second)
+            finally:
+                await batcher.stop()
+            return results, batcher.stats()
+
+        results, stats = asyncio.run(main())
+        assert stats["batched_requests"] == 2
+        for i, (answer, _trace) in enumerate(results):
+            assert np.array_equal(
+                answer.ids, engine.query(normals[i], float(offsets[i])).ids
+            )
+
+
+class TestErrorsAndLifecycle:
+    def test_group_failure_fans_out_to_every_member(self, engine_and_queries):
+        engine, normals, offsets = engine_and_queries
+        bad = PendingRequest(
+            op="query", normal=np.ones(7), offset=1.0,
+            comparison="<=", k=0, tenant="t",
+        )
+        results, _stats, outstanding = _run_batch(engine, [bad], window_s=0.0)
+        assert isinstance(results[0], DimensionMismatchError)
+        assert outstanding == 0
+
+    def test_failed_group_does_not_poison_the_next(self, engine_and_queries):
+        engine, normals, offsets = engine_and_queries
+
+        async def main():
+            batcher = MicroBatcher(engine, window_s=0.0, batch_max=64)
+            batcher.start()
+            try:
+                bad = PendingRequest(
+                    op="query", normal=np.ones(7), offset=1.0,
+                    comparison="<=", k=0, tenant="t",
+                )
+                with pytest.raises(DimensionMismatchError):
+                    await batcher.enqueue(bad)
+                answer, _ = await batcher.enqueue(
+                    _request(normals, offsets, 0)
+                )
+            finally:
+                await batcher.stop()
+            return answer
+
+        answer = asyncio.run(main())
+        assert np.array_equal(
+            answer.ids, engine.query(normals[0], float(offsets[0])).ids
+        )
+
+    def test_constructor_validation(self, engine_and_queries):
+        engine, _, _ = engine_and_queries
+        with pytest.raises(ValueError, match="window"):
+            MicroBatcher(engine, window_s=-0.1, batch_max=4)
+        with pytest.raises(ValueError, match="batch_max"):
+            MicroBatcher(engine, window_s=0.0, batch_max=0)
+
+    def test_stop_drains_admitted_requests(self, engine_and_queries):
+        """stop() resolves every admitted future before the loop dies."""
+        engine, normals, offsets = engine_and_queries
+
+        async def main():
+            batcher = MicroBatcher(engine, window_s=0.05, batch_max=64)
+            batcher.start()
+            futures = [
+                asyncio.ensure_future(
+                    batcher.enqueue(_request(normals, offsets, i))
+                )
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)  # let the enqueues land
+            await batcher.stop()
+            return await asyncio.gather(*futures)
+
+        results = asyncio.run(main())
+        assert len(results) == 4
+        for i, (answer, _trace) in enumerate(results):
+            assert np.array_equal(
+                answer.ids, engine.query(normals[i], float(offsets[i])).ids
+            )

@@ -1,0 +1,144 @@
+"""Serving configuration: tenant specs, env resolution, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import ServiceConfig, TenantSpec, load_tenants
+
+
+class TestTenantSpec:
+    def test_defaults_are_unlimited_interactive(self):
+        spec = TenantSpec("a")
+        assert spec.rate == 0.0
+        assert spec.priority == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TenantSpec("")
+
+    def test_rate_limited_needs_burst(self):
+        with pytest.raises(ValueError, match="burst"):
+            TenantSpec("a", rate=10.0, burst=0.5)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError, match="priority"):
+            TenantSpec("a", priority=-1)
+
+
+class TestLoadTenants:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_round_trip(self, tmp_path):
+        path = self._write(tmp_path, {"tenants": [
+            {"name": "a", "rate": 10, "burst": 5, "priority": 1},
+            {"name": "b"},
+        ]})
+        tenants = load_tenants(path)
+        assert tenants["a"].rate == 10.0
+        assert tenants["a"].priority == 1
+        assert tenants["b"].rate == 0.0
+
+    def test_missing_tenants_list(self, tmp_path):
+        path = self._write(tmp_path, {"quota": []})
+        with pytest.raises(ValueError, match="'tenants' list"):
+            load_tenants(path)
+
+    def test_entry_without_name(self, tmp_path):
+        path = self._write(tmp_path, {"tenants": [{"rate": 1}]})
+        with pytest.raises(ValueError, match="tenants\\[0\\]"):
+            load_tenants(path)
+
+    def test_duplicate_tenant(self, tmp_path):
+        path = self._write(
+            tmp_path, {"tenants": [{"name": "a"}, {"name": "a"}]}
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            load_tenants(path)
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            ServiceConfig(batch_window_s=-1.0)
+        with pytest.raises(ValueError, match="batch max"):
+            ServiceConfig(batch_max=0)
+        with pytest.raises(ValueError, match="queue depth"):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(ValueError, match="brownout"):
+            ServiceConfig(brownout_fraction=0.0)
+        with pytest.raises(ValueError, match="brownout"):
+            ServiceConfig(brownout_fraction=1.5)
+
+    def test_from_env_defaults(self, monkeypatch):
+        for name in (
+            "REPRO_SERVE_BATCH_WINDOW_MS", "REPRO_SERVE_BATCH_MAX",
+            "REPRO_SERVE_QUEUE_DEPTH", "REPRO_SERVE_BROWNOUT",
+            "REPRO_SERVE_TENANTS",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        config = ServiceConfig.from_env()
+        assert config.batch_window_s == pytest.approx(0.002)
+        assert config.batch_max == 64
+        assert config.queue_depth == 256
+        assert config.brownout_fraction == pytest.approx(0.8)
+        assert config.tenants == {}
+
+    def test_from_env_overrides(self, monkeypatch, tmp_path):
+        tenants = tmp_path / "tenants.json"
+        tenants.write_text(
+            json.dumps({"tenants": [{"name": "a", "priority": 1}]}),
+            encoding="utf-8",
+        )
+        monkeypatch.setenv("REPRO_SERVE_BATCH_WINDOW_MS", "10")
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MAX", "8")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_DEPTH", "32")
+        monkeypatch.setenv("REPRO_SERVE_BROWNOUT", "0.5")
+        monkeypatch.setenv("REPRO_SERVE_TENANTS", str(tenants))
+        config = ServiceConfig.from_env()
+        assert config.batch_window_s == pytest.approx(0.010)
+        assert config.batch_max == 8
+        assert config.queue_depth == 32
+        assert config.brownout_fraction == pytest.approx(0.5)
+        assert set(config.tenants) == {"a"}
+
+    def test_from_env_junk_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_WINDOW_MS", "banana")
+        monkeypatch.setenv("REPRO_SERVE_BATCH_MAX", "-3")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_DEPTH", "2.5")
+        monkeypatch.setenv("REPRO_SERVE_BROWNOUT", "99")
+        monkeypatch.delenv("REPRO_SERVE_TENANTS", raising=False)
+        config = ServiceConfig.from_env()
+        assert config.batch_window_s == pytest.approx(0.002)  # junk -> default
+        assert config.batch_max == 1          # clamped up
+        assert config.queue_depth == 256      # junk -> default
+        assert config.brownout_fraction == 1.0  # clamped down
+
+    def test_window_zero_means_passthrough(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH_WINDOW_MS", "0")
+        assert ServiceConfig.from_env().batch_window_s == 0.0
+
+
+class TestResolveTenant:
+    def test_no_file_everyone_interactive_unlimited(self):
+        config = ServiceConfig()
+        spec = config.resolve_tenant("anyone")
+        assert spec.rate == 0.0
+        assert spec.priority == 0
+
+    def test_with_file_unlisted_are_best_effort(self):
+        config = ServiceConfig(tenants={"vip": TenantSpec("vip")})
+        assert config.resolve_tenant("vip").priority == 0
+        stranger = config.resolve_tenant("stranger")
+        assert stranger.rate == 0.0
+        assert stranger.priority == 1
+
+    def test_configured_spec_returned_verbatim(self):
+        vip = TenantSpec("vip", rate=5.0, burst=2.0, priority=0)
+        config = ServiceConfig(tenants={"vip": vip})
+        assert config.resolve_tenant("vip") is vip

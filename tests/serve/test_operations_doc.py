@@ -1,0 +1,69 @@
+"""docs/operations.md flag table ≡ the ``repro.env`` registry.
+
+The operator runbook promises that its flag table is complete and
+verbatim.  This test parses the markdown table and checks it cell by
+cell against ``repro.env.ENV_VARS``: same variable set, same rendered
+default, same help text.  Adding a flag to the code without documenting
+it (or documenting one that does not exist) fails here.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.env import ENV_VARS, var_names
+
+_DOC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "docs", "operations.md",
+)
+
+_ROW = re.compile(r"^\|\s*`(?P<name>REPRO_[A-Z0-9_]+)`\s*\|"
+                  r"\s*(?P<default>.+?)\s*\|\s*(?P<help>.+?)\s*\|$")
+
+
+def _parse_flag_table():
+    """(name -> (default cell, help cell)) from the runbook's flag table."""
+    with open(_DOC, encoding="utf-8") as fh:
+        text = fh.read()
+    section = text.split("## The flag table", 1)[1].split("\n## ", 1)[0]
+    rows = {}
+    for line in section.splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            rows[match.group("name")] = (
+                match.group("default"), match.group("help")
+            )
+    return rows
+
+
+def test_flag_table_matches_registry_exactly():
+    rows = _parse_flag_table()
+    documented = set(rows)
+    registered = set(var_names())
+    assert documented == registered, (
+        f"missing from docs/operations.md: {sorted(registered - documented)}; "
+        f"documented but not registered: {sorted(documented - registered)}"
+    )
+    for var in ENV_VARS:
+        default_cell, help_cell = rows[var.name]
+        expected_default = f"`{var.default}`" if var.default else "(empty)"
+        assert default_cell == expected_default, (
+            f"{var.name}: default cell {default_cell!r} != {expected_default!r}"
+        )
+        assert help_cell == var.help, (
+            f"{var.name}: help text drifted from the registry:\n"
+            f"  docs: {help_cell!r}\n  code: {var.help!r}"
+        )
+
+
+def test_flag_table_has_no_duplicate_rows():
+    with open(_DOC, encoding="utf-8") as fh:
+        section = fh.read().split("## The flag table", 1)[1].split("\n## ", 1)[0]
+    names = [
+        m.group("name")
+        for line in section.splitlines()
+        if (m := _ROW.match(line.strip()))
+    ]
+    assert len(names) == len(set(names))

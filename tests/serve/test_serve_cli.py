@@ -1,0 +1,86 @@
+"""``python -m repro serve``: startup, readiness, one query, clean SIGTERM.
+
+The test drives the real subprocess exactly the way the serving smoke CI
+lane does: wait on ``--ready-file`` for the bound address, speak one HTTP
+request, then SIGTERM and assert the graceful-shutdown lines landed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from .conftest import http_json
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _spawn(tmp_path, extra_args=()):
+    ready = tmp_path / "ready"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--n", "800", "--dim", "3", "--indices", "4",
+            "--shards", "2",
+            "--ready-file", str(ready),
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return process, ready
+
+
+def _wait_ready(process, ready, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            host, _, port = ready.read_text().strip().partition(":")
+            return host, int(port)
+        if process.poll() is not None:
+            out, err = process.communicate()
+            pytest.fail(
+                f"serve exited early (code {process.returncode}):\n{out}\n{err}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    pytest.fail("serve never wrote its ready file")
+
+
+def test_serve_cli_round_trip(tmp_path):
+    process, ready = _spawn(tmp_path)
+    try:
+        host, port = _wait_ready(process, ready)
+
+        status, _, health = http_json(host, port, "GET", "/healthz")
+        assert status == 200
+        assert health["points"] == 800
+        assert health["shards"] == 2
+
+        status, _, body = http_json(
+            host, port, "POST", "/query",
+            {"normal": [1.0, 2.0, 1.0], "offset": 30.0},
+        )
+        assert status == 200
+        assert isinstance(body["ids"], list)
+
+        process.send_signal(signal.SIGTERM)
+        out, err = process.communicate(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+    assert process.returncode == 0, f"stdout:\n{out}\nstderr:\n{err}"
+    assert "repro serve: listening on" in out
+    assert "repro serve: drained and stopped" in out

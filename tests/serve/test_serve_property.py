@@ -1,0 +1,90 @@
+"""Property test: served answers are bit-identical to direct library calls.
+
+Hypothesis draws mixed request sets (inequality vs top-k, all four
+comparison operators, varying k) and fires them at a live service from
+concurrent threads — so requests land in arbitrary interleavings and
+coalesce into arbitrary micro-batches — then asserts every response's
+ids (and distances, for top-k) equal the direct engine call on the same
+arguments.  The dataset is integer-valued, so "equal" includes boundary
+membership and tie-breaks.
+
+The assertions compare ids and distances only (not degraded metadata):
+under the chaos CI lane an ambient ``every=N`` fault plan ticks global
+counters, so which request absorbs a (healed) retry differs between the
+served and direct runs even though the answers do not.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import ServiceConfig, serve_in_thread
+
+from .conftest import build_engine, http_json, integer_queries
+
+
+@pytest.fixture(scope="module")
+def served():
+    engine, points = build_engine(n=300, dim=3, seed=20, n_shards=2)
+    config = ServiceConfig(batch_window_s=0.005, batch_max=32, queue_depth=128)
+    handle = serve_in_thread(engine, config)
+    yield engine, points, handle
+    handle.stop()
+    engine.close()
+
+
+@st.composite
+def request_sets(draw):
+    m = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    scale = draw(st.floats(min_value=0.0, max_value=1.2))
+    specs = [
+        (
+            draw(st.sampled_from(["query", "topk"])),
+            draw(st.sampled_from(["<=", "<", ">=", ">"])),
+            draw(st.integers(min_value=1, max_value=9)),
+        )
+        for _ in range(m)
+    ]
+    return seed, scale, specs
+
+
+@given(case=request_sets())
+@settings(max_examples=10, deadline=None)
+def test_served_answers_equal_direct_calls(served, case):
+    engine, points, handle = served
+    seed, scale, specs = case
+    normals, offsets = integer_queries(
+        points, m=len(specs), seed=seed, scale=scale
+    )
+
+    def fire(i):
+        op, comparison, k = specs[i]
+        body = {
+            "normal": normals[i].tolist(),
+            "offset": float(offsets[i]),
+            "op": comparison,
+        }
+        if op == "topk":
+            body["k"] = k
+        path = "/topk" if op == "topk" else "/query"
+        return http_json(handle.host, handle.port, "POST", path, body)
+
+    with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+        responses = list(pool.map(fire, range(len(specs))))
+
+    for i, (status, _, body) in enumerate(responses):
+        op, comparison, k = specs[i]
+        assert status == 200
+        if op == "topk":
+            direct = engine.topk(normals[i], float(offsets[i]), k=k, op=comparison)
+            assert body["ids"] == direct.ids.tolist()
+            assert body["distances"] == direct.distances.tolist()
+        else:
+            direct = engine.query(normals[i], float(offsets[i]), comparison)
+            assert body["ids"] == direct.ids.tolist()

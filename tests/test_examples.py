@@ -30,6 +30,7 @@ def run_example(name: str, capsys) -> str:
         ("constraint_regions.py", "round trip OK"),
         ("observability.py", "exposition complete:"),
         ("tuning.py", "tuning complete:"),
+        ("serving.py", "serving complete:"),
     ],
 )
 def test_example_runs(script, needle, capsys):
@@ -47,6 +48,7 @@ def test_examples_directory_complete():
         "constraint_regions.py",
         "observability.py",
         "tuning.py",
+        "serving.py",
     }
     present = {path.name for path in EXAMPLES.glob("*.py")}
     assert advertised <= present
