@@ -77,7 +77,7 @@ ARCHITECTURE: Dict[str, frozenset] = {
     ),
     "reliability": frozenset({"exceptions"}),
     "scan": frozenset({"_util", "analysis", "core", "exceptions", "obs"}),
-    "serve": frozenset({"exceptions", "obs", "parallel"}),
+    "serve": frozenset({"exceptions", "obs", "parallel", "reliability"}),
     "sqlfunc": frozenset({"_util", "core", "exceptions"}),
     "tuning": frozenset({"core", "exceptions", "obs", "reliability"}),
 }

@@ -146,6 +146,26 @@ ENV_VARS: Tuple[EnvVar, ...] = (
         help="JSON file of per-tenant quotas/priorities (empty = one unlimited tenant)",
     ),
     EnvVar(
+        name="REPRO_SERVE_DEADLINE_MS",
+        default="10000",
+        help="default end-to-end request deadline in ms when no X-Repro-Deadline-Ms header",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_DRAIN_MS",
+        default="5000",
+        help="graceful-shutdown drain budget in ms before queued requests fail fast",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_BREAKER_THRESHOLD",
+        default="5",
+        help="consecutive engine failures per (tenant, op) that trip the circuit breaker",
+    ),
+    EnvVar(
+        name="REPRO_SERVE_BREAKER_COOLDOWN_MS",
+        default="1000",
+        help="how long an open circuit breaker sheds before probing half-open, in ms",
+    ),
+    EnvVar(
         name="REPRO_BENCH_SCALE",
         default="1",
         help="scale factor for benchmark dataset sizes (10 ≈ paper scale)",

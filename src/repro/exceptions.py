@@ -20,6 +20,8 @@ __all__ = [
     "PersistenceError",
     "ShardFailureError",
     "QueryTimeoutError",
+    "DeadlineExceededError",
+    "DrainTimeoutError",
     "DegradedAnswerError",
     "InjectedFaultError",
     "FaultSpecError",
@@ -118,6 +120,28 @@ class QueryTimeoutError(ShardFailureError, TimeoutError):
     Subclasses :class:`ShardFailureError` so policy code treats deadline
     misses like any other shard failure, and :class:`TimeoutError` so
     generic timeout handling keeps working.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's end-to-end deadline budget ran out before an answer.
+
+    Distinct from :class:`QueryTimeoutError` (one shard missing its wave
+    deadline, recoverable by policy): this is the *whole request* out of
+    time — admission wait, batch linger, and engine call together
+    consumed the budget the client granted (``X-Repro-Deadline-Ms`` at
+    the serving layer).  The HTTP front-end maps it to ``504`` with an
+    elapsed/budget breakdown; it never carries a partial answer.
+    """
+
+
+class DrainTimeoutError(ReproError, TimeoutError):
+    """Graceful shutdown ran out of drain budget with requests unanswered.
+
+    Raised into the futures of admitted requests the micro-batcher could
+    not flush before the drain deadline — fail-fast instead of a hang,
+    so clients see an explicit ``503`` during shutdown rather than a
+    dead connection.
     """
 
 

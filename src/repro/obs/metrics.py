@@ -74,6 +74,10 @@ __all__ = [
     "serve_batch_size",
     "serve_shed_total",
     "serve_queue_depth",
+    "serve_deadline_expired_total",
+    "breaker_state",
+    "breaker_transitions_total",
+    "serve_health_state",
 ]
 
 #: Fixed log-scale latency buckets (seconds): three per decade, 1 µs – 10 s.
@@ -770,11 +774,12 @@ def serve_batch_size() -> Histogram:
 
 
 def serve_shed_total() -> Counter:
-    """Requests shed by admission control, by tenant and reason."""
+    """Requests shed before the engine, by tenant and reason."""
     return _DEFAULT.counter(
         "repro_serve_shed_total",
-        "Requests rejected with 429 by admission control, by tenant and "
-        "reason (quota/queue_full/brownout).",
+        "Requests rejected before reaching the engine (429 or 503), by "
+        "tenant and reason (quota/queue_full/brownout/breaker/draining/"
+        "fault).",
         ("tenant", "reason"),
     )
 
@@ -784,4 +789,43 @@ def serve_queue_depth() -> Gauge:
     return _DEFAULT.gauge(
         "repro_serve_queue_depth",
         "Admitted requests currently waiting in the serving queue.",
+    )
+
+
+def serve_deadline_expired_total() -> Counter:
+    """Requests whose end-to-end deadline budget ran out, by stage."""
+    return _DEFAULT.counter(
+        "repro_serve_deadline_expired_total",
+        "Requests answered 504 because the end-to-end deadline budget ran "
+        "out, by the pipeline stage that noticed (accept/await/dispatch).",
+        ("stage",),
+    )
+
+
+def breaker_state() -> Gauge:
+    """Circuit-breaker state per (tenant, op): 0 closed, 1 open, 2 half-open."""
+    return _DEFAULT.gauge(
+        "repro_breaker_state",
+        "Per-(tenant, op) circuit-breaker state: 0=closed, 1=open, "
+        "2=half_open.",
+        ("tenant", "op"),
+    )
+
+
+def breaker_transitions_total() -> Counter:
+    """Circuit-breaker transitions, by (tenant, op) and entered state."""
+    return _DEFAULT.counter(
+        "repro_breaker_transitions_total",
+        "Circuit-breaker state transitions, by tenant, op, and the state "
+        "entered (open/half_open/closed).",
+        ("tenant", "op", "state"),
+    )
+
+
+def serve_health_state() -> Gauge:
+    """Service health lifecycle: 0 healthy, 1 degraded, 2 browned_out, 3 draining."""
+    return _DEFAULT.gauge(
+        "repro_serve_health_state",
+        "Service health-state machine: 0=healthy, 1=degraded, "
+        "2=browned_out, 3=draining.",
     )

@@ -571,6 +571,7 @@ class ShardedFunctionIndex:
         shards: Sequence[int],
         deadline: float | None,
         fail_fast: bool,
+        timeout_s: float | None = None,
     ) -> tuple[dict[int, _T], dict[int, BaseException]]:
         """Run ``fn`` on ``shards``; collect per-shard results and failures.
 
@@ -606,7 +607,8 @@ class ShardedFunctionIndex:
             except _FutTimeout:
                 future.cancel()
                 failures[shard] = QueryTimeoutError(
-                    f"shard {shard} missed the {self._query_timeout_s}s "
+                    f"shard {shard} missed the "
+                    f"{timeout_s if timeout_s is not None else self._query_timeout_s}s "
                     f"deadline during {kind} fan-out",
                     shard=shard,
                     kind=kind,
@@ -622,6 +624,7 @@ class ShardedFunctionIndex:
         shards: Sequence[int],
         deadline: float | None,
         fail_fast: bool,
+        timeout_s: float | None = None,
     ) -> tuple[dict[int, _T], dict[int, BaseException]]:
         """Run a task descriptor on ``shards`` via forked worker processes.
 
@@ -663,7 +666,8 @@ class ShardedFunctionIndex:
             except _FutTimeout:
                 future.cancel()
                 failures[shard] = QueryTimeoutError(
-                    f"shard {shard} missed the {self._query_timeout_s}s "
+                    f"shard {shard} missed the "
+                    f"{timeout_s if timeout_s is not None else self._query_timeout_s}s "
                     f"deadline during {kind} fan-out",
                     shard=shard,
                     kind=kind,
@@ -785,8 +789,14 @@ class ShardedFunctionIndex:
         fn: Callable[[PlanarIndexCollection], _T],
         recover: Callable[[int], _T] | None = None,
         task: tuple | None = None,
+        timeout_s: float | None = None,
     ) -> tuple[list[_T | None], DegradedInfo | None]:
         """Run ``fn`` against every shard under the failure policy.
+
+        ``timeout_s`` overrides the engine's construction-time
+        ``query_timeout_s`` for this one fan-out — the serving layer
+        passes a request's remaining deadline budget here so the engine
+        wave honors the end-to-end contract instead of a static knob.
 
         ``task`` is the fan-out's picklable descriptor for the process
         backend (see :mod:`repro.parallel.process`); when the engine was
@@ -804,7 +814,9 @@ class ShardedFunctionIndex:
         shard survives.
         """
         policy = self._failure_policy
-        timeout = self._query_timeout_s
+        timeout = self._query_timeout_s if timeout_s is None else float(timeout_s)
+        if timeout is not None and not timeout > 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout}")
         use_process = (
             task is not None and self._backend == "process" and self._n_shards > 1
         )
@@ -820,7 +832,12 @@ class ShardedFunctionIndex:
         if use_process:
             deadline = None if timeout is None else time.monotonic() + timeout
             results, failures = self._execute_process_wave(
-                kind, task, shards, deadline, fail_fast=policy is FailurePolicy.RAISE
+                kind,
+                task,
+                shards,
+                deadline,
+                fail_fast=policy is FailurePolicy.RAISE,
+                timeout_s=timeout,
             )
         elif timeout is None and not _flt.ARMED and not _ort.ENABLED:
             # Disarmed fast path: no deadlines to track, no fault sites to
@@ -831,7 +848,12 @@ class ShardedFunctionIndex:
         else:
             deadline = None if timeout is None else time.monotonic() + timeout
             results, failures = self._execute_wave(
-                kind, fn, shards, deadline, fail_fast=policy is FailurePolicy.RAISE
+                kind,
+                fn,
+                shards,
+                deadline,
+                fail_fast=policy is FailurePolicy.RAISE,
+                timeout_s=timeout,
             )
         if not failures:
             return [results[shard] for shard in shards], None
@@ -853,11 +875,21 @@ class ShardedFunctionIndex:
                 )
                 if use_process:
                     recovered_wave, failures = self._execute_process_wave(
-                        kind, task, retry_shards, wave_deadline, fail_fast=False
+                        kind,
+                        task,
+                        retry_shards,
+                        wave_deadline,
+                        fail_fast=False,
+                        timeout_s=timeout,
                     )
                 else:
                     recovered_wave, failures = self._execute_wave(
-                        kind, fn, retry_shards, wave_deadline, fail_fast=False
+                        kind,
+                        fn,
+                        retry_shards,
+                        wave_deadline,
+                        fail_fast=False,
+                        timeout_s=timeout,
                     )
                 retries += len(retry_shards)
                 results.update(recovered_wave)
@@ -1116,6 +1148,8 @@ class ShardedFunctionIndex:
         normals: np.ndarray,
         offsets: np.ndarray,
         op: Comparison | str = Comparison.LE,
+        *,
+        timeout_s: float | None = None,
     ) -> list[QueryAnswer]:
         """Answer a batch of inequality queries sharing one operator.
 
@@ -1124,6 +1158,10 @@ class ShardedFunctionIndex:
         so fan-out overhead is per shard, not per query.  The batch is
         one trace: per-query shard work appears as children of a single
         ``query.batch`` root.
+
+        ``timeout_s`` overrides the engine's ``query_timeout_s`` for this
+        call — the serving layer passes each coalesced batch's remaining
+        deadline budget here.
 
         Validation and the empty-batch short-circuit run *before* the
         trace opens: a malformed or zero-query batch emits no trace, no
@@ -1139,9 +1177,9 @@ class ShardedFunctionIndex:
             return []
         ctx = _otr.begin("batch", shards=self._n_shards)
         if ctx is None:
-            return self._query_batch_impl(normals, offsets, op)
+            return self._query_batch_impl(normals, offsets, op, timeout_s=timeout_s)
         try:
-            answers = self._query_batch_impl(normals, offsets, op)
+            answers = self._query_batch_impl(normals, offsets, op, timeout_s=timeout_s)
         except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
             _otr.abort(ctx, exc)
             raise
@@ -1163,6 +1201,8 @@ class ShardedFunctionIndex:
         normals: np.ndarray,
         offsets: np.ndarray,
         op: Comparison | str = Comparison.LE,
+        *,
+        timeout_s: float | None = None,
     ) -> list[QueryAnswer]:
         """Untraced body of :meth:`query_batch` (inputs pre-validated)."""
         queries = [
@@ -1193,6 +1233,7 @@ class ShardedFunctionIndex:
                 lambda collection: collection.query_batch(subset),
                 recover=lambda shard: self._recover_batch(subset, shard),
                 task=("batch", subset),
+                timeout_s=timeout_s,
             )
             for slot, position in enumerate(plannable):
                 answers[position] = self._merge_inequality(
@@ -1349,6 +1390,8 @@ class ShardedFunctionIndex:
         offsets: np.ndarray,
         k: int,
         op: Comparison | str = Comparison.LE,
+        *,
+        timeout_s: float | None = None,
     ) -> list[TopKResult]:
         """Answer a batch of top-k queries sharing one operator and ``k``.
 
@@ -1359,7 +1402,8 @@ class ShardedFunctionIndex:
         :class:`~repro.core.topk.TopKBuffer` — identical ids, distances,
         and tie-breaks as per-query :meth:`topk` calls.  Like
         :meth:`query_batch`, validation and the empty-batch short-circuit
-        run before the trace opens.
+        run before the trace opens, and ``timeout_s`` overrides the
+        engine's ``query_timeout_s`` for this one call.
         """
         normals = as_2d_float(normals, "normals")
         offsets = np.ascontiguousarray(offsets, dtype=np.float64)
@@ -1373,9 +1417,11 @@ class ShardedFunctionIndex:
             return []
         ctx = _otr.begin("batch_topk", shards=self._n_shards)
         if ctx is None:
-            return self._topk_batch_impl(normals, offsets, k, op)
+            return self._topk_batch_impl(normals, offsets, k, op, timeout_s=timeout_s)
         try:
-            results = self._topk_batch_impl(normals, offsets, k, op)
+            results = self._topk_batch_impl(
+                normals, offsets, k, op, timeout_s=timeout_s
+            )
         except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
             _otr.abort(ctx, exc)
             raise
@@ -1400,6 +1446,8 @@ class ShardedFunctionIndex:
         offsets: np.ndarray,
         k: int,
         op: Comparison | str = Comparison.LE,
+        *,
+        timeout_s: float | None = None,
     ) -> list[TopKResult]:
         """Untraced body of :meth:`topk_batch` (inputs pre-validated)."""
         queries = [
@@ -1431,6 +1479,7 @@ class ShardedFunctionIndex:
                 lambda collection: collection.topk_batch(subset, k),
                 recover=lambda shard: self._recover_topk_batch(subset, k, shard),
                 task=("batch_topk", subset, k),
+                timeout_s=timeout_s,
             )
             for slot, position in enumerate(plannable):
                 shard_slices = [

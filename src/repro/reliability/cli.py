@@ -18,6 +18,17 @@ The index is rebuilt deterministically from ``--n/--dim/--rq/--indices/
 reproducible end to end: same plan seed, same workload, same outcome
 counts.  See ``docs/reliability.md`` for the fault-spec grammar and the
 failure-policy semantics.
+
+``--serve`` runs the same workload *through the live HTTP service*
+instead of direct engine calls: a :func:`~repro.serve.service
+.serve_in_thread` stack comes up with the fault plan armed (including
+the serving layer's own ``serve.accept`` / ``serve.dispatch`` /
+``serve.flush`` sites), every ``200`` response is verified exact or a
+truthful ``DegradedInfo`` subset against the sequential ground truth,
+and every non-200 must be an explicit ``429``/``503``/``504`` — any
+silent truncation or unexplained status exits nonzero.  ``--deadline-ms``
+stamps each request's ``X-Repro-Deadline-Ms`` header to exercise the
+end-to-end deadline path under stalls.
 """
 
 from __future__ import annotations
@@ -92,6 +103,20 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None, help="thread-pool size"
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="drive the workload through a live HTTP service instead of "
+        "direct engine calls; every response is verified exact, truthfully "
+        "degraded, or an explicit 429/503/504",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="with --serve: X-Repro-Deadline-Ms header for every request "
+        "(default: the service default)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,6 +177,185 @@ def _verify_answer(answer, query, points) -> str | None:
     if not 0.0 <= info.completeness <= 1.0:
         return f"completeness out of range: {info.completeness!r}"
     return None
+
+
+def _post_json(
+    host: str, port: int, path: str, body: dict, headers: dict
+) -> tuple[int, dict]:
+    """POST ``body`` to the live service; returns ``(status, payload)``."""
+    import http.client
+    import json
+
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request(
+            "POST",
+            path,
+            json.dumps(body),
+            {"Content-Type": "application/json", **headers},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _verify_served(payload: dict, spq, k: int, points, scan) -> str | None:
+    """Ground-truth check of one 200 response from the live service.
+
+    Complete answers (no ``degraded`` block, or a recovered one) must
+    match the sequential scan exactly; degraded answers must be truthful
+    subsets with an in-range completeness — the acceptance bar: partial
+    answers are never disguised as complete ones.
+    """
+    info = payload.get("degraded")
+    complete = info is None or (
+        not info.get("failed_shards") and info.get("completeness", 0.0) >= 1.0
+    )
+    got = np.asarray(payload["ids"], dtype=np.int64)
+    if not complete and not 0.0 <= float(info["completeness"]) <= 1.0:
+        return f"completeness out of range: {info['completeness']!r}"
+    if k:
+        if complete:
+            truth = scan.topk(spq, k)
+            if payload["ids"] != truth.ids.tolist():
+                return "complete top-k ids mismatch vs sequential scan"
+            if not np.allclose(payload["distances"], truth.distances):
+                return "complete top-k distances mismatch vs sequential scan"
+            return None
+        if got.size > k:
+            return f"degraded top-k returned {got.size} ids for k={k}"
+        if got.size and (got.min() < 0 or got.max() >= len(points)):
+            return "degraded top-k contains unknown ids"
+        return None
+    truth = np.nonzero(spq.evaluate(points))[0].astype(np.int64)
+    if complete:
+        if not np.array_equal(np.sort(got), truth):
+            return (
+                f"complete answer mismatch: got {got.size} ids, "
+                f"expected {truth.size}"
+            )
+        return None
+    if got.size and not np.isin(got, truth).all():
+        false_pos = got[~np.isin(got, truth)]
+        return f"degraded answer contains wrong ids: {false_pos[:5].tolist()}"
+    return None
+
+
+def _cmd_serve(args: argparse.Namespace, stream: TextIO) -> int:
+    """Drive the chaos workload through a live HTTP service and verify it."""
+    from ..core.query import ScalarProductQuery
+    from ..scan.baseline import SequentialScan
+    from ..serve.config import ServiceConfig
+    from ..serve.service import serve_in_thread
+
+    spec = args.faults if args.faults is not None else os.environ.get("REPRO_FAULTS", "")
+    engine, points, normals, offsets = _build_engine(args)
+    scan = SequentialScan(points)
+    headers: dict = {}
+    if args.deadline_ms is not None:
+        headers["X-Repro-Deadline-Ms"] = f"{args.deadline_ms:g}"
+    context = (
+        _flt.injected(spec, seed=args.faults_seed)
+        if spec.strip()
+        else contextlib.nullcontext(_flt.active_plan())
+    )
+    counts = {
+        "exact": 0,
+        "degraded": 0,
+        "shed_429": 0,
+        "shed_503": 0,
+        "deadline_504": 0,
+    }
+    problems: list[str] = []
+    k = 10
+    with engine, context as plan:
+        handle = serve_in_thread(engine, ServiceConfig.from_env())
+        try:
+            for qid, (normal, offset) in enumerate(zip(normals, offsets)):
+                op_is_topk = qid % 2 == 1
+                body = {"normal": normal.tolist(), "offset": float(offset)}
+                if op_is_topk:
+                    body["k"] = k
+                status, payload = _post_json(
+                    handle.host,
+                    handle.port,
+                    "/topk" if op_is_topk else "/query",
+                    body,
+                    headers,
+                )
+                if status == 200:
+                    spq = ScalarProductQuery(normal, float(offset))
+                    issue = _verify_served(
+                        payload, spq, k if op_is_topk else 0, points, scan
+                    )
+                    if issue is not None:
+                        problems.append(f"request {qid}: {issue}")
+                    elif payload.get("degraded") is not None and not payload[
+                        "degraded"
+                    ].get("completeness", 0.0) >= 1.0:
+                        counts["degraded"] += 1
+                    else:
+                        counts["exact"] += 1
+                elif status == 429:
+                    counts["shed_429"] += 1
+                elif status == 503:
+                    counts["shed_503"] += 1
+                elif status == 504:
+                    counts["deadline_504"] += 1
+                    if "budget_ms" not in payload or "elapsed_ms" not in payload:
+                        problems.append(
+                            f"request {qid}: 504 without a budget breakdown"
+                        )
+                else:
+                    problems.append(
+                        f"request {qid}: unexpected status {status}: {payload!r}"
+                    )
+            service_stats = handle.service.stats()
+        finally:
+            handle.stop()
+        fault_stats = plan.stats() if plan is not None else []
+        fired = plan.fired_total() if plan is not None else 0
+
+    print(
+        f"chaos --serve: {len(offsets)} HTTP requests over {args.shards} shards, "
+        f"policy={args.policy.replace('-', '_')}",
+        file=stream,
+    )
+    print(
+        f"  exact={counts['exact']}  degraded={counts['degraded']}"
+        f"  shed_429={counts['shed_429']}  shed_503={counts['shed_503']}"
+        f"  deadline_504={counts['deadline_504']}",
+        file=stream,
+    )
+    breakers = service_stats.get("breakers", {})
+    print(
+        f"  breakers: open={breakers.get('open', 0)} "
+        f"half_open={breakers.get('half_open', 0)} "
+        f"tripped={breakers.get('tripped', [])}",
+        file=stream,
+    )
+    if fault_stats:
+        print(f"  faults fired: {fired}", file=stream)
+        for row in fault_stats:
+            print(
+                f"    {row['site']}:{row['kind']} — "
+                f"{row['fires']}/{row['checks']} checks fired",
+                file=stream,
+            )
+    else:
+        print("  faults fired: 0 (no fault plan armed)", file=stream)
+    if problems:
+        for problem in problems[:10]:
+            print(f"  VERIFY FAIL {problem}", file=sys.stderr)
+        print(f"verification failed: {len(problems)} issue(s)", file=sys.stderr)
+        return 1
+    print(
+        f"  verified {counts['exact'] + counts['degraded']} answers against "
+        f"the sequential ground truth: all sound",
+        file=stream,
+    )
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
@@ -241,6 +445,8 @@ def run_from_args(args: argparse.Namespace, stream: TextIO | None = None) -> int
     """Execute a chaos invocation from a parsed namespace; returns exit code."""
     stream = stream or sys.stdout
     try:
+        if getattr(args, "serve", False):
+            return _cmd_serve(args, stream)
         return _cmd_run(args, stream)
     except FaultSpecError as exc:
         print(f"error: bad fault spec: {exc}", file=sys.stderr)

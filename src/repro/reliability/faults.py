@@ -3,8 +3,9 @@
 A :class:`FaultPlan` is a list of :class:`FaultRule` s keyed on *site*
 names — stable strings naming the places production code volunteers to
 fail (``shard.query``, ``shard.scan``, ``shard.maintenance``,
-``persistence.write``, ``store.get_features``).  Each rule describes one
-fault *kind*:
+``persistence.write``, ``store.get_features``, and the serving layer's
+``serve.accept``, ``serve.dispatch``, ``serve.flush``).  Each rule
+describes one fault *kind*:
 
 ``error``
     Raise :class:`~repro.exceptions.InjectedFaultError` at the site.

@@ -17,6 +17,13 @@ in O(1) whether to accept it or shed it with ``429 Too Many Requests``:
   compose: brownout sheds load at the front door while degraded answers
   account for shard loss behind it (see ``docs/serving.md``).
 
+Every shed's ``Retry-After`` is stretched by a deterministic seeded
+jitter (:class:`~repro.serve.resilience.RetryJitter`): a burst of
+synchronized clients that all shed on the same tick would otherwise all
+retry on the same tick too, re-creating the overload they were shed to
+relieve.  Jitter only ever *adds* (the base names when capacity actually
+exists), so honoring the header still succeeds.
+
 Everything here is synchronous and lock-free under the asyncio event
 loop (one decision per request, no awaits); the monotonic clock is
 injectable for deterministic tests.
@@ -29,6 +36,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict
 
 from .config import ServiceConfig, TenantSpec
+from .resilience import RetryJitter
 
 __all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]
 
@@ -102,9 +110,11 @@ class AdmissionController:
         self,
         config: ServiceConfig,
         clock: Callable[[], float] = time.monotonic,
+        jitter: RetryJitter | None = None,
     ) -> None:
         self._config = config
         self._clock = clock
+        self._jitter = jitter if jitter is not None else RetryJitter(seed=0)
         self._buckets: Dict[str, TokenBucket] = {}
         self._brownout_depth = max(
             1, int(config.brownout_fraction * config.queue_depth)
@@ -138,20 +148,20 @@ class AdmissionController:
                 admitted=False,
                 tenant=spec,
                 reason="quota",
-                retry_after_s=max(bucket.retry_after(), 0.001),
+                retry_after_s=self._jitter.apply(max(bucket.retry_after(), 0.001)),
             )
         if queue_depth >= self._config.queue_depth:
             return AdmissionDecision(
                 admitted=False,
                 tenant=spec,
                 reason="queue_full",
-                retry_after_s=_QUEUE_RETRY_S,
+                retry_after_s=self._jitter.apply(_QUEUE_RETRY_S),
             )
         if spec.priority > 0 and queue_depth >= self._brownout_depth:
             return AdmissionDecision(
                 admitted=False,
                 tenant=spec,
                 reason="brownout",
-                retry_after_s=_QUEUE_RETRY_S,
+                retry_after_s=self._jitter.apply(_QUEUE_RETRY_S),
             )
         return AdmissionDecision(admitted=True, tenant=spec)

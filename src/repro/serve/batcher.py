@@ -41,17 +41,25 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..exceptions import DeadlineExceededError, DrainTimeoutError
 from ..obs import metrics as _om
 from ..obs import runtime as _ort
 from ..obs import trace as _otr
 from ..parallel.engine import ShardedFunctionIndex
+from ..reliability import faults as _flt
+from .resilience import Deadline
 
 __all__ = ["MicroBatcher", "PendingRequest"]
 
 
-@dataclass
+@dataclass(eq=False)
 class PendingRequest:
-    """One admitted request waiting for its batch."""
+    """One admitted request waiting for its batch.
+
+    ``eq=False`` keeps dataclass identity semantics: the batcher tracks
+    unresolved requests in a set, and two requests with identical
+    payloads are still two distinct requests.
+    """
 
     op: str  #: "query" | "topk"
     normal: np.ndarray
@@ -59,6 +67,7 @@ class PendingRequest:
     comparison: str  #: "<=", "<", ">=", ">"
     k: int  #: top-k size (0 for inequality requests)
     tenant: str
+    deadline: Optional[Deadline] = None  #: end-to-end budget (None = unbounded)
     future: "asyncio.Future[tuple[Any, Optional[str]]]" = field(repr=False, default=None)  # type: ignore[assignment]
 
 
@@ -69,6 +78,7 @@ def _run_group(
     offsets: np.ndarray,
     k: int,
     comparison: str,
+    timeout_s: Optional[float],
 ) -> tuple[list, Optional[str]]:
     """Execute one coalesced engine call on an executor thread.
 
@@ -77,13 +87,23 @@ def _run_group(
     never nest) and its shard fan-out stitches under this root instead,
     so one coalesced call yields one trace.  Returns the positionally
     aligned answers plus the trace id the member responses share.
+
+    ``timeout_s`` is the group's deadline-derived engine budget; a stall
+    injected at ``serve.dispatch`` burns it on this thread, off the
+    event loop.
     """
+    if _flt.ARMED:
+        _flt.check("serve.dispatch", op=op, n=len(offsets))
     ctx = _otr.begin("serve", shards=engine.n_shards, op=op, n_requests=len(offsets))
     try:
         if op == "query":
-            answers: list = engine.query_batch(normals, offsets, comparison)
+            answers: list = engine.query_batch(
+                normals, offsets, comparison, timeout_s=timeout_s
+            )
         else:
-            answers = engine.topk_batch(normals, offsets, k, comparison)
+            answers = engine.topk_batch(
+                normals, offsets, k, comparison, timeout_s=timeout_s
+            )
     except BaseException as exc:  # repro: noqa(REP005) — trace-abort boundary; telemetry closes, exception re-raised unchanged
         if ctx is not None:
             _otr.abort(ctx, exc)
@@ -135,6 +155,7 @@ class MicroBatcher:
         self._batch_max = batch_max
         self._queue: "asyncio.Queue[PendingRequest]" = asyncio.Queue()
         self._outstanding = 0
+        self._unresolved: set[PendingRequest] = set()
         self._task: Optional[asyncio.Task] = None
         self._stats = {"batches": 0, "batched_requests": 0, "max_batch": 0}
 
@@ -160,11 +181,14 @@ class MicroBatcher:
             self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self, drain_timeout_s: float = 10.0) -> None:
-        """Drain the backlog, then cancel the loop.
+        """Drain the backlog within the budget, then fail-fast leftovers.
 
         Callers must stop accepting new requests first (close the HTTP
-        server); pending futures resolve before the loop dies, so no
-        admitted request is dropped by shutdown.
+        server).  Requests flushed inside ``drain_timeout_s`` resolve
+        normally; anything still unanswered when the budget runs out gets
+        :class:`DrainTimeoutError` set on its future — an explicit 503
+        instead of a dead connection — so shutdown is bounded no matter
+        what is stuck on the engine.
         """
         deadline = asyncio.get_running_loop().time() + drain_timeout_s
         while self._outstanding > 0 and asyncio.get_running_loop().time() < deadline:
@@ -176,11 +200,19 @@ class MicroBatcher:
             except asyncio.CancelledError:
                 pass
             self._task = None
+        if self._unresolved:
+            error = DrainTimeoutError(
+                f"{len(self._unresolved)} request(s) still unanswered when the "
+                f"{drain_timeout_s}s drain budget ran out"
+            )
+            for member in list(self._unresolved):
+                self._resolve(member, error=error)
 
     async def enqueue(self, request: PendingRequest) -> tuple[Any, Optional[str]]:
         """Queue one admitted request and await ``(answer, trace_id)``."""
         request.future = asyncio.get_running_loop().create_future()
         self._outstanding += 1
+        self._unresolved.add(request)
         # Serve-layer families record unconditionally: running the service
         # is explicit opt-in, and /metrics must be useful without REPRO_OBS
         # (engine internals still arm separately).
@@ -203,6 +235,9 @@ class MicroBatcher:
         Lingering is conditional: once the queue is drained, keep
         waiting only while other admitted requests are still unanswered
         (they may join this window); an idle service flushes at once.
+        The linger is also capped by the *tightest member's* remaining
+        deadline budget — a batch never idles a nearly-expired request
+        past its 504 to wait for company.
         """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self._window_s
@@ -217,6 +252,9 @@ class MicroBatcher:
             if self._outstanding <= len(batch):
                 return
             remaining = deadline - loop.time()
+            for member in batch:
+                if member.deadline is not None:
+                    remaining = min(remaining, member.deadline.remaining_s())
             if remaining <= 0:
                 return
             try:
@@ -228,6 +266,13 @@ class MicroBatcher:
 
     def _dispatch(self, batch: list) -> None:
         """Group a batch by ``(op, comparison, k)`` and fire engine calls."""
+        if _flt.ARMED:
+            try:
+                _flt.check("serve.flush", n=len(batch))
+            except Exception as exc:  # repro: noqa(REP005) — injected flush fault fans out to every member future
+                for request in batch:
+                    self._resolve(request, error=exc)
+                return
         self._stats["batches"] += 1
         self._stats["batched_requests"] += len(batch)
         if len(batch) > self._stats["max_batch"]:
@@ -247,11 +292,40 @@ class MicroBatcher:
         k: int,
         members: list,
     ) -> None:
-        """Run one grouped engine call and resolve its member futures."""
-        _om.serve_batch_size().observe(float(len(members)), op=op)
-        normals = np.stack([member.normal for member in members])
+        """Run one grouped engine call and resolve its member futures.
+
+        Members whose deadline already expired fail fast with ``504``
+        material instead of burning an engine slot; the survivors' engine
+        call gets a deadline-derived ``timeout_s`` (the *loosest* member's
+        remaining budget, so a tight stranger coalesced into the group
+        cannot shrink everyone else's engine time — per-request deadline
+        enforcement stays at the service layer).
+        """
+        live: list[PendingRequest] = []
+        for member in members:
+            if member.deadline is not None:
+                member.deadline.mark("linger")
+                if member.deadline.expired():
+                    _om.serve_deadline_expired_total().inc(stage="dispatch")
+                    self._resolve(
+                        member,
+                        error=DeadlineExceededError(
+                            "deadline budget exhausted before the engine call"
+                        ),
+                    )
+                    continue
+            live.append(member)
+        if not live:
+            return
+        timeout_s: Optional[float] = None
+        if all(member.deadline is not None for member in live):
+            timeout_s = max(
+                0.001, max(member.deadline.remaining_s() for member in live)
+            )
+        _om.serve_batch_size().observe(float(len(live)), op=op)
+        normals = np.stack([member.normal for member in live])
         offsets = np.asarray(
-            [member.offset for member in members], dtype=np.float64
+            [member.offset for member in live], dtype=np.float64
         )
         loop = asyncio.get_running_loop()
         try:
@@ -264,12 +338,13 @@ class MicroBatcher:
                 offsets,
                 k,
                 comparison,
+                timeout_s,
             )
         except Exception as exc:  # repro: noqa(REP005) — fan the group failure out to every member future; the HTTP layer maps it to a status
-            for member in members:
+            for member in live:
                 self._resolve(member, error=exc)
             return
-        for member, answer in zip(members, answers):
+        for member, answer in zip(live, answers):
             self._resolve(member, result=(answer, trace_id))
 
     def _resolve(
@@ -279,7 +354,15 @@ class MicroBatcher:
         result: Any = None,
         error: Optional[BaseException] = None,
     ) -> None:
-        """Resolve one member future and retire it from the backlog."""
+        """Resolve one member future and retire it from the backlog.
+
+        Guarded on set membership so a request can only be retired once —
+        the drain fail-fast path and a late engine completion may both
+        try to resolve the same member.
+        """
+        if member not in self._unresolved:
+            return
+        self._unresolved.discard(member)
         self._outstanding -= 1
         _om.serve_queue_depth().set(float(self._outstanding))
         if member.future.done():

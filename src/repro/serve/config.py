@@ -116,6 +116,10 @@ class ServiceConfig:
     queue_depth: int = 256
     brownout_fraction: float = 0.8
     tenants: Mapping[str, TenantSpec] = field(default_factory=dict)
+    deadline_s: float = 10.0  #: default end-to-end request budget
+    drain_timeout_s: float = 5.0  #: graceful-shutdown flush budget
+    breaker_threshold: int = 5  #: consecutive failures that trip a breaker
+    breaker_cooldown_s: float = 1.0  #: open-state shed window before a probe
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -127,6 +131,20 @@ class ServiceConfig:
         if not 0.0 < self.brownout_fraction <= 1.0:
             raise ValueError(
                 f"brownout fraction must be in (0, 1], got {self.brownout_fraction}"
+            )
+        if not self.deadline_s > 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline_s}")
+        if not self.drain_timeout_s > 0:
+            raise ValueError(
+                f"drain timeout must be positive, got {self.drain_timeout_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if not self.breaker_cooldown_s > 0:
+            raise ValueError(
+                f"breaker cooldown must be positive, got {self.breaker_cooldown_s}"
             )
 
     @classmethod
@@ -157,6 +175,27 @@ class ServiceConfig:
                 ),
             ),
             tenants=load_tenants(tenants_path) if tenants_path else {},
+            deadline_s=max(
+                0.001,
+                _parse_float(os.environ.get("REPRO_SERVE_DEADLINE_MS", ""), 10000.0)
+                / 1000.0,
+            ),
+            drain_timeout_s=max(
+                0.001,
+                _parse_float(os.environ.get("REPRO_SERVE_DRAIN_MS", ""), 5000.0)
+                / 1000.0,
+            ),
+            breaker_threshold=max(
+                1,
+                _parse_int(os.environ.get("REPRO_SERVE_BREAKER_THRESHOLD", ""), 5),
+            ),
+            breaker_cooldown_s=max(
+                0.001,
+                _parse_float(
+                    os.environ.get("REPRO_SERVE_BREAKER_COOLDOWN_MS", ""), 1000.0
+                )
+                / 1000.0,
+            ),
         )
 
     def resolve_tenant(self, name: str) -> TenantSpec:

@@ -1,0 +1,345 @@
+"""Request resilience: deadlines, circuit breakers, jitter, health states.
+
+This module is the serving layer's failure story, in four deterministic
+pieces (guide: ``docs/reliability.md``; operator runbook:
+``docs/operations.md``):
+
+* :class:`Deadline` — one request's end-to-end time budget.  Created
+  from the ``X-Repro-Deadline-Ms`` header (default
+  ``REPRO_SERVE_DEADLINE_MS``), it is *decremented through the whole
+  pipeline*: admission, batch linger (a batch never lingers past its
+  tightest member's remaining budget), and the engine call (the
+  remaining budget becomes ``query_timeout_s``).  An expired deadline is
+  answered ``504`` with a per-stage elapsed/budget breakdown — never a
+  partial answer dressed up as a complete one.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per ``(tenant, op)``
+  closed → open → half-open state machines.  Consecutive engine
+  errors/timeouts trip a breaker open; while open, requests shed with
+  ``503`` + ``Retry-After``; after the cooldown one *probe* request is
+  let through half-open, and its outcome closes or re-opens the
+  breaker.  A sick tenant or op degrades alone instead of dragging the
+  queue down for everyone.
+* :class:`RetryJitter` — deterministic, seeded multiplicative jitter for
+  ``Retry-After`` values, so synchronized clients do not stampede back
+  on the same tick (thundering herd).
+* :func:`health_state` — the ``/healthz`` lifecycle
+  (``healthy`` / ``degraded`` / ``browned_out`` / ``draining``) computed
+  from breaker states, queue depth, and the shutdown phase, so load
+  balancers can steer on it.
+
+Everything here takes an injectable monotonic clock (the token-bucket
+idiom from :mod:`repro.serve.admission`), so every state transition is
+fake-clock testable with no sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..obs import events as _oev
+from ..obs import metrics as _om
+
+__all__ = [
+    "BREAKER_STATES",
+    "HEALTH_STATES",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryJitter",
+    "health_state",
+]
+
+#: Breaker states in gauge-value order: ``repro_breaker_state`` exports
+#: the index (0 = closed, 1 = open, 2 = half_open).
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: Health states in gauge-value order: ``repro_serve_health_state``
+#: exports the index (0 = healthy ... 3 = draining).
+HEALTH_STATES = ("healthy", "degraded", "browned_out", "draining")
+
+
+class Deadline:
+    """One request's end-to-end time budget, decremented through stages.
+
+    ``mark(stage)`` charges the time since the previous mark to
+    ``stage``; :meth:`breakdown` renders the running account for the
+    ``504`` response body, so a client can see *where* its budget went
+    (admission vs queue linger vs engine).
+    """
+
+    __slots__ = ("budget_s", "_clock", "_started", "_last_mark", "_stages")
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not budget_s > 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._started = clock()
+        self._last_mark = self._started
+        self._stages: Dict[str, float] = {}
+
+    def elapsed_s(self) -> float:
+        """Seconds consumed since the request was accepted."""
+        return max(0.0, self._clock() - self._started)
+
+    def remaining_s(self) -> float:
+        """Budget left, floored at zero."""
+        return max(0.0, self.budget_s - self.elapsed_s())
+
+    def expired(self) -> bool:
+        """Whether the budget is fully consumed."""
+        return self.elapsed_s() >= self.budget_s
+
+    def mark(self, stage: str) -> None:
+        """Charge the time since the previous mark to ``stage``."""
+        now = self._clock()
+        self._stages[stage] = self._stages.get(stage, 0.0) + max(
+            0.0, now - self._last_mark
+        )
+        self._last_mark = now
+
+    def breakdown(self) -> dict:
+        """The elapsed/budget account for a ``504`` response body."""
+        return {
+            "budget_ms": round(self.budget_s * 1000.0, 3),
+            "elapsed_ms": round(self.elapsed_s() * 1000.0, 3),
+            "stages_ms": {
+                stage: round(spent * 1000.0, 3)
+                for stage, spent in self._stages.items()
+            },
+        }
+
+
+class RetryJitter:
+    """Deterministic multiplicative jitter for ``Retry-After`` values.
+
+    ``apply(base)`` returns a value in ``[base, base * (1 + spread)]``
+    drawn from a seeded RNG, so a burst of synchronized sheds disperses
+    its retries instead of stampeding back on one tick — and a seeded
+    test replays the exact sequence.  The result never undercuts
+    ``base``: a quota shed's base names when the next token exists, and
+    honoring the jittered header still finds it there.
+    """
+
+    __slots__ = ("_rng", "spread")
+
+    def __init__(self, seed: int = 0, spread: float = 0.5) -> None:
+        if spread < 0:
+            raise ValueError(f"jitter spread must be >= 0, got {spread}")
+        self._rng = random.Random(seed)
+        self.spread = float(spread)
+
+    def apply(self, base_s: float) -> float:
+        """Jitter ``base_s`` upward by at most ``spread * base_s``."""
+        if base_s <= 0 or self.spread == 0:
+            return base_s
+        return base_s * (1.0 + self.spread * self._rng.random())
+
+
+class CircuitBreaker:
+    """One closed → open → half-open state machine.
+
+    * ``closed`` — requests flow; ``threshold`` *consecutive* failures
+      trip it open (any success resets the streak).
+    * ``open`` — requests shed with a ``Retry-After`` naming the cooldown
+      remainder; once ``cooldown_s`` elapses the next :meth:`allow`
+      transitions to half-open and admits that caller as the probe.
+    * ``half_open`` — exactly one trial request is in flight; its
+      success closes the breaker, its failure re-opens it (fresh
+      cooldown).  Everyone else sheds with ``Retry-After = cooldown_s``.
+
+    Outcomes reported while open (stragglers from before the trip) are
+    ignored so the state machine stays a pure function of the
+    (injectable) clock and the probe's outcome.
+    """
+
+    __slots__ = (
+        "threshold",
+        "cooldown_s",
+        "state",
+        "_clock",
+        "_failures",
+        "_opened_at",
+        "_probing",
+        "_on_transition",
+    )
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        if not cooldown_s > 0:
+            raise ValueError(f"breaker cooldown must be positive, got {cooldown_s}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.state = "closed"
+        self._clock = clock
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._on_transition = on_transition
+
+    def _transition(self, state: str) -> None:
+        previous, self.state = self.state, state
+        if previous != state and self._on_transition is not None:
+            self._on_transition(previous, state)
+
+    def allow(self) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request, advancing state."""
+        if self.state == "closed":
+            return True, 0.0
+        if self.state == "open":
+            waited = self._clock() - self._opened_at
+            if waited < self.cooldown_s:
+                return False, max(0.001, self.cooldown_s - waited)
+            self._transition("half_open")
+            self._probing = True
+            return True, 0.0
+        # half_open: one probe at a time.
+        if self._probing:
+            return False, self.cooldown_s
+        self._probing = True
+        return True, 0.0
+
+    def record_success(self) -> None:
+        """Report one successful engine outcome for this key."""
+        if self.state == "closed":
+            self._failures = 0
+        elif self.state == "half_open":
+            self._failures = 0
+            self._probing = False
+            self._transition("closed")
+        # open: a straggler from before the trip — ignored.
+
+    def record_failure(self) -> None:
+        """Report one engine error/timeout outcome for this key."""
+        if self.state == "closed":
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._opened_at = self._clock()
+                self._transition("open")
+        elif self.state == "half_open":
+            self._probing = False
+            self._opened_at = self._clock()
+            self._transition("open")
+        # open: already shedding; nothing to learn.
+
+
+class BreakerBoard:
+    """All of a service's breakers, keyed ``(tenant, op)``.
+
+    Lazily creates one :class:`CircuitBreaker` per key and wires its
+    transitions into telemetry: the ``repro_breaker_state`` gauge, the
+    ``repro_breaker_transitions_total`` counter, and (when the query log
+    is armed) one ``breaker`` record per transition — open → half-open →
+    closed flips are visible in ``/metrics`` and replayable from the
+    log.  Single-threaded under the service's event loop, so no lock.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._threshold = threshold
+        self._cooldown_s = cooldown_s
+        self._clock = clock
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def breaker(self, tenant: str, op: str) -> CircuitBreaker:
+        """The breaker governing ``(tenant, op)``, created on first use."""
+        key = (tenant, op)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self._threshold,
+                cooldown_s=self._cooldown_s,
+                clock=self._clock,
+                on_transition=lambda old, new, _key=key: self._note(_key, old, new),
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def _note(self, key: Tuple[str, str], old: str, new: str) -> None:
+        tenant, op = key
+        _om.breaker_state().set(
+            float(BREAKER_STATES.index(new)), tenant=tenant, op=op
+        )
+        _om.breaker_transitions_total().inc(tenant=tenant, op=op, state=new)
+        if _oev.armed():
+            _oev.emit(
+                {
+                    "event": "breaker",
+                    "tenant": tenant,
+                    "op": op,
+                    "from": old,
+                    "to": new,
+                }
+            )
+
+    def allow(self, tenant: str, op: str) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` from the ``(tenant, op)`` breaker."""
+        return self.breaker(tenant, op).allow()
+
+    def record(self, tenant: str, op: str, ok: bool) -> None:
+        """Report one engine outcome to the ``(tenant, op)`` breaker."""
+        breaker = self.breaker(tenant, op)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def count(self, state: str) -> int:
+        """How many breakers are currently in ``state``."""
+        return sum(1 for b in self._breakers.values() if b.state == state)
+
+    def summary(self) -> dict:
+        """Counts per state plus the keys currently not closed."""
+        tripped = sorted(
+            f"{tenant}:{op}"
+            for (tenant, op), b in self._breakers.items()
+            if b.state != "closed"
+        )
+        return {
+            "closed": self.count("closed"),
+            "open": self.count("open"),
+            "half_open": self.count("half_open"),
+            "tripped": tripped,
+        }
+
+
+def health_state(
+    *,
+    phase: str,
+    open_breakers: int,
+    half_open_breakers: int,
+    queue_depth: int,
+    brownout_depth: int,
+) -> str:
+    """The ``/healthz`` lifecycle state, most severe condition first.
+
+    ``draining`` (shutdown in progress — load balancers must stop
+    routing here) dominates ``browned_out`` (queue past the brownout
+    band: best-effort traffic is shedding) dominates ``degraded`` (at
+    least one breaker open or probing — some tenant/op is failing)
+    dominates ``healthy``.
+    """
+    if phase != "running":
+        return "draining"
+    if queue_depth >= brownout_depth:
+        return "browned_out"
+    if open_breakers or half_open_breakers:
+        return "degraded"
+    return "healthy"

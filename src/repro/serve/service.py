@@ -7,16 +7,21 @@ with five endpoints (full reference with JSON examples in
 * ``POST /query`` — one inequality query; coalesced by the micro-batcher
 * ``POST /topk`` — one top-k query; likewise
 * ``GET /metrics`` — Prometheus text over the in-process registry
-* ``GET /healthz`` — liveness + engine shape
+* ``GET /healthz`` — the health-state machine (``healthy`` / ``degraded``
+  / ``browned_out`` / ``draining``) plus engine shape
 * ``GET /slo`` — declared objectives evaluated against recorded metrics
-* ``GET /stats`` — serving counters (batching, shedding) as JSON
+* ``GET /stats`` — serving counters (batching, shedding, breakers) as JSON
 
-Request flow: parse → admission (:mod:`repro.serve.admission`; sheds
-answer ``429`` with ``Retry-After``) → micro-batcher
-(:mod:`repro.serve.batcher`) → engine.  Degraded answers pass their
-``DegradedInfo`` through to the response JSON **unmodified** — the
-serving layer never rounds completeness up; clients see exactly what a
-direct library call would report.
+Request flow: parse (including the ``X-Repro-Deadline-Ms`` budget) →
+drain gate → admission (:mod:`repro.serve.admission`; sheds answer
+``429`` with jittered ``Retry-After``) → per-(tenant, op) circuit
+breaker (:mod:`repro.serve.resilience`; sheds answer ``503``) →
+micro-batcher (:mod:`repro.serve.batcher`) → engine, with the request's
+remaining budget enforced at every hop and expiry answered ``504`` with
+the per-stage breakdown.  Degraded answers pass their ``DegradedInfo``
+through to the response JSON **unmodified** — the serving layer never
+rounds completeness up; clients see exactly what a direct library call
+would report.
 
 For tests, examples, and notebooks, :func:`serve_in_thread` runs the
 whole asyncio stack on a daemon thread and returns a
@@ -34,24 +39,38 @@ from typing import Any, Optional, Tuple
 import numpy as np
 
 from ..exceptions import (
+    DeadlineExceededError,
     DegradedAnswerError,
     DimensionMismatchError,
+    DrainTimeoutError,
+    InjectedFaultError,
     InvalidQueryError,
-    QueryTimeoutError,
     ReproError,
+    ShardFailureError,
 )
 from ..obs import exporters as _oexp
 from ..obs import metrics as _om
 from ..obs import slo as _oslo
 from ..parallel.engine import ShardedFunctionIndex
+from ..reliability import faults as _flt
 from .admission import AdmissionController
 from .batcher import MicroBatcher, PendingRequest
 from .config import ServiceConfig
 from .http import HttpError, HttpRequest, read_request, render_response
+from .resilience import (
+    HEALTH_STATES,
+    BreakerBoard,
+    Deadline,
+    RetryJitter,
+    health_state,
+)
 
 __all__ = ["QueryService", "ServerHandle", "serve_in_thread"]
 
 _OPS = ("<=", "<", ">=", ">")
+
+#: Request header carrying the end-to-end deadline budget, milliseconds.
+DEADLINE_HEADER = "x-repro-deadline-ms"
 
 
 class QueryService:
@@ -70,8 +89,24 @@ class QueryService:
             window_s=self._config.batch_window_s,
             batch_max=self._config.batch_max,
         )
+        self._breakers = BreakerBoard(
+            threshold=self._config.breaker_threshold,
+            cooldown_s=self._config.breaker_cooldown_s,
+        )
+        # Separate jitter stream from admission's, so 503 and 429 headers
+        # draw independent (still seeded, still replayable) sequences.
+        self._jitter = RetryJitter(seed=1)
         self._server: Optional[asyncio.base_events.Server] = None
-        self._shed = {"quota": 0, "queue_full": 0, "brownout": 0}
+        self._phase = "idle"  #: "idle" | "running" | "draining" | "stopped"
+        self._shed = {
+            "quota": 0,
+            "queue_full": 0,
+            "brownout": 0,
+            "breaker": 0,
+            "draining": 0,
+            "fault": 0,
+        }
+        self._deadline_expired = 0
         self._requests = 0
         self._errors = 0
 
@@ -88,11 +123,14 @@ class QueryService:
         return int(self._server.sockets[0].getsockname()[1])
 
     def stats(self) -> dict:
-        """Serving counters: requests, sheds by reason, batching shape."""
+        """Serving counters: requests, sheds, deadlines, breakers, batching."""
         return {
             "requests": self._requests,
             "errors": self._errors,
             "shed": dict(self._shed),
+            "deadline_expired": self._deadline_expired,
+            "phase": self._phase,
+            "breakers": self._breakers.summary(),
             "outstanding": self._batcher.outstanding,
             "batching": self._batcher.stats(),
         }
@@ -103,15 +141,25 @@ class QueryService:
             raise RuntimeError("service is already started")
         self._batcher.start()
         self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._phase = "running"
         return self.port
 
     async def stop(self) -> None:
-        """Graceful shutdown: close the socket, drain the backlog."""
+        """Graceful shutdown: drain gate up, socket closed, backlog flushed.
+
+        The phase flips to ``draining`` *before* the socket closes, so
+        requests racing shutdown on kept-alive connections get an explicit
+        ``503`` instead of depending on TCP teardown timing; the batcher
+        then gets ``drain_timeout_s`` to flush the admitted backlog, after
+        which stragglers fail fast (:class:`DrainTimeoutError` → 503).
+        """
+        self._phase = "draining"
         server, self._server = self._server, None
         if server is not None:
             server.close()
             await server.wait_closed()
-        await self._batcher.stop()
+        await self._batcher.stop(self._config.drain_timeout_s)
+        self._phase = "stopped"
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -175,7 +223,8 @@ class QueryService:
         if method != "GET":
             return 405, {"error": "method_not_allowed", "detail": f"{path} is GET-only"}, None, "application/json"
         if path == "/healthz":
-            return 200, self._healthz(), None, "application/json"
+            status, payload = self._healthz()
+            return status, payload, None, "application/json"
         if path == "/metrics":
             return 200, _oexp.to_prometheus(), None, "text/plain; version=0.0.4"
         if path == "/slo":
@@ -185,15 +234,33 @@ class QueryService:
             return 200, {"objectives": [s.to_dict() for s in statuses]}, None, "application/json"
         return 200, self.stats(), None, "application/json"  # /stats
 
-    def _healthz(self) -> dict:
-        """Liveness payload: engine shape and backlog."""
-        return {
-            "status": "ok",
+    def _healthz(self) -> Tuple[int, dict]:
+        """The health-state machine plus engine shape.
+
+        ``healthy`` / ``degraded`` / ``browned_out`` answer 200 — the
+        instance still serves, a load balancer may deprioritize it on the
+        body — while ``draining`` answers 503 so health checks pull the
+        instance as soon as shutdown starts.
+        """
+        state = health_state(
+            phase=self._phase,
+            open_breakers=self._breakers.count("open"),
+            half_open_breakers=self._breakers.count("half_open"),
+            queue_depth=self._batcher.outstanding,
+            brownout_depth=self._admission.brownout_depth,
+        )
+        _om.serve_health_state().set(float(HEALTH_STATES.index(state)))
+        payload = {
+            "status": state,
+            "phase": self._phase,
             "points": len(self._engine),
             "shards": self._engine.n_shards,
             "backend": self._engine.backend,
             "outstanding": self._batcher.outstanding,
+            "brownout_depth": self._admission.brownout_depth,
+            "breakers": self._breakers.summary(),
         }
+        return (503 if state == "draining" else 200), payload
 
     # ------------------------------------------------------------------ #
     # /query and /topk
@@ -241,49 +308,158 @@ class QueryService:
             tenant=tenant,
         )
 
+    def _parse_deadline(self, request: HttpRequest) -> Deadline:
+        """The request's budget: ``X-Repro-Deadline-Ms`` or the default."""
+        raw = request.headers.get(DEADLINE_HEADER, "").strip()
+        if not raw:
+            return Deadline(self._config.deadline_s)
+        try:
+            budget_ms = float(raw)
+        except ValueError as exc:
+            raise HttpError(
+                400, f"X-Repro-Deadline-Ms must be a number, got {raw!r}"
+            ) from exc
+        if not budget_ms > 0 or not math.isfinite(budget_ms):
+            raise HttpError(
+                400, f"X-Repro-Deadline-Ms must be positive and finite, got {raw!r}"
+            )
+        return Deadline(budget_ms / 1000.0)
+
+    def _shed_response(
+        self, *, status: int, reason: str, tenant: str, op: str, retry_after_s: float
+    ) -> Tuple[int, Any, Optional[dict], str]:
+        """One shed (429/503): counters, body, and the Retry-After header."""
+        self._shed[reason] += 1
+        _om.serve_shed_total().inc(tenant=tenant, reason=reason)
+        _om.serve_requests_total().inc(tenant=tenant, op=op, status="shed")
+        return (
+            status,
+            {
+                "error": "shed",
+                "reason": reason,
+                "tenant": tenant,
+                "retry_after_s": round(retry_after_s, 4),
+            },
+            {"Retry-After": str(max(1, math.ceil(retry_after_s)))},
+            "application/json",
+        )
+
+    def _deadline_response(
+        self, deadline: Deadline, *, stage: str, tenant: str, op: str
+    ) -> Tuple[int, Any, Optional[dict], str]:
+        """One 504: the expiry counter and the elapsed/budget breakdown."""
+        self._deadline_expired += 1
+        self._errors += 1
+        _om.serve_deadline_expired_total().inc(stage=stage)
+        _om.serve_requests_total().inc(tenant=tenant, op=op, status="error")
+        body = {"error": "deadline_exceeded", "stage": stage}
+        body.update(deadline.breakdown())
+        return 504, body, None, "application/json"
+
     async def _handle_query(
         self, request: HttpRequest, op: str
     ) -> Tuple[int, Any, Optional[dict], str]:
-        """Admission + batching + response shaping for /query and /topk."""
+        """Deadline + admission + breaker + batching for /query and /topk."""
         started = time.perf_counter()
         self._requests += 1
         try:
+            deadline = self._parse_deadline(request)
             pending = self._parse_query_body(request, op)
         except HttpError as exc:
             _om.serve_requests_total().inc(tenant="?", op=op, status="error")
             return exc.status, {"error": "bad_request", "detail": exc.detail}, None, "application/json"
+        pending.deadline = deadline
         tenant = pending.tenant
+        if _flt.ARMED:
+            try:
+                # A stall here burns the request's budget (that is the
+                # point: it simulates a slow accept path); an error sheds.
+                _flt.check("serve.accept", op=op, tenant=tenant)
+            except InjectedFaultError:
+                return self._shed_response(
+                    status=503,
+                    reason="fault",
+                    tenant=tenant,
+                    op=op,
+                    retry_after_s=self._jitter.apply(1.0),
+                )
+        if self._phase != "running":
+            return self._shed_response(
+                status=503,
+                reason="draining",
+                tenant=tenant,
+                op=op,
+                retry_after_s=self._jitter.apply(1.0),
+            )
+        if deadline.expired():
+            return self._deadline_response(
+                deadline, stage="accept", tenant=tenant, op=op
+            )
         decision = self._admission.admit(tenant, self._batcher.outstanding)
         if not decision.admitted:
-            self._shed[decision.reason] += 1
-            _om.serve_shed_total().inc(tenant=tenant, reason=decision.reason)
-            _om.serve_requests_total().inc(tenant=tenant, op=op, status="shed")
-            retry_after = decision.retry_after_s
-            return (
-                429,
-                {
-                    "error": "shed",
-                    "reason": decision.reason,
-                    "tenant": tenant,
-                    "retry_after_s": round(retry_after, 4),
-                },
-                {"Retry-After": str(max(1, math.ceil(retry_after)))},
-                "application/json",
+            return self._shed_response(
+                status=429,
+                reason=decision.reason,
+                tenant=tenant,
+                op=op,
+                retry_after_s=decision.retry_after_s,
             )
+        allowed, breaker_retry_s = self._breakers.allow(tenant, op)
+        if not allowed:
+            return self._shed_response(
+                status=503,
+                reason="breaker",
+                tenant=tenant,
+                op=op,
+                retry_after_s=self._jitter.apply(breaker_retry_s),
+            )
+        deadline.mark("admission")
+        # From here the (tenant, op) breaker hears exactly one outcome —
+        # engine trouble counts against it, client mistakes do not — so a
+        # half-open probe can never be stranded in flight.
+        engine_ok = True
         try:
-            answer, trace_id = await self._batcher.enqueue(pending)
+            answer, trace_id = await asyncio.wait_for(
+                self._batcher.enqueue(pending),
+                timeout=max(deadline.remaining_s(), 0.001),
+            )
         except (InvalidQueryError, DimensionMismatchError) as exc:
             self._errors += 1
             _om.serve_requests_total().inc(tenant=tenant, op=op, status="error")
             return 400, {"error": "bad_request", "detail": str(exc)}, None, "application/json"
-        except (QueryTimeoutError, DegradedAnswerError) as exc:
+        except DeadlineExceededError:
+            # The batcher already counted stage="dispatch"; answer the 504.
+            engine_ok = False
+            self._deadline_expired += 1
+            self._errors += 1
+            _om.serve_requests_total().inc(tenant=tenant, op=op, status="error")
+            body = {"error": "deadline_exceeded", "stage": "dispatch"}
+            body.update(deadline.breakdown())
+            return 504, body, None, "application/json"
+        except DrainTimeoutError as exc:
+            self._errors += 1
+            _om.serve_requests_total().inc(tenant=tenant, op=op, status="error")
+            return 503, {"error": "draining", "detail": str(exc)}, None, "application/json"
+        except (ShardFailureError, DegradedAnswerError, InjectedFaultError) as exc:
+            # ShardFailureError covers QueryTimeoutError (wave deadline)
+            # and raise-policy shard failures alike: transient engine
+            # trouble, answered 503 and counted against the breaker.
+            engine_ok = False
             self._errors += 1
             _om.serve_requests_total().inc(tenant=tenant, op=op, status="error")
             return 503, {"error": "unavailable", "detail": str(exc)}, None, "application/json"
+        except asyncio.TimeoutError:
+            engine_ok = False
+            return self._deadline_response(
+                deadline, stage="await", tenant=tenant, op=op
+            )
         except ReproError as exc:
+            engine_ok = False
             self._errors += 1
             _om.serve_requests_total().inc(tenant=tenant, op=op, status="error")
             return 500, {"error": "internal", "detail": f"{type(exc).__name__}: {exc}"}, None, "application/json"
+        finally:
+            self._breakers.record(tenant, op, engine_ok)
         payload = self._shape_answer(op, answer, trace_id)
         _om.serve_requests_total().inc(tenant=tenant, op=op, status="ok")
         _om.serve_request_seconds().observe(time.perf_counter() - started, op=op)
@@ -343,14 +519,21 @@ class ServerHandle:
         return f"http://{self.host}:{self.port}"
 
     def stop(self) -> None:
-        """Shut the service down and join the thread."""
+        """Shut the service down and join the thread.
+
+        Both joins are bounded by the configured drain budget (plus a
+        margin for socket teardown), not a hard-coded constant: shutdown
+        takes at most ``drain_timeout_s`` before the batcher fail-fasts
+        its backlog, so waiting longer than that could only hide a bug.
+        """
         if self._stopped:
             return
         self._stopped = True
+        budget = self.service.config.drain_timeout_s + 5.0
         future = asyncio.run_coroutine_threadsafe(self.service.stop(), self._loop)
-        future.result(timeout=30)
+        future.result(timeout=budget)
         self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=budget)
 
     def __enter__(self) -> "ServerHandle":
         """Context-manager entry (the server is already running)."""

@@ -85,10 +85,68 @@ class TestChaosCli:
         assert code == 0
         assert "raised=6" in stream.getvalue()
 
-    @pytest.mark.parametrize("flag", ["--policy", "--faults"])
+    @pytest.mark.parametrize("flag", ["--policy", "--faults", "--serve"])
     def test_help_mentions_flags(self, capsys, flag):
         with pytest.raises(SystemExit):
             from repro.reliability.cli import build_parser
 
             build_parser().parse_args(["--help"])
         assert flag in capsys.readouterr().out
+
+
+class TestChaosServe:
+    """``repro chaos --serve``: the drill through a live HTTP service."""
+
+    def test_serve_mode_verifies_degraded_and_shed_responses(self):
+        stream = io.StringIO()
+        code = chaos_main(
+            [
+                *FAST,
+                "--queries", "12",
+                "--serve",
+                "--policy", "degrade",
+                "--faults",
+                "serve.accept:error:every=5;"
+                "shard.query:error:shard=1;shard.scan:error:shard=1",
+            ],
+            stream=stream,
+        )
+        out = stream.getvalue()
+        assert code == 0
+        assert "chaos --serve: 12 HTTP requests" in out
+        assert "degraded=" in out
+        assert "shed_503=" in out
+        assert "all sound" in out
+
+    def test_serve_mode_deadline_expiries_are_explicit_504s(self):
+        stream = io.StringIO()
+        code = chaos_main(
+            [
+                *FAST,
+                "--serve",
+                "--deadline-ms", "80",
+                "--faults", "serve.dispatch:stall:ms=250:every=3",
+            ],
+            stream=stream,
+        )
+        out = stream.getvalue()
+        assert code == 0
+        assert "deadline_504=" in out
+        assert "all sound" in out
+
+    def test_serve_mode_clean_run_is_all_exact(self, monkeypatch):
+        from repro.reliability import faults as _flt
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        _flt.disarm()
+        stream = io.StringIO()
+        code = chaos_main([*FAST, "--serve"], stream=stream)
+        out = stream.getvalue()
+        assert code == 0
+        assert "exact=6" in out
+        assert "all sound" in out
+
+    def test_serve_mode_registered_under_main_cli(self, capsys):
+        code = repro_main(["chaos", *FAST, "--serve"])
+        assert code == 0
+        assert "chaos --serve:" in capsys.readouterr().out

@@ -82,7 +82,9 @@ class TestAdmissionOrder:
         decision = controller.admit("slow", queue_depth=0)
         assert not decision.admitted
         assert decision.reason == "quota"
-        assert decision.retry_after_s == pytest.approx(1.0)
+        # Jitter stretches the bucket's 1.0s estimate by up to 50%, but
+        # never undercuts it (a client retrying early would shed again).
+        assert 1.0 <= decision.retry_after_s <= 1.5
 
     def test_quota_checked_before_queue(self):
         """A greedy tenant burns its own bucket even when the queue is

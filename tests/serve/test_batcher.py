@@ -13,7 +13,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, DrainTimeoutError
+from repro.reliability import faults as _flt
 from repro.serve import MicroBatcher, PendingRequest
 
 from .conftest import build_engine, integer_queries
@@ -229,3 +230,69 @@ class TestErrorsAndLifecycle:
             assert np.array_equal(
                 answer.ids, engine.query(normals[i], float(offsets[i])).ids
             )
+
+
+class TestDrainBudget:
+    """SIGTERM-shaped shutdown: flush what fits, fail-fast the rest."""
+
+    def test_stop_flushes_queued_backlog_within_budget(
+        self, engine_and_queries
+    ):
+        """Requests still queued (coalescing window open) when stop()
+        lands must flush and answer normally, well inside the budget."""
+        engine, normals, offsets = engine_and_queries
+
+        async def main():
+            batcher = MicroBatcher(engine, window_s=5.0, batch_max=64)
+            batcher.start()
+            futures = [
+                asyncio.ensure_future(
+                    batcher.enqueue(_request(normals, offsets, i))
+                )
+                for i in range(6)
+            ]
+            await asyncio.sleep(0)  # enqueues land; window would run 5s
+            start = time.perf_counter()
+            await batcher.stop(drain_timeout_s=5.0)
+            elapsed = time.perf_counter() - start
+            return await asyncio.gather(*futures), elapsed
+
+        results, elapsed = asyncio.run(main())
+        assert elapsed < 2.0  # drained, did not wait out the budget
+        for i, (answer, _trace) in enumerate(results):
+            assert np.array_equal(
+                answer.ids, engine.query(normals[i], float(offsets[i])).ids
+            )
+
+    def test_stop_fail_fasts_stuck_requests(
+        self, engine_and_queries, pristine_faults
+    ):
+        """A request stuck behind a stalled engine call resolves with
+        DrainTimeoutError when the drain budget runs out — bounded
+        shutdown, never a hung future."""
+        engine, normals, offsets = engine_and_queries
+
+        async def main():
+            batcher = MicroBatcher(engine, window_s=0.0, batch_max=64)
+            batcher.start()
+            with _flt.injected("serve.dispatch:stall:ms=700:times=2"):
+                futures = [
+                    asyncio.ensure_future(
+                        batcher.enqueue(_request(normals, offsets, i))
+                    )
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0.05)  # both are now stalled in flight
+                start = time.perf_counter()
+                await batcher.stop(drain_timeout_s=0.1)
+                resolved_in = time.perf_counter() - start
+                results = await asyncio.gather(
+                    *futures, return_exceptions=True
+                )
+            return results, resolved_in, batcher.outstanding
+
+        results, resolved_in, outstanding = asyncio.run(main())
+        assert resolved_in < 0.6  # the 0.1s budget, not the 0.7s stall
+        assert outstanding == 0
+        assert all(isinstance(r, DrainTimeoutError) for r in results)
+        assert "drain budget" in str(results[0])

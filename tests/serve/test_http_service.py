@@ -151,10 +151,12 @@ class TestReadEndpoints:
         engine, handle, _, _ = served
         status, _, body = http_json(handle.host, handle.port, "GET", "/healthz")
         assert status == 200
-        assert body["status"] == "ok"
+        assert body["status"] == "healthy"
+        assert body["phase"] == "running"
         assert body["points"] == len(engine)
         assert body["shards"] == engine.n_shards
         assert body["backend"] == engine.backend
+        assert body["breakers"]["open"] == 0
 
     def test_metrics_exposes_serve_families(self, served):
         _, handle, normals, offsets = served
@@ -185,7 +187,9 @@ class TestReadEndpoints:
         )
         after = http_json(handle.host, handle.port, "GET", "/stats")[2]
         assert after["requests"] > before["requests"]
-        assert set(after["shed"]) == {"quota", "queue_full", "brownout"}
+        assert set(after["shed"]) == {
+            "quota", "queue_full", "brownout", "breaker", "draining", "fault",
+        }
         assert "mean_batch" in after["batching"]
 
 

@@ -1,0 +1,264 @@
+"""Resilience primitives under a fake clock: no sleeps, no flakiness.
+
+Every state transition in ``repro.serve.resilience`` is a pure function
+of an injectable monotonic clock, so these tests advance time by hand
+and assert exact budgets, exact breaker flips, and exact jitter
+sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as _om
+from repro.serve import BreakerBoard, CircuitBreaker, Deadline, RetryJitter
+from repro.serve.resilience import BREAKER_STATES, HEALTH_STATES, health_state
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="positive"):
+                Deadline(bad, clock=FakeClock())
+
+    def test_elapsed_remaining_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.elapsed_s() == 0.0
+        assert deadline.remaining_s() == 1.0
+        assert not deadline.expired()
+        clock.advance(0.4)
+        assert deadline.elapsed_s() == pytest.approx(0.4)
+        assert deadline.remaining_s() == pytest.approx(0.6)
+        clock.advance(0.6)
+        assert deadline.expired()
+        clock.advance(5.0)  # overrun never goes negative
+        assert deadline.remaining_s() == 0.0
+
+    def test_mark_charges_stages_and_breakdown_renders_ms(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(0.1)
+        deadline.mark("admission")
+        clock.advance(0.25)
+        deadline.mark("linger")
+        report = deadline.breakdown()
+        assert report["budget_ms"] == 500.0
+        assert report["elapsed_ms"] == pytest.approx(350.0)
+        assert report["stages_ms"] == {
+            "admission": pytest.approx(100.0),
+            "linger": pytest.approx(250.0),
+        }
+
+    def test_mark_accumulates_repeat_stages(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(0.1)
+        deadline.mark("linger")
+        clock.advance(0.2)
+        deadline.mark("linger")
+        assert deadline.breakdown()["stages_ms"]["linger"] == pytest.approx(300.0)
+
+
+class TestRetryJitter:
+    def test_same_seed_replays_the_exact_sequence(self):
+        a = [RetryJitter(seed=7).apply(1.0) for _ in range(1)]
+        first = RetryJitter(seed=7)
+        second = RetryJitter(seed=7)
+        assert [first.apply(2.0) for _ in range(10)] == [
+            second.apply(2.0) for _ in range(10)
+        ]
+        assert a == [RetryJitter(seed=7).apply(1.0)]
+
+    def test_never_undercuts_base_and_bounded_by_spread(self):
+        jitter = RetryJitter(seed=0, spread=0.5)
+        for _ in range(200):
+            value = jitter.apply(2.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_zero_spread_and_nonpositive_base_pass_through(self):
+        assert RetryJitter(seed=0, spread=0.0).apply(1.5) == 1.5
+        assert RetryJitter(seed=0).apply(0.0) == 0.0
+        assert RetryJitter(seed=0).apply(-1.0) == -1.0
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError, match="spread"):
+            RetryJitter(seed=0, spread=-0.1)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, cooldown_s=2.0, transitions=None):
+        on_transition = None
+        if transitions is not None:
+            on_transition = lambda old, new: transitions.append((old, new))
+        return CircuitBreaker(
+            threshold=threshold, cooldown_s=cooldown_s, clock=clock,
+            on_transition=on_transition,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown_s=0.0)
+
+    def test_consecutive_failures_trip_interleaved_success_resets(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()  # third consecutive
+        assert breaker.state == "open"
+
+    def test_open_sheds_with_cooldown_remainder(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown_s=2.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(0.5)
+        admitted, retry_after = breaker.allow()
+        assert not admitted
+        assert retry_after == pytest.approx(1.5)
+
+    def test_cooldown_elapses_into_single_half_open_probe(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = self.make(
+            clock, threshold=1, cooldown_s=2.0, transitions=transitions
+        )
+        breaker.record_failure()
+        clock.advance(2.0)
+        admitted, retry_after = breaker.allow()
+        assert admitted and retry_after == 0.0
+        assert breaker.state == "half_open"
+        # While the probe is out, everyone else sheds.
+        admitted, retry_after = breaker.allow()
+        assert not admitted
+        assert retry_after == pytest.approx(2.0)
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert transitions == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed"),
+        ]
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown_s=2.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow() == (True, 0.0)  # the probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(1.0)  # fresh cooldown: 1s of 2s elapsed
+        admitted, retry_after = breaker.allow()
+        assert not admitted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_open_state_ignores_straggler_outcomes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown_s=2.0)
+        breaker.record_failure()
+        breaker.record_success()  # straggler from before the trip
+        assert breaker.state == "open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(2.0)
+        assert breaker.allow() == (True, 0.0)  # cooldown unchanged
+
+
+class TestBreakerBoard:
+    def test_keys_are_independent(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=1, cooldown_s=1.0, clock=clock)
+        board.record("t1", "query", ok=False)
+        assert board.allow("t1", "query")[0] is False
+        assert board.allow("t1", "topk")[0] is True
+        assert board.allow("t2", "query")[0] is True
+
+    def test_summary_counts_and_tripped_keys(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=1, cooldown_s=1.0, clock=clock)
+        board.record("a", "query", ok=True)
+        board.record("b", "query", ok=False)
+        board.record("c", "topk", ok=False)
+        clock.advance(1.0)
+        board.allow("c", "topk")  # half-open probe
+        summary = board.summary()
+        assert summary == {
+            "closed": 1,
+            "open": 1,
+            "half_open": 1,
+            "tripped": ["b:query", "c:topk"],
+        }
+
+    def test_transitions_drive_the_state_gauge(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=1, cooldown_s=1.0, clock=clock)
+        gauge = _om.breaker_state()
+
+        def value():
+            return gauge.value(tenant="gauge-t", op="query")
+
+        board.record("gauge-t", "query", ok=False)
+        assert value() == float(BREAKER_STATES.index("open"))
+        clock.advance(1.0)
+        board.allow("gauge-t", "query")
+        assert value() == float(BREAKER_STATES.index("half_open"))
+        board.record("gauge-t", "query", ok=True)
+        assert value() == float(BREAKER_STATES.index("closed"))
+
+
+class TestHealthState:
+    def kwargs(self, **overrides):
+        base = dict(
+            phase="running",
+            open_breakers=0,
+            half_open_breakers=0,
+            queue_depth=0,
+            brownout_depth=10,
+        )
+        base.update(overrides)
+        return base
+
+    def test_healthy_by_default(self):
+        assert health_state(**self.kwargs()) == "healthy"
+
+    def test_breakers_mean_degraded(self):
+        assert health_state(**self.kwargs(open_breakers=1)) == "degraded"
+        assert health_state(**self.kwargs(half_open_breakers=1)) == "degraded"
+
+    def test_deep_queue_dominates_degraded(self):
+        state = health_state(
+            **self.kwargs(open_breakers=3, queue_depth=10)
+        )
+        assert state == "browned_out"
+
+    def test_draining_dominates_everything(self):
+        state = health_state(
+            **self.kwargs(phase="draining", open_breakers=5, queue_depth=99)
+        )
+        assert state == "draining"
+
+    def test_every_state_is_gauge_encodable(self):
+        for kwargs in (
+            self.kwargs(),
+            self.kwargs(open_breakers=1),
+            self.kwargs(queue_depth=10),
+            self.kwargs(phase="stopped"),
+        ):
+            assert health_state(**kwargs) in HEALTH_STATES
